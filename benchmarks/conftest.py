@@ -1,0 +1,122 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md's experiment index).  Rows are computed
+once per session and printed at the end of the run so that
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the reproduced tables next to pytest-benchmark's timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resources import analyze_program
+from repro.vqc.generators import table2_suite, table3_suite
+
+
+#: Values reported in the paper (Tables 2 and 3): label -> (OC, |#∂θ1|, #gates, #lines, #layers, #qubits)
+PAPER_TABLE3 = {
+    "QNN_S,b": (1, 1, 20, 24, 1, 4),
+    "QNN_S,s": (5, 5, 20, 24, 1, 4),
+    "QNN_S,i": (10, 10, 60, 67, 2, 4),
+    "QNN_S,w": (15, 10, 60, 66, 3, 4),
+    "QNN_M,i": (24, 24, 165, 189, 3, 18),
+    "QNN_M,w": (56, 24, 231, 121, 5, 18),
+    "QNN_L,i": (48, 48, 363, 414, 6, 36),
+    "QNN_L,w": (504, 48, 2079, 244, 33, 36),
+    "VQE_S,b": (1, 1, 14, 16, 1, 2),
+    "VQE_S,s": (2, 2, 14, 16, 1, 2),
+    "VQE_S,i": (4, 4, 28, 38, 2, 2),
+    "VQE_S,w": (6, 4, 42, 32, 3, 2),
+    "VQE_M,i": (15, 15, 224, 241, 3, 12),
+    "VQE_M,w": (35, 15, 224, 112, 5, 12),
+    "VQE_L,i": (40, 40, 576, 628, 5, 40),
+    "VQE_L,w": (248, 40, 1984, 368, 17, 40),
+    "QAOA_S,b": (1, 1, 12, 15, 1, 3),
+    "QAOA_S,s": (3, 3, 12, 15, 1, 3),
+    "QAOA_S,i": (6, 6, 36, 41, 2, 3),
+    "QAOA_S,w": (9, 6, 36, 29, 3, 3),
+    "QAOA_M,i": (18, 18, 120, 142, 3, 18),
+    "QAOA_M,w": (42, 18, 168, 94, 5, 18),
+    "QAOA_L,i": (36, 36, 264, 315, 6, 36),
+    "QAOA_L,w": (378, 36, 1512, 190, 33, 36),
+}
+
+PAPER_TABLE2 = {label: row for label, row in PAPER_TABLE3.items() if ",b" not in label and ",s" not in label and "_S" not in label}
+
+
+def measured_row(instance):
+    """Compute the (OC, |#∂θ1|, #gates, #lines, #layers, #qubits) row of one instance."""
+    report = analyze_program(
+        instance.program,
+        instance.shared_parameter,
+        name=instance.label,
+        layer_count=instance.declared_layers,
+    )
+    return (
+        report.occurrence_count,
+        report.derivative_program_count,
+        report.gate_count,
+        report.line_count,
+        report.layer_count,
+        report.qubit_count,
+    )
+
+
+def format_table(rows: dict[str, tuple], paper: dict[str, tuple]) -> str:
+    header = (
+        f"{'instance':10s} {'OC':>10s} {'|#∂θ1|':>10s} {'#gates':>12s} "
+        f"{'#lines':>12s} {'#layers':>10s} {'#qb':>8s}   (measured/paper)"
+    )
+    lines = [header, "-" * len(header)]
+    for label, measured in rows.items():
+        reference = paper.get(label)
+        cells = []
+        for index, value in enumerate(measured):
+            if reference is None:
+                cells.append(f"{value}")
+            else:
+                cells.append(f"{value}/{reference[index]}")
+        lines.append(
+            f"{label:10s} {cells[0]:>10s} {cells[1]:>10s} {cells[2]:>12s} "
+            f"{cells[3]:>12s} {cells[4]:>10s} {cells[5]:>8s}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.fixture(scope="session")
+def table2_instances():
+    return table2_suite()
+
+
+@pytest.fixture(scope="session")
+def table3_instances():
+    return table3_suite()
+
+
+#: Formatted report blocks registered by the benchmark modules, printed at session end.
+REPORTS: dict[str, str] = {}
+
+
+def register_report(title: str, body: str) -> None:
+    """Register a formatted table/figure reproduction to print after the run."""
+    REPORTS[title] = body
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not REPORTS:
+        return
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    write = terminal.write_line if terminal is not None else print
+    write("")
+    write("=" * 78)
+    write("Reproduced evaluation artifacts (paper tables and figures)")
+    write("=" * 78)
+    for title in sorted(REPORTS):
+        write("")
+        write(title)
+        for line in REPORTS[title].splitlines():
+            write(line)

@@ -1,0 +1,134 @@
+"""Ablation — the single-circuit gadget vs. the two-circuit phase-shift rule.
+
+Sections 1 and 6 motivate the paper's ``R'`` gadget over the existing
+phase-shift rule on two axes:
+
+1. **program count** — the gadget needs at most ``OC_j`` single-ancilla
+   programs per parameter (often fewer after abort pruning), while the
+   phase-shift rule needs ``2·OC_j`` circuits;
+2. **expressiveness** — the phase-shift rule is only defined for circuits,
+   so programs with ``case``/``while`` controls (the while/if halves of the
+   evaluation and the P2 classifier) are out of its reach.
+
+The benchmarks measure the wall-clock cost of both schemes on the P1
+classifier (they agree numerically, which is asserted) and record the
+per-parameter program counts on representative programs; the comparison is
+printed at the end of the benchmark session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.comparison import scheme_costs
+from repro.baselines.phase_shift import phase_shift_gradient
+from repro.errors import TransformError
+from repro.autodiff.execution import gradient
+from repro.vqc.classifier import build_p1, build_p2
+from repro.vqc.generators import SHARED_PARAMETER, build_instance
+
+from benchmarks.conftest import register_report
+
+_cost_rows = {}
+
+
+@pytest.fixture(scope="module")
+def p1_setup():
+    classifier = build_p1()
+    binding = classifier.initial_binding(seed=1, spread=0.5)
+    bits = (1, 0, 1, 0)
+    return classifier, classifier.input_state(bits), classifier.readout_observable(), binding
+
+
+class TestAgreementAndExpressiveness:
+    def test_gradients_agree_on_p1(self, benchmark, p1_setup):
+        classifier, state, observable, binding = p1_setup
+        parameters = classifier.parameters[:6]
+        ours = benchmark.pedantic(
+            lambda: gradient(classifier.program, parameters, observable, state, binding),
+            rounds=1,
+            iterations=1,
+        )
+        baseline = phase_shift_gradient(classifier.program, parameters, observable, state, binding)
+        assert np.allclose(ours, baseline, atol=1e-8)
+
+    def test_only_the_gadget_scheme_differentiates_p2(self, benchmark):
+        classifier = build_p2()
+        binding = classifier.initial_binding(seed=1)
+        state = classifier.input_state((0, 0, 0, 0))
+        observable = classifier.readout_observable()
+        values = benchmark.pedantic(
+            lambda: gradient(
+                classifier.program, classifier.parameters[:2], observable, state, binding
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert values.shape == (2,) and np.all(np.isfinite(values))
+        with pytest.raises(TransformError):
+            phase_shift_gradient(
+                classifier.program, classifier.parameters[:1], observable, state, binding
+            )
+
+
+class TestProgramCounts:
+    @pytest.mark.parametrize(
+        "label",
+        ["P1 classifier", "P2 classifier", "QNN_M,i", "QNN_M,w"],
+    )
+    def test_gadget_never_needs_more_programs(self, benchmark, label):
+        if label == "P1 classifier":
+            classifier = build_p1()
+            program, parameter = classifier.program, classifier.parameters[0]
+        elif label == "P2 classifier":
+            classifier = build_p2()
+            program, parameter = classifier.program, classifier.parameters[0]
+        else:
+            _, rest = label.split("_")
+            scale, variant = rest.split(",")
+            instance = build_instance("QNN", scale, variant)
+            program, parameter = instance.program, SHARED_PARAMETER
+
+        costs = benchmark.pedantic(lambda: scheme_costs(program, parameter), rounds=1, iterations=1)
+        _cost_rows[label] = costs
+        lines = []
+        for name, entry in _cost_rows.items():
+            shift = entry["phase_shift"].programs_per_parameter
+            shift_text = str(shift) if shift is not None else "not applicable (controls)"
+            lines.append(
+                f"  {name:14s} gadget: {entry['gadget'].programs_per_parameter:3d} programs "
+                f"(+1 ancilla), phase-shift: {shift_text}"
+            )
+        register_report(
+            "Ablation — programs per gradient entry (gadget vs phase-shift rule)",
+            "\n".join(lines),
+        )
+
+        gadget = costs["gadget"].programs_per_parameter
+        shift = costs["phase_shift"].programs_per_parameter
+        if shift is not None:
+            assert gadget <= shift
+            assert shift == 2 * gadget or gadget < shift
+        else:
+            assert costs["gadget"].applicable
+
+
+class TestGradientCost:
+    def test_benchmark_gadget_gradient_on_p1(self, benchmark, p1_setup):
+        classifier, state, observable, binding = p1_setup
+        parameters = classifier.parameters[:8]
+        benchmark.pedantic(
+            lambda: gradient(classifier.program, parameters, observable, state, binding),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_benchmark_phase_shift_gradient_on_p1(self, benchmark, p1_setup):
+        classifier, state, observable, binding = p1_setup
+        parameters = classifier.parameters[:8]
+        benchmark.pedantic(
+            lambda: phase_shift_gradient(classifier.program, parameters, observable, state, binding),
+            rounds=2,
+            iterations=1,
+        )

@@ -1,0 +1,72 @@
+"""Ablation — scaling of the compile-time pipeline with program structure.
+
+DESIGN.md calls out two design choices whose cost profile is worth
+measuring:
+
+* bounded while-loops are handled through their macro expansion, so the
+  transformation/compilation cost grows with the loop nesting depth (the
+  ``L,w`` instances are the extreme case);
+* the additive intermediate representation keeps the *number* of compiled
+  programs bounded by the occurrence count even though the additive program
+  itself grows.
+
+The benchmarks time the pipeline at increasing nesting depth and layer
+count, and the assertions pin the growth of the compiled multiset to the
+occurrence-count bound (i.e. no exponential blow-up in the number of
+programs that must be executed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resources import derivative_program_count, occurrence_count
+from repro.lang.builder import bounded_while_on_qubit, rx, ry, seq
+from repro.lang.parameters import Parameter
+from repro.autodiff.execution import differentiate_and_compile
+
+THETA = Parameter("theta")
+
+
+def nested_while_program(depth: int):
+    """B; while(2){ B; while(2){ ... } } with a two-rotation block per level."""
+    block = lambda level: seq([rx(THETA, "q1"), ry(THETA, "q2")])
+    body = block(depth)
+    for level in reversed(range(1, depth)):
+        body = seq([block(level), bounded_while_on_qubit("q1", body, 2)])
+    return body
+
+
+def layered_circuit(layers: int):
+    return seq([rx(THETA, "q1") if i % 2 == 0 else ry(THETA, "q2") for i in range(layers)])
+
+
+class TestCountScaling:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_nested_whiles_count_grows_linearly_not_exponentially(self, depth):
+        program = nested_while_program(depth)
+        oc = occurrence_count(program, THETA)
+        count = derivative_program_count(program, THETA)
+        # OC doubles per nesting level; the compiled count grows by 2 per level.
+        assert count == 2 * depth
+        assert oc == 2 * (2**depth - 1)
+        assert count <= oc
+
+    @pytest.mark.parametrize("layers", [2, 8, 16])
+    def test_circuit_count_equals_layers(self, layers):
+        program = layered_circuit(layers)
+        assert derivative_program_count(program, THETA) == layers
+
+
+class TestPipelineCost:
+    @pytest.mark.parametrize("depth", [2, 4])
+    def test_benchmark_nested_while_pipeline(self, benchmark, depth):
+        program = nested_while_program(depth)
+        result = benchmark(lambda: differentiate_and_compile(program, THETA))
+        assert result.nonaborting_count == 2 * depth
+
+    @pytest.mark.parametrize("layers", [8, 32])
+    def test_benchmark_layered_circuit_pipeline(self, benchmark, layers):
+        program = layered_circuit(layers)
+        result = benchmark(lambda: differentiate_and_compile(program, THETA))
+        assert result.nonaborting_count == layers

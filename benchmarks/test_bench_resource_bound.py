@@ -1,0 +1,69 @@
+"""Proposition 7.2 — the resource bound ``|#∂P/∂θ_j| ≤ OC_j(P)`` across the evaluation.
+
+Not a table of its own in the paper, but the property every row of Tables 2
+and 3 exhibits (and the one the "Resource count" discussion of Section 7
+proves).  The benchmarks compare the cost of the static occurrence-count
+analysis against the cost of obtaining the exact compiled count, and the
+row-level assertions verify the bound (tight for the if-variants, strict for
+the while-variants) on every benchmark instance plus the case-study
+classifiers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.resources import derivative_program_count, occurrence_count
+from repro.analysis.verification import check_resource_bound
+from repro.vqc.classifier import build_p1, build_p2
+from repro.vqc.generators import build_instance, table3_suite
+
+from benchmarks.conftest import register_report
+
+
+def test_bound_on_every_table3_instance(benchmark):
+    def compute():
+        rows = {}
+        for instance in table3_suite():
+            oc = occurrence_count(instance.program, instance.shared_parameter)
+            count = derivative_program_count(instance.program, instance.shared_parameter)
+            rows[instance.label] = (oc, count, instance.variant)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [f"{'instance':10s} {'OC':>6s} {'|#∂θ1|':>8s} {'slack':>7s}"]
+    for label, (oc, count, variant) in rows.items():
+        assert count <= oc, f"{label} violates Proposition 7.2"
+        if variant in ("b", "s", "i"):
+            assert count == oc, f"{label}: bound should be tight for the {variant} variant"
+        else:
+            assert count < oc, f"{label}: while variants prune aborting unrollings"
+        lines.append(f"{label:10s} {oc:6d} {count:8d} {oc - count:7d}")
+    register_report(
+        "Proposition 7.2 — occurrence count vs non-aborting derivative programs",
+        "\n".join(lines),
+    )
+
+
+def test_bound_on_case_study_classifiers(benchmark):
+    def check():
+        for classifier in (build_p1(), build_p2()):
+            for parameter in classifier.parameters[:6]:
+                assert check_resource_bound(classifier.program, parameter)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_benchmark_occurrence_count(benchmark):
+    instance = build_instance("QNN", "L", "w")
+    value = benchmark(lambda: occurrence_count(instance.program, instance.shared_parameter))
+    assert value == 504
+
+
+def test_benchmark_exact_derivative_count(benchmark):
+    instance = build_instance("QNN", "L", "w")
+    value = benchmark.pedantic(
+        lambda: derivative_program_count(instance.program, instance.shared_parameter),
+        rounds=2,
+        iterations=1,
+    )
+    assert value == 48

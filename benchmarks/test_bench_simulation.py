@@ -1,0 +1,66 @@
+"""Execution-cost benchmarks for the simulation substrate (Section 7 execution).
+
+The paper's execution phase runs every compiled derivative program on a
+fresh copy of the input state and estimates the ancilla readout.  These
+benchmarks time the two execution modes this library offers on a
+representative small instance:
+
+* exact density-matrix evaluation of the derivative readout,
+* shot-based estimation with the Chernoff-bounded repetition count,
+
+plus the raw denotational evaluation of a benchmark block (the inner loop of
+everything else).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang.parameters import ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.denotational import denote
+from repro.autodiff.execution import differentiate_and_compile
+from repro.vqc.generators import SHARED_PARAMETER, build_instance
+
+
+@pytest.fixture(scope="module")
+def small_qnn():
+    instance = build_instance("QNN", "S", "i")
+    layout = RegisterLayout(sorted(instance.program.qvars()))
+    state = DensityState.zero_state(layout)
+    binding = ParameterBinding(
+        {parameter: 0.3 for parameter in instance.program.parameters()}
+    )
+    observable = pauli_observable("Z" * len(layout.names))
+    return instance, state, binding, observable
+
+
+def test_benchmark_denotational_evaluation(benchmark, small_qnn):
+    instance, state, binding, _ = small_qnn
+    output = benchmark(lambda: denote(instance.program, state, binding))
+    assert output.trace() <= 1.0 + 1e-9
+
+
+def test_benchmark_exact_derivative_readout(benchmark, small_qnn):
+    instance, state, binding, observable = small_qnn
+    program_set = differentiate_and_compile(instance.program, SHARED_PARAMETER)
+    value = benchmark(lambda: program_set.evaluate(observable, state, binding))
+    assert np.isfinite(value)
+
+
+def test_benchmark_sampled_derivative_readout(benchmark, small_qnn):
+    instance, state, binding, observable = small_qnn
+    program_set = differentiate_and_compile(instance.program, SHARED_PARAMETER)
+    rng = np.random.default_rng(0)
+    exact = program_set.evaluate(observable, state, binding)
+    estimate = benchmark.pedantic(
+        lambda: program_set.evaluate_sampled(
+            observable, state, binding, precision=0.3, rng=rng
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert abs(estimate - exact) < 0.5

@@ -1,0 +1,57 @@
+"""Table 3 (Appendix F) — compiler output on all twenty-four benchmark instances.
+
+The appendix table extends Table 2 with the small-scale instances and their
+basic/shared variants.  The per-instance benchmarks time the code
+transformation + compilation pipeline at small scale (the medium/large
+instances are timed by the Table 2 benchmark); one further benchmark times
+the whole 24-row table computation, which also asserts the resource bound on
+every row and registers the complete reproduced table for printing at the
+end of the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.resources import derivative_program_count, occurrence_count
+from repro.vqc.generators import build_instance, table3_suite
+
+from benchmarks.conftest import PAPER_TABLE3, format_table, measured_row, register_report
+
+SMALL_SPECS = [
+    (family, "S", variant)
+    for family in ("QNN", "VQE", "QAOA")
+    for variant in ("b", "s", "i", "w")
+]
+
+
+@pytest.mark.parametrize("family,scale,variant", SMALL_SPECS)
+def test_table3_small_instance_row(benchmark, family, scale, variant):
+    instance = build_instance(family, scale, variant)
+    count = benchmark(
+        lambda: derivative_program_count(instance.program, instance.shared_parameter)
+    )
+    oc = occurrence_count(instance.program, instance.shared_parameter)
+    assert count <= oc
+    if variant == "b":
+        assert oc == 1 and count == 1
+    if variant == "s":
+        assert oc > 1 and count == oc
+    if variant == "w":
+        assert count < oc
+
+
+def test_table3_full_suite_rows(benchmark):
+    """Compute every Table 3 row, check the bound, and register the table."""
+
+    def compute_rows():
+        return {instance.label: measured_row(instance) for instance in table3_suite()}
+
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    for label, row in rows.items():
+        assert row[1] <= row[0], f"{label}: |#∂θ1| exceeds OC"
+        assert row[5] == PAPER_TABLE3[label][5], f"{label}: qubit count differs from the paper"
+    register_report(
+        "Table 3 — compiler output on all benchmark instances (measured/paper)",
+        format_table(rows, PAPER_TABLE3),
+    )

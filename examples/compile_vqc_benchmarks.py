@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Reproduce Tables 2 and 3: run the differentiation compiler on the VQC benchmark suite.
+
+For every benchmark instance (QNN / VQE / QAOA at small / medium / large
+scale, with basic / shared / if / while variants) the script
+
+1. builds the program with the generators of Appendix F.2,
+2. applies the code transformation ``∂/∂θ₁`` and the additive-program
+   compiler,
+3. reports the occurrence count ``OC``, the number of non-aborting compiled
+   programs ``|#∂/∂θ₁|``, and the static size metrics (#gates, #lines,
+   #layers, #qubits),
+
+and prints the resulting table next to the values the paper reports.
+
+Run with::
+
+    python examples/compile_vqc_benchmarks.py             # Table 2 (medium/large)
+    python examples/compile_vqc_benchmarks.py --table 3   # Table 3 (all 24 instances)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis.resources import analyze_program
+from repro.vqc.generators import table2_suite, table3_suite
+
+PAPER = {
+    "QNN_S,b": (1, 1, 20), "QNN_S,s": (5, 5, 20), "QNN_S,i": (10, 10, 60), "QNN_S,w": (15, 10, 60),
+    "QNN_M,i": (24, 24, 165), "QNN_M,w": (56, 24, 231), "QNN_L,i": (48, 48, 363), "QNN_L,w": (504, 48, 2079),
+    "VQE_S,b": (1, 1, 14), "VQE_S,s": (2, 2, 14), "VQE_S,i": (4, 4, 28), "VQE_S,w": (6, 4, 42),
+    "VQE_M,i": (15, 15, 224), "VQE_M,w": (35, 15, 224), "VQE_L,i": (40, 40, 576), "VQE_L,w": (248, 40, 1984),
+    "QAOA_S,b": (1, 1, 12), "QAOA_S,s": (3, 3, 12), "QAOA_S,i": (6, 6, 36), "QAOA_S,w": (9, 6, 36),
+    "QAOA_M,i": (18, 18, 120), "QAOA_M,w": (42, 18, 168), "QAOA_L,i": (36, 36, 264), "QAOA_L,w": (378, 36, 1512),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", type=int, choices=(2, 3), default=2)
+    args = parser.parse_args()
+
+    instances = table2_suite() if args.table == 2 else table3_suite()
+    header = (
+        f"{'instance':10s} {'OC':>5s} {'(p)':>5s} {'|#∂θ1|':>7s} {'(p)':>5s} "
+        f"{'#gates':>7s} {'(p)':>6s} {'#lines':>7s} {'#layers':>8s} {'#qb':>4s} {'time':>8s}"
+    )
+    print(f"Table {args.table} — differentiation compiler output (measured vs paper '(p)')")
+    print(header)
+    print("-" * len(header))
+    for instance in instances:
+        start = time.perf_counter()
+        report = analyze_program(
+            instance.program,
+            instance.shared_parameter,
+            name=instance.label,
+            layer_count=instance.declared_layers,
+        )
+        elapsed = time.perf_counter() - start
+        paper_oc, paper_count, paper_gates = PAPER[instance.label]
+        print(
+            f"{instance.label:10s} {report.occurrence_count:5d} {paper_oc:5d} "
+            f"{report.derivative_program_count:7d} {paper_count:5d} "
+            f"{report.gate_count:7d} {paper_gates:6d} {report.line_count:7d} "
+            f"{report.layer_count:8d} {report.qubit_count:4d} {elapsed:7.2f}s"
+        )
+        assert report.satisfies_bound(), "Proposition 7.2 violated!"
+    print(
+        "\nEvery row satisfies |#∂/∂θ1| ≤ OC (Proposition 7.2); the while variants are the\n"
+        "rows where the inequality is strict, because differentiating the unrolled bounded\n"
+        "loop produces essentially aborting programs that the compiler optimizes away."
+    )
+
+
+if __name__ == "__main__":
+    main()

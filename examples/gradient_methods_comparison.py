@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Compare gradient methods: the paper's gadget, the phase-shift rule, finite differences.
+
+On a plain circuit every method agrees; the comparison shows
+
+* the numerical agreement of the three methods,
+* the per-parameter resource cost (programs to run, extra ancillae),
+* the shot-based estimate converging to the exact value as the precision
+  target tightens (the O(m²/δ²) execution scheme of Section 7),
+
+and then repeats the exercise on a program *with controls*, where only the
+paper's scheme still applies.
+
+Run with::
+
+    python examples/gradient_methods_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang import Parameter, ParameterBinding
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, rz, seq
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.autodiff.execution import differentiate_and_compile
+from repro.baselines.comparison import scheme_costs
+from repro.baselines.finite_diff import finite_difference_derivative
+from repro.baselines.phase_shift import phase_shift_derivative
+from repro.errors import TransformError
+
+
+def report(program, parameter, observable, state, binding, *, title):
+    print(f"\n=== {title} ===")
+    program_set = differentiate_and_compile(program, parameter)
+    exact = program_set.evaluate(observable, state, binding)
+    numeric = finite_difference_derivative(program, parameter, observable, state, binding)
+    print(f"  gadget pipeline (exact)   : {exact:+.6f}")
+    print(f"  finite differences        : {numeric:+.6f}")
+    try:
+        shifted = phase_shift_derivative(program, parameter, observable, state, binding)
+        print(f"  phase-shift rule          : {shifted:+.6f}")
+    except TransformError as error:
+        print(f"  phase-shift rule          : not applicable ({error})")
+
+    costs = scheme_costs(program, parameter)
+    gadget, shift = costs["gadget"], costs["phase_shift"]
+    shift_text = (
+        f"{shift.programs_per_parameter} circuits" if shift.applicable else "not applicable"
+    )
+    print(
+        f"  cost per gradient entry   : gadget {gadget.programs_per_parameter} program(s) "
+        f"+ 1 ancilla, phase-shift {shift_text}"
+    )
+
+    rng = np.random.default_rng(1)
+    print("  shot-based estimates (Section 7 execution scheme):")
+    for precision in (0.2, 0.1, 0.05):
+        estimate = program_set.evaluate_sampled(
+            observable, state, binding, precision=precision, rng=rng
+        )
+        print(f"    δ = {precision:4.2f} → {estimate:+.6f}   (|error| = {abs(estimate - exact):.4f})")
+
+
+def main() -> None:
+    theta, phi = Parameter("theta"), Parameter("phi")
+    layout = RegisterLayout(["q1", "q2"])
+    state = DensityState.basis_state(layout, {"q1": 0, "q2": 1})
+    observable = pauli_observable("ZZ")
+    binding = ParameterBinding({theta: 0.9, phi: -0.3})
+
+    circuit = seq([rx(theta, "q1"), ry(phi, "q2"), rxx(theta, "q1", "q2"), rz(0.2, "q2")])
+    report(circuit, theta, observable, state, binding, title="Plain circuit (both schemes apply)")
+
+    controlled = seq(
+        [
+            rx(theta, "q1"),
+            case_on_qubit("q1", {0: ry(theta, "q2"), 1: seq([rz(theta, "q2"), rx(phi, "q2")])}),
+        ]
+    )
+    report(
+        controlled,
+        theta,
+        observable,
+        state,
+        binding,
+        title="Program with a measurement-controlled branch (only the gadget scheme applies)",
+    )
+
+
+if __name__ == "__main__":
+    main()

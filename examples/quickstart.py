@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: differentiate a small quantum program with controls.
+
+The script walks through the library's whole pipeline on a two-qubit
+program containing a measurement-controlled branch — exactly the kind of
+program existing circuit-only auto-differentiation cannot handle:
+
+1. build the program (rotations, a coupling, and a ``case`` statement);
+2. evaluate its observable semantics ``tr(O[[P(θ*)]]ρ)``;
+3. apply the code-transformation rules to obtain the additive derivative
+   program, compile it into a multiset of normal programs, and inspect it;
+4. evaluate the derivative exactly and with the shot-based estimator, and
+   cross-check against finite differences.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang import Parameter, ParameterBinding, pretty_print
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, seq
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.observable import observable_semantics
+from repro.autodiff.execution import differentiate_and_compile, estimate_derivative_expectation
+from repro.analysis.resources import occurrence_count
+from repro.baselines.finite_diff import finite_difference_derivative
+
+
+def main() -> None:
+    theta = Parameter("theta")
+    phi = Parameter("phi")
+
+    # 1. A parameterized program with a measurement-controlled branch.
+    program = seq(
+        [
+            rx(theta, "q1"),
+            rxx(phi, "q1", "q2"),
+            case_on_qubit("q1", {0: ry(theta, "q2"), 1: rx(theta, "q2")}),
+        ]
+    )
+    print("Program P(θ):")
+    print(pretty_print(program))
+    print()
+
+    # 2. Observable semantics at a concrete parameter point.
+    layout = RegisterLayout(["q1", "q2"])
+    state = DensityState.basis_state(layout, {"q1": 0, "q2": 1})
+    observable = pauli_observable("ZZ")
+    binding = ParameterBinding({theta: 0.7, phi: -0.4})
+    value = observable_semantics(program, observable, state, binding)
+    print(f"Observable semantics  tr(O[[P(θ*)]]ρ) = {value:+.6f}")
+
+    # 3. Differentiate: transform (Figure 4) and compile (Figure 3).
+    program_set = differentiate_and_compile(program, theta)
+    print(f"\nDerivative w.r.t. {theta}:")
+    print(f"  ancilla qubit          : {program_set.ancilla}")
+    print(f"  occurrence count OC    : {occurrence_count(program, theta)}")
+    print(f"  non-aborting programs  : {program_set.nonaborting_count}")
+    for index, compiled in enumerate(program_set.nonaborting_programs()):
+        print(f"\n  --- compiled derivative program #{index + 1} ---")
+        print("  " + pretty_print(compiled).replace("\n", "\n  "))
+
+    # 4. Evaluate the derivative three ways.
+    exact = program_set.evaluate(observable, state, binding)
+    sampled = estimate_derivative_expectation(
+        program, theta, observable, state, binding, precision=0.05,
+        rng=np.random.default_rng(0),
+    )
+    numeric = finite_difference_derivative(program, theta, observable, state, binding)
+    print("\nDerivative of the observable semantics:")
+    print(f"  exact (gadget pipeline)      : {exact:+.6f}")
+    print(f"  shot-based estimate (δ=0.05) : {sampled:+.6f}")
+    print(f"  finite differences           : {numeric:+.6f}")
+
+
+if __name__ == "__main__":
+    main()

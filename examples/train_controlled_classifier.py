@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Reproduce the Figure 6 case study: training a VQC with controls (Section 8.1).
+
+Trains the two 4-qubit classifiers of the paper on the boolean labelling
+``f(z) = ¬(z1 ⊕ z4)``:
+
+* ``P1(Θ, Φ) = Q(Θ); Q(Φ)`` — no control flow, 24 parameters;
+* ``P2(Θ, Φ, Ψ) = Q(Θ); case M[q1] = 0 → Q(Φ), 1 → Q(Ψ) end`` — one
+  measurement-controlled branch, 36 parameters.
+
+Gradients are computed with the paper's differentiation pipeline (transform,
+compile, run each derivative program with the ancilla observable).  The
+expected outcome, as in the paper: P1's loss plateaus (50 % accuracy), P2's
+loss keeps decreasing to (near) zero and classifies perfectly.
+
+Run with::
+
+    python examples/train_controlled_classifier.py --epochs 60
+
+An ASCII rendering of the two loss curves is printed at the end; pass
+``--loss nll`` to train with the average negative log-likelihood, the loss
+the paper mentions but could not use with PennyLane.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.vqc.classifier import build_p1, build_p2
+from repro.vqc.datasets import paper_dataset
+from repro.vqc.training import GradientDescentTrainer, TrainingConfig
+
+
+def ascii_curve(values, width: int = 60, height: int = 12) -> str:
+    """Render a loss curve as a crude ASCII plot (epochs on x, loss on y)."""
+    if len(values) > width:
+        stride = max(1, len(values) // width)
+        values = values[::stride]
+    top = max(values)
+    bottom = min(values)
+    span = (top - bottom) or 1.0
+    rows = []
+    for row in range(height, -1, -1):
+        threshold = bottom + span * row / height
+        line = "".join("*" if value >= threshold else " " for value in values)
+        rows.append(f"{threshold:8.3f} |{line}")
+    rows.append(" " * 9 + "+" + "-" * len(values))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=60, help="training epochs per classifier")
+    parser.add_argument("--learning-rate", type=float, default=0.5)
+    parser.add_argument("--loss", choices=("squared", "nll"), default="squared")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = paper_dataset()
+    config = TrainingConfig(
+        epochs=args.epochs,
+        learning_rate=args.learning_rate,
+        loss=args.loss,
+        seed=args.seed,
+        record_accuracy=True,
+    )
+
+    results = {}
+    for classifier in (build_p1(), build_p2()):
+        print(f"Training {classifier.name} ({len(classifier.parameters)} parameters) ...")
+        trainer = GradientDescentTrainer(classifier, config)
+        result = trainer.train(dataset)
+        results[classifier.name] = result
+        print(
+            f"  final loss {result.final_loss:.4f}, best loss {result.best_loss:.4f}, "
+            f"final accuracy {result.accuracies[-1]:.2f}"
+        )
+
+    print("\nLoss curves (cf. Figure 6 of the paper):")
+    for name, result in results.items():
+        print(f"\n{name}")
+        print(ascii_curve(result.losses))
+
+    p1 = results["P1 (no control)"]
+    p2 = results["P2 (with control)"]
+    print("\nSummary")
+    print(f"  P1 (no control)  : loss plateaus at {p1.final_loss:.3f}, accuracy {p1.accuracies[-1]:.2f}")
+    print(f"  P2 (with control): loss reaches    {p2.final_loss:.3f}, accuracy {p2.accuracies[-1]:.2f}")
+    print(
+        "  As in the paper, the classifier with measurement-controlled branching learns the\n"
+        "  labelling while the plain circuit of the same per-run gate count cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

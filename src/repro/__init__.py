@@ -1,0 +1,57 @@
+"""repro — a Python reproduction of *On the Principles of Differentiable
+Quantum Programming Languages* (Zhu, Hung, Chakrabarti, Wu; PLDI 2020).
+
+The package implements the paper end to end:
+
+* :mod:`repro.linalg` and :mod:`repro.sim` — the quantum math and the exact
+  simulator the semantics run on;
+* :mod:`repro.lang` — the parameterized quantum bounded while-language
+  (AST, parameters, gates, parser, pretty-printer);
+* :mod:`repro.semantics` — operational, denotational, observable and
+  differential semantics;
+* :mod:`repro.additive` — additive programs and their compilation into
+  multisets of normal programs;
+* :mod:`repro.autodiff` — the code-transformation rules, the differentiation
+  logic, and the end-to-end gradient execution scheme;
+* :mod:`repro.analysis` — occurrence counts and the resource bound;
+* :mod:`repro.baselines` — the phase-shift rule and finite differences;
+* :mod:`repro.vqc` — the benchmark VQC program families and the
+  controlled-classifier training case study.
+
+Quick start::
+
+    from repro import autodiff
+    from repro.lang import Parameter, ParameterBinding
+    from repro.lang.builder import rx, ry, seq
+    from repro.linalg.observables import pauli_observable
+    from repro.sim.density import DensityState
+    from repro.sim.hilbert import RegisterLayout
+
+    theta = Parameter("theta")
+    program = seq([rx(theta, "q1"), ry(0.3, "q1")])
+    layout = RegisterLayout(["q1"])
+    state = DensityState.zero_state(layout)
+    binding = ParameterBinding({theta: 0.7})
+    grad = autodiff.derivative_expectation(
+        program, theta, pauli_observable("Z"), state, binding
+    )
+"""
+
+from repro import additive, analysis, autodiff, baselines, lang, linalg, semantics, sim, vqc
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "additive",
+    "analysis",
+    "autodiff",
+    "baselines",
+    "lang",
+    "linalg",
+    "semantics",
+    "sim",
+    "vqc",
+    "ReproError",
+    "__version__",
+]

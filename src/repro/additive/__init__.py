@@ -1,0 +1,34 @@
+"""Additive parameterized quantum bounded while-programs (Section 4).
+
+The additive choice ``P₁ + P₂`` is the succinct intermediate representation
+the paper introduces for the *collection* of programs produced by
+differentiation: because of the no-cloning theorem the sub-programs of a
+derivative cannot share one copy of the input state, so the derivative of a
+composition is a set of programs rather than a single one.
+
+* :mod:`repro.additive.essential_abort` — Definition 3.2 ("essentially
+  aborts"), the predicate compilation uses to prune trivial programs;
+* :mod:`repro.additive.compile` — the compilation rules of Figure 3
+  (including the fill-and-break procedure for ``case``) turning an additive
+  program into a multiset of normal programs;
+* :mod:`repro.additive.semantics` — the multiset denotational semantics of
+  Definition 4.1 and the consistency statement of Proposition 4.2.
+"""
+
+from repro.additive.essential_abort import essentially_aborts
+from repro.additive.compile import compile_additive, nonaborting_count, canonical_abort
+from repro.additive.semantics import (
+    additive_terminal_states,
+    compiled_terminal_states,
+    check_compilation_consistency,
+)
+
+__all__ = [
+    "essentially_aborts",
+    "compile_additive",
+    "nonaborting_count",
+    "canonical_abort",
+    "additive_terminal_states",
+    "compiled_terminal_states",
+    "check_compilation_consistency",
+]

@@ -1,0 +1,158 @@
+"""Compilation of additive programs into multisets of normal programs (Figure 3).
+
+``compile_additive`` turns an additive program ``P(θ)`` into the multiset
+``Compile(P(θ))`` of normal ``q-while(T)`` programs whose executions,
+together, realize the multiset semantics of the additive program
+(Proposition 4.2).  The rules follow Figure 3 of the paper:
+
+* **Atomic** statements compile to themselves.
+* **Sequence** compiles to the pairwise compositions of the operands'
+  compilations, collapsing to ``{|abort|}`` when either side compiles to
+  ``{|abort|}``.
+* **Case** uses the *fill-and-break* procedure: each branch's non-aborting
+  programs are padded with ``abort`` up to the longest branch and the
+  ``case`` is broken into that many normal ``case`` programs.
+* **While** is compiled through its case/sequence macro expansion.
+* **Sum** compiles to the multiset union of the summands' compilations,
+  dropping summands that compile to ``{|abort|}``.
+
+The implementation applies the optimization the paper describes around
+Definition 3.2: a sub-program that is already a *normal* program compiles to
+itself when it does not essentially abort and to the canonical ``abort``
+when it does.  This is semantically identical to running the structural
+rules all the way down (it also keeps bounded while-loops intact instead of
+macro-expanding them), and it is what makes compilation cheap on the large
+benchmark instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+from repro.lang.traversal import unfold_while
+from repro.additive.essential_abort import essentially_aborts
+
+
+def canonical_abort(program: Program) -> Abort:
+    """Return the canonical ``abort[v]`` over the program's accessible variables."""
+    variables = tuple(sorted(program.qvars()))
+    if not variables:
+        raise CompilationError("cannot build an abort statement over an empty variable set")
+    return Abort(variables)
+
+
+def compile_additive(program: Program) -> list[Program]:
+    """Return ``Compile(P(θ))`` as a list (multiset) of normal programs.
+
+    The result is either the singleton ``[abort[v]]`` or a list of programs
+    none of which essentially aborts — the invariant noted in Figure 3's
+    caption.
+    """
+    result = _compile(program)
+    _check_invariant(result)
+    return result
+
+
+def nonaborting_count(program: Program) -> int:
+    """Return ``|#P(θ)|``, the number of compiled programs that do not essentially abort.
+
+    Definition 4.3; for the additive programs produced by differentiation
+    this is the number of distinct quantum programs (and hence of fresh
+    copies of the input state) the execution phase needs.
+    """
+    return sum(1 for compiled in compile_additive(program) if not essentially_aborts(compiled))
+
+
+# -- internal rules --------------------------------------------------------------
+
+
+def _compile(program: Program) -> list[Program]:
+    if not program.is_additive():
+        # Normal-program fast path (see module docstring).
+        if essentially_aborts(program):
+            return [canonical_abort(program)]
+        return [program]
+    if isinstance(program, Sum):
+        return _compile_sum(program)
+    if isinstance(program, Seq):
+        return _compile_seq(program)
+    if isinstance(program, Case):
+        return _compile_case(program)
+    if isinstance(program, While):
+        return _compile(unfold_while(program))
+    if isinstance(program, (Abort, Skip, Init, UnitaryApp)):
+        # Atomic statements are never additive; handled above, kept for clarity.
+        return [program]
+    raise CompilationError(f"unknown program node {type(program).__name__}")
+
+
+def _is_abort_singleton(compiled: list[Program]) -> bool:
+    return len(compiled) == 1 and isinstance(compiled[0], Abort)
+
+
+def _compile_sum(program: Sum) -> list[Program]:
+    left = _compile(program.left)
+    right = _compile(program.right)
+    left_aborts = _is_abort_singleton(left)
+    right_aborts = _is_abort_singleton(right)
+    if left_aborts and right_aborts:
+        return [canonical_abort(program)]
+    if left_aborts:
+        return right
+    if right_aborts:
+        return left
+    return left + right
+
+
+def _compile_seq(program: Seq) -> list[Program]:
+    first = _compile(program.first)
+    second = _compile(program.second)
+    if _is_abort_singleton(first) or _is_abort_singleton(second):
+        return [canonical_abort(program)]
+    return [Seq(a, b) for a in first for b in second]
+
+
+def _compile_case(program: Case) -> list[Program]:
+    """The fill-and-break procedure of Figure 3b."""
+    non_aborting: dict[int, list[Program]] = {}
+    for outcome, branch in program.branches:
+        compiled = _compile(branch)
+        non_aborting[outcome] = [q for q in compiled if not essentially_aborts(q)]
+    width = max(len(programs) for programs in non_aborting.values())
+    if width == 0:
+        return [canonical_abort(program)]
+    filler = canonical_abort(program)
+    padded = {
+        outcome: programs + [filler] * (width - len(programs))
+        for outcome, programs in non_aborting.items()
+    }
+    broken: list[Program] = []
+    for index in range(width):
+        branches = {outcome: padded[outcome][index] for outcome, _ in program.branches}
+        broken.append(Case(program.measurement, program.qubits, branches))
+    return broken
+
+
+def _check_invariant(compiled: list[Program]) -> None:
+    if not compiled:
+        raise CompilationError("compilation produced an empty multiset")
+    if _is_abort_singleton(compiled):
+        return
+    for program in compiled:
+        if program.is_additive():
+            raise CompilationError("compilation left an additive '+' in the output")
+        if essentially_aborts(program):
+            raise CompilationError(
+                "compilation produced an essentially aborting program outside the "
+                "canonical {|abort|} case"
+            )

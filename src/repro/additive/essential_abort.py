@@ -1,0 +1,50 @@
+"""The "essentially aborts" predicate (Definition 3.2).
+
+A program essentially aborts when it is semantically the zero map even
+though it is not syntactically ``abort``:
+
+1. ``abort[q]`` essentially aborts;
+2. ``P₁; P₂`` essentially aborts when either part does;
+3. ``case M[q] = m → P_m end`` essentially aborts when every branch does.
+
+Everything else — ``skip``, initialization, unitaries, bounded while-loops —
+does not essentially abort (a while-loop's 0-branch is ``skip``, so its
+macro expansion never satisfies clause 3).  For additive programs we extend
+the definition in the natural way: ``P₁ + P₂`` essentially aborts when both
+summands do, which is exactly the condition under which Figure 3's Sum rule
+collapses the compilation to ``{|abort|}``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemanticsError
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+
+
+def essentially_aborts(program: Program) -> bool:
+    """Return True when the program essentially aborts (Definition 3.2)."""
+    if isinstance(program, Abort):
+        return True
+    if isinstance(program, (Skip, Init, UnitaryApp)):
+        return False
+    if isinstance(program, Seq):
+        return essentially_aborts(program.first) or essentially_aborts(program.second)
+    if isinstance(program, Case):
+        return all(essentially_aborts(branch) for _, branch in program.branches)
+    if isinstance(program, While):
+        # The macro expansion has skip on the 0-branch, so a bounded loop
+        # never essentially aborts.
+        return False
+    if isinstance(program, Sum):
+        return essentially_aborts(program.left) and essentially_aborts(program.right)
+    raise SemanticsError(f"unknown program node {type(program).__name__}")

@@ -1,0 +1,37 @@
+"""Resource analysis (Section 7) and cross-validation utilities.
+
+* :mod:`repro.analysis.resources` — the occurrence count ``OC_j(P(θ))`` of
+  Definition 7.1, the non-aborting program count ``|#∂P/∂θ_j|``, and the
+  static size metrics (#gates, #lines, #qubits, circuit depth) reported in
+  Tables 2 and 3;
+* :mod:`repro.analysis.verification` — checks of the paper's propositions on
+  concrete programs (Prop. 3.1 operational/denotational agreement,
+  Prop. 4.2 compilation consistency, Prop. 7.2 resource bound), used by the
+  test-suite and the resource-bound benchmark.
+"""
+
+from repro.analysis.resources import (
+    occurrence_count,
+    derivative_program_count,
+    gate_count,
+    qubit_count,
+    circuit_depth,
+    ResourceReport,
+    analyze_program,
+)
+from repro.analysis.verification import (
+    check_resource_bound,
+    check_operational_denotational_agreement,
+)
+
+__all__ = [
+    "occurrence_count",
+    "derivative_program_count",
+    "gate_count",
+    "qubit_count",
+    "circuit_depth",
+    "ResourceReport",
+    "analyze_program",
+    "check_resource_bound",
+    "check_operational_denotational_agreement",
+]

@@ -1,0 +1,40 @@
+"""Cross-validation of the paper's propositions on concrete programs.
+
+These helpers are deliberately *semantic*: they execute programs (or their
+derivatives) and compare independent evaluation paths against each other.
+The unit and property-based tests call them on hand-written and randomly
+generated programs; the resource-bound benchmark calls them on every
+evaluation instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lang.ast import Program
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.semantics.denotational import denote
+from repro.semantics.operational import operational_denotation
+from repro.analysis.resources import derivative_program_count, occurrence_count
+
+
+def check_resource_bound(program: Program, parameter: Parameter) -> bool:
+    """Proposition 7.2: ``|#∂P/∂θ_j| ≤ OC_j(P(θ))``."""
+    return derivative_program_count(program, parameter) <= occurrence_count(program, parameter)
+
+
+def check_operational_denotational_agreement(
+    program: Program,
+    state: DensityState,
+    binding: ParameterBinding | None = None,
+    *,
+    atol: float = 1e-8,
+) -> bool:
+    """Proposition 3.1: the summed terminal multiset equals the denotational output.
+
+    Applies to normal (non-additive) programs.
+    """
+    operational = operational_denotation(program, state, binding)
+    denotational = denote(program, state, binding)
+    return bool(np.allclose(operational.matrix, denotational.matrix, atol=atol))

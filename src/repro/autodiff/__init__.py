@@ -1,0 +1,71 @@
+"""Differentiation of quantum programs — the paper's primary contribution.
+
+* :mod:`repro.autodiff.gadgets` — the single-circuit differentiation gadget
+  ``R'_σ(θ)`` of Definition 6.1 (Hadamard-conjugated controlled rotation on
+  one ancilla qubit), replacing the two-circuit phase-shift rule;
+* :mod:`repro.autodiff.transform` — the code-transformation rules of
+  Figure 4, mapping a program ``S(θ)`` to the additive program
+  ``∂S/∂θ_j`` over ``v ∪ {A_j}``;
+* :mod:`repro.autodiff.logic` — the differentiation logic of Figure 5 with
+  judgement ``S′(θ) | S(θ)``, derivation construction/checking and a
+  numerical soundness validator (Theorem 6.2);
+* :mod:`repro.autodiff.execution` — the end-to-end execution scheme of
+  Section 7: transform, compile, run every compiled program with the
+  ancilla observable ``Z_A ⊗ O``, exactly or with Chernoff-bounded shots.
+"""
+
+from repro.autodiff.gadgets import (
+    rotation_prime,
+    coupling_prime,
+    differentiation_gadget,
+    ANCILLA_OBSERVABLE,
+)
+from repro.autodiff.transform import (
+    differentiate,
+    ancilla_name_for,
+    DifferentiationContext,
+)
+from repro.autodiff.logic import (
+    Judgement,
+    Derivation,
+    derive,
+    check_derivation,
+    validate_soundness,
+)
+from repro.autodiff.execution import (
+    DerivativeProgramSet,
+    differentiate_and_compile,
+    expectation,
+    derivative_expectation,
+    gradient,
+    estimate_derivative_expectation,
+)
+from repro.autodiff.higher_order import (
+    eliminate_controlled_rotations,
+    iterated_derivative,
+    higher_order_derivative_expectation,
+)
+
+__all__ = [
+    "rotation_prime",
+    "coupling_prime",
+    "differentiation_gadget",
+    "ANCILLA_OBSERVABLE",
+    "differentiate",
+    "ancilla_name_for",
+    "DifferentiationContext",
+    "Judgement",
+    "Derivation",
+    "derive",
+    "check_derivation",
+    "validate_soundness",
+    "DerivativeProgramSet",
+    "differentiate_and_compile",
+    "expectation",
+    "derivative_expectation",
+    "gradient",
+    "estimate_derivative_expectation",
+    "eliminate_controlled_rotations",
+    "iterated_derivative",
+    "higher_order_derivative_expectation",
+]

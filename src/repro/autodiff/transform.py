@@ -1,0 +1,154 @@
+"""The code-transformation rules ``∂/∂θ_j(·)`` of Figure 4.
+
+``differentiate(S, θ_j)`` maps an additive program ``S(θ)`` over variables
+``v`` to the additive program ``∂S/∂θ_j`` over ``v ∪ {A_j}``, where ``A_j``
+is a fresh one-qubit ancilla.  The rules:
+
+* **Trivial** — ``abort``, ``skip``, ``q := |0⟩`` and unitaries that do not
+  use θ_j transform to ``abort[v ∪ {A}]`` (their observable semantics does
+  not depend on θ_j, so the derivative program contributes nothing);
+* **1-qb / 2-qb** — a rotation/coupling using θ_j transforms to the gadget
+  ``R'``/``R'_{σ⊗σ}`` of Definition 6.1;
+* **Sequence** — the quantum product rule
+  ``∂(S₁;S₂) = (S₁; ∂S₂) + (∂S₁; S₂)``, expressed with the additive choice
+  because no-cloning forbids running both summands on one copy of the state;
+* **Case** — differentiate each branch under the same guard;
+* **While(T)** — differentiate the case/sequence macro expansion
+  (Eq. 3.1 / the ``Seq_T`` program of Appendix D);
+* **S-C** — ``∂(S₁+S₂) = ∂S₁ + ∂S₂``.
+
+The transformation itself never needs the parameter's numeric value; it is a
+purely syntactic compile-time step, exactly as in classical source-to-source
+automatic differentiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import TransformError
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+from repro.lang.parameters import Parameter
+from repro.lang.traversal import unfold_while
+from repro.lang.gates import Coupling, Rotation
+from repro.autodiff.gadgets import differentiation_gadget
+
+
+def ancilla_name_for(program: Program, parameter: Parameter) -> str:
+    """Return a fresh ancilla variable name ``A_{j}`` for differentiating ``program``.
+
+    The name embeds the parameter so that ancillae of different partial
+    derivatives never collide; a numeric suffix is appended in the unlikely
+    event that the program already uses the name (e.g. iterated
+    differentiation with respect to the same parameter).
+    """
+    used = program.qvars()
+    base = f"anc_{parameter.name}"
+    if base not in used:
+        return base
+    counter = 1
+    while f"{base}_{counter}" in used:
+        counter += 1
+    return f"{base}_{counter}"
+
+
+@dataclass(frozen=True)
+class DifferentiationContext:
+    """Everything fixed during one application of ``∂/∂θ_j``.
+
+    ``variables`` is the full variable set ``v`` of the root program, used
+    to build the canonical ``abort[v ∪ {A}]`` of the trivial rules;
+    ``ancilla`` is the fresh control qubit ``A_j``.
+    """
+
+    parameter: Parameter
+    ancilla: str
+    variables: tuple[str, ...]
+
+    def trivial_abort(self) -> Abort:
+        """The ``abort[v ∪ {A}]`` statement used by the Trivial rules."""
+        return Abort(tuple(sorted(set(self.variables) | {self.ancilla})))
+
+
+def differentiate(
+    program: Program,
+    parameter: Parameter,
+    *,
+    ancilla: str | None = None,
+    variables: Iterable[str] | None = None,
+) -> Program:
+    """Apply the code-transformation rules of Figure 4: return ``∂ program / ∂ parameter``.
+
+    Parameters
+    ----------
+    program:
+        A normal or additive program ``S(θ)``.
+    parameter:
+        The parameter θ_j to differentiate with respect to.
+    ancilla:
+        Name of the ancilla qubit ``A_j``; a fresh one is chosen by default.
+    variables:
+        The variable universe ``v``; defaults to ``qVar(program)``.  Passing
+        a larger universe only changes the variable annotation of the
+        ``abort`` statements produced by the trivial rules.
+    """
+    variable_set = tuple(sorted(set(variables) if variables is not None else program.qvars()))
+    ancilla = ancilla if ancilla is not None else ancilla_name_for(program, parameter)
+    if ancilla in variable_set:
+        raise TransformError(
+            f"ancilla {ancilla!r} collides with a program variable; choose a fresh name"
+        )
+    context = DifferentiationContext(parameter, ancilla, variable_set)
+    return _transform(program, context)
+
+
+def _transform(program: Program, context: DifferentiationContext) -> Program:
+    if isinstance(program, (Abort, Skip, Init)):
+        # (Trivial): these statements do not depend on any parameter.
+        return context.trivial_abort()
+    if isinstance(program, UnitaryApp):
+        return _transform_unitary(program, context)
+    if isinstance(program, Seq):
+        # (Sequence): ∂(S1; S2) ≡ (S1; ∂S2) + (∂S1; S2).
+        first_kept = Seq(program.first, _transform(program.second, context))
+        second_kept = Seq(_transform(program.first, context), program.second)
+        return Sum(first_kept, second_kept)
+    if isinstance(program, Case):
+        # (Case): differentiate every branch under the same guard.
+        return Case(
+            program.measurement,
+            program.qubits,
+            [(outcome, _transform(branch, context)) for outcome, branch in program.branches],
+        )
+    if isinstance(program, While):
+        # (While(T)): differentiate the case/sequence macro expansion.
+        return _transform(unfold_while(program), context)
+    if isinstance(program, Sum):
+        # (S-C): ∂ distributes over the additive choice.
+        return Sum(_transform(program.left, context), _transform(program.right, context))
+    raise TransformError(f"unknown program node {type(program).__name__}")
+
+
+def _transform_unitary(statement: UnitaryApp, context: DifferentiationContext) -> Program:
+    gate = statement.gate
+    if not gate.uses(context.parameter):
+        # (Trivial-U): the gate only trivially uses θ_j.
+        return context.trivial_abort()
+    if isinstance(gate, (Rotation, Coupling)):
+        # (1-qb) / (2-qb): replace the rotation by the R' gadget.
+        return differentiation_gadget(statement, context.ancilla)
+    raise TransformError(
+        f"gate {gate.display()} depends on parameter {context.parameter.name!r} but is not "
+        "a Pauli rotation or coupling; Figure 4 has no rule for it"
+    )

@@ -1,0 +1,32 @@
+"""Baseline gradient methods the paper compares against.
+
+* :mod:`repro.baselines.phase_shift` — the two-circuit parameter-shift
+  ("phase-shift") rule of Schuld et al. / PennyLane, which applies to
+  *circuit* programs (no controls); it is the prior art the paper's
+  single-circuit gadget improves on and the baseline for the no-control arm
+  of the Figure 6 case study;
+* :mod:`repro.baselines.finite_diff` — central finite differences on the
+  observable semantics, used as a method-agnostic numerical reference;
+* :mod:`repro.baselines.comparison` — per-parameter circuit/program counts
+  of the competing schemes (the resource argument of Sections 1 and 6).
+"""
+
+from repro.baselines.phase_shift import phase_shift_derivative, phase_shift_gradient
+from repro.baselines.finite_diff import finite_difference_derivative, finite_difference_gradient
+from repro.baselines.comparison import (
+    SchemeCost,
+    scheme_costs,
+    phase_shift_circuit_count,
+    gadget_program_count,
+)
+
+__all__ = [
+    "phase_shift_derivative",
+    "phase_shift_gradient",
+    "finite_difference_derivative",
+    "finite_difference_gradient",
+    "SchemeCost",
+    "scheme_costs",
+    "phase_shift_circuit_count",
+    "gadget_program_count",
+]

@@ -1,0 +1,66 @@
+"""Per-parameter resource comparison between differentiation schemes.
+
+Sections 1 and 6 of the paper argue that the single-ancilla gadget needs one
+quantum program per parameter occurrence (and, after compilation and abort
+pruning, often fewer), whereas the phase-shift rule needs two circuits per
+occurrence and cannot handle control flow at all.  The helpers here make
+that comparison concrete for any given program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.ast import Program
+from repro.lang.parameters import Parameter
+from repro.lang.traversal import is_circuit
+from repro.analysis.resources import derivative_program_count, occurrence_count
+
+
+def phase_shift_circuit_count(program: Program, parameter: Parameter) -> int | None:
+    """Circuits per gradient entry for the phase-shift rule: ``2 · OC_j``.
+
+    Returns ``None`` when the program is not a circuit (the rule does not
+    apply to programs with controls).
+    """
+    if not is_circuit(program):
+        return None
+    return 2 * occurrence_count(program, parameter)
+
+
+def gadget_program_count(program: Program, parameter: Parameter) -> int:
+    """Programs per gradient entry for the paper's scheme: ``|#∂P/∂θ_j|``."""
+    return derivative_program_count(program, parameter)
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Resource profile of one differentiation scheme on one program/parameter."""
+
+    scheme: str
+    programs_per_parameter: int | None
+    extra_ancillas: int
+    supports_controls: bool
+
+    @property
+    def applicable(self) -> bool:
+        """Whether the scheme can differentiate the program at all."""
+        return self.programs_per_parameter is not None
+
+
+def scheme_costs(program: Program, parameter: Parameter) -> dict[str, SchemeCost]:
+    """Compare the paper's gadget scheme with the phase-shift baseline on one program."""
+    gadget = SchemeCost(
+        scheme="single-ancilla gadget (this paper)",
+        programs_per_parameter=gadget_program_count(program, parameter),
+        extra_ancillas=1,
+        supports_controls=True,
+    )
+    shift_count = phase_shift_circuit_count(program, parameter)
+    phase_shift = SchemeCost(
+        scheme="phase-shift rule (Schuld et al. / PennyLane)",
+        programs_per_parameter=shift_count,
+        extra_ancillas=0,
+        supports_controls=False,
+    )
+    return {"gadget": gadget, "phase_shift": phase_shift}

@@ -1,0 +1,125 @@
+"""The two-circuit parameter-shift ("phase-shift") rule (Schuld et al. 2019).
+
+For a circuit whose parameterized gates are Pauli rotations/couplings
+``R_σ(θ)`` with ``σ² = I``, the derivative of the expectation with respect
+to one *occurrence* of θ is
+
+    ∂/∂θ f(θ) = ½ ( f(θ + π/2) − f(θ − π/2) ),
+
+evaluated by running two shifted copies of the circuit.  When a parameter
+occurs in several gates, the rule is applied per occurrence and the
+contributions are summed — ``2 · OC_j(P)`` circuit executions in total,
+versus the ``≤ OC_j(P)`` single-ancilla programs of the paper's gadget.
+
+This baseline mirrors what PennyLane implements for quantum nodes and, like
+PennyLane, it is restricted to *circuit* programs: measurement-controlled
+branching (``case``/``while``) is outside its domain, which is exactly the
+limitation the Section 8.1 case study exercises.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TransformError
+from repro.lang.ast import Program, Seq, Skip, UnitaryApp
+from repro.lang.gates import Coupling, Rotation
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.lang.traversal import is_circuit
+from repro.linalg.observables import Observable
+from repro.sim.density import DensityState
+from repro.semantics.observable import observable_semantics
+
+
+def _require_circuit(program: Program) -> None:
+    if not is_circuit(program):
+        raise TransformError(
+            "the parameter-shift baseline only applies to circuit programs "
+            "(no case/while/init/abort); use repro.autodiff for programs with controls"
+        )
+
+
+def _shift_occurrence(program: Program, occurrence: int, parameter: Parameter, shifted_value: float):
+    """Return a copy of the circuit in which only the ``occurrence``-th use of the
+    parameter is replaced by the fixed angle ``shifted_value``.
+
+    Returns ``(new_program, remaining_counter)``; the counter is used by the
+    recursion to locate the occurrence.
+    """
+    if isinstance(program, UnitaryApp):
+        gate = program.gate
+        if isinstance(gate, (Rotation, Coupling)) and gate.uses(parameter):
+            if occurrence == 0:
+                replacement = (
+                    Rotation(gate.axis, shifted_value)
+                    if isinstance(gate, Rotation)
+                    else Coupling(gate.axis, shifted_value)
+                )
+                return UnitaryApp(replacement, program.qubits), -1
+            return program, occurrence - 1
+        if gate.uses(parameter):
+            raise TransformError(
+                f"gate {gate.display()} uses the parameter but is not a rotation/coupling; "
+                "the parameter-shift rule does not apply"
+            )
+        return program, occurrence
+    if isinstance(program, Seq):
+        first, occurrence = _shift_occurrence(program.first, occurrence, parameter, shifted_value)
+        if occurrence < 0:
+            return Seq(first, program.second), -1
+        second, occurrence = _shift_occurrence(program.second, occurrence, parameter, shifted_value)
+        return Seq(first, second), occurrence
+    if isinstance(program, Skip):
+        return program, occurrence
+    raise TransformError(f"unexpected node {type(program).__name__} in a circuit program")
+
+
+def _occurrences(program: Program, parameter: Parameter) -> int:
+    if isinstance(program, UnitaryApp):
+        return 1 if program.gate.uses(parameter) else 0
+    if isinstance(program, Seq):
+        return _occurrences(program.first, parameter) + _occurrences(program.second, parameter)
+    return 0
+
+
+def phase_shift_derivative(
+    program: Program,
+    parameter: Parameter,
+    observable: Observable | np.ndarray,
+    state: DensityState,
+    binding: ParameterBinding,
+    *,
+    shift: float = math.pi / 2,
+) -> float:
+    """Compute ``∂/∂θ_j tr(O[[P(θ)]]ρ)`` with the two-circuit parameter-shift rule."""
+    _require_circuit(program)
+    total = 0.0
+    count = _occurrences(program, parameter)
+    theta = binding[parameter]
+    for occurrence in range(count):
+        plus_program, _ = _shift_occurrence(program, occurrence, parameter, theta + shift)
+        minus_program, _ = _shift_occurrence(program, occurrence, parameter, theta - shift)
+        plus = observable_semantics(plus_program, observable, state, binding)
+        minus = observable_semantics(minus_program, observable, state, binding)
+        total += 0.5 * (plus - minus)
+    return total
+
+
+def phase_shift_gradient(
+    program: Program,
+    parameters: Sequence[Parameter],
+    observable: Observable | np.ndarray,
+    state: DensityState,
+    binding: ParameterBinding,
+) -> np.ndarray:
+    """Gradient over several parameters using the parameter-shift rule."""
+    return np.array(
+        [
+            phase_shift_derivative(program, parameter, observable, state, binding)
+            for parameter in parameters
+        ],
+        dtype=float,
+    )

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the public API derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class LinalgError(ReproError):
+    """A quantum linear-algebra object failed validation.
+
+    Raised, for example, when a matrix claimed to be unitary is not, when a
+    density operator has negative eigenvalues, or when a measurement is not
+    complete.
+    """
+
+
+class DimensionMismatchError(LinalgError):
+    """Two objects that must share a dimension do not."""
+
+
+class ProgramSyntaxError(ReproError):
+    """A program AST or surface-syntax string is malformed."""
+
+
+class ParseError(ProgramSyntaxError):
+    """The surface-syntax parser could not parse its input."""
+
+
+class WellFormednessError(ProgramSyntaxError):
+    """A structurally valid AST violates a static well-formedness rule.
+
+    Examples: a gate applied to a number of qubits different from its arity,
+    a ``case`` statement whose measurement has a different number of outcomes
+    than branches, a normal (non-additive) program containing a ``+`` node.
+    """
+
+
+class ParameterError(ReproError):
+    """A parameter binding is missing, duplicated, or otherwise invalid."""
+
+
+class SemanticsError(ReproError):
+    """A semantic evaluator was used outside its domain of definition."""
+
+
+class TransformError(ReproError):
+    """The differentiation transformation cannot be applied.
+
+    Raised when a program contains a parameterized gate that depends on the
+    differentiation parameter but is not one of the supported rotation or
+    coupling gates (the paper's code-transformation rules cover exactly that
+    gate family).
+    """
+
+
+class CompilationError(ReproError):
+    """The additive-program compiler reached an invalid state."""
+
+
+class LogicError(ReproError):
+    """A differentiation-logic derivation is invalid."""
+
+
+class TrainingError(ReproError):
+    """A variational training loop was configured incorrectly."""

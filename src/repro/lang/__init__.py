@@ -1,0 +1,125 @@
+"""The parameterized quantum bounded while-language (paper Section 3).
+
+This package defines
+
+* classical parameters and parameter bindings (θ and θ*),
+* the gate language — fixed gates, single-qubit Pauli rotations ``R_σ(θ)``,
+  two-qubit couplings ``R_{σ⊗σ}(θ)``, and the controlled rotations used by
+  the differentiation gadget,
+* the abstract syntax of ``q-while(T)`` programs (abort, skip,
+  initialization, unitary application, sequencing, case, bounded while) plus
+  the additive choice ``P₁ + P₂`` of Section 4,
+* static analyses: accessible variables ``qVar`` (Appendix B.1) and
+  well-formedness checking,
+* a pretty-printer and a parser for a concrete surface syntax, used both for
+  human inspection and for the "#lines" resource metric of the evaluation.
+"""
+
+from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
+from repro.lang.gates import (
+    Gate,
+    FixedGate,
+    Rotation,
+    Coupling,
+    ControlledRotation,
+    ControlledCoupling,
+    hadamard,
+    pauli_x,
+    pauli_y,
+    pauli_z,
+    cnot,
+    cz,
+    swap,
+)
+from repro.lang.ast import (
+    Program,
+    Abort,
+    Skip,
+    Init,
+    UnitaryApp,
+    Seq,
+    Case,
+    While,
+    Sum,
+)
+from repro.lang.builder import (
+    seq,
+    sum_programs,
+    apply_gate,
+    rx,
+    ry,
+    rz,
+    rxx,
+    ryy,
+    rzz,
+    case_on_qubit,
+    bounded_while_on_qubit,
+)
+from repro.lang.qvar import qvar
+from repro.lang.wellformed import (
+    check_well_formed,
+    assert_normal_program,
+    is_additive_program,
+)
+from repro.lang.pretty import pretty_print, line_count
+from repro.lang.parser import parse_program
+from repro.lang.traversal import (
+    children,
+    map_program,
+    iter_subprograms,
+    iter_gate_applications,
+    program_size,
+    unfold_while,
+)
+
+__all__ = [
+    "Parameter",
+    "ParameterBinding",
+    "ParameterVector",
+    "Gate",
+    "FixedGate",
+    "Rotation",
+    "Coupling",
+    "ControlledRotation",
+    "ControlledCoupling",
+    "hadamard",
+    "pauli_x",
+    "pauli_y",
+    "pauli_z",
+    "cnot",
+    "cz",
+    "swap",
+    "Program",
+    "Abort",
+    "Skip",
+    "Init",
+    "UnitaryApp",
+    "Seq",
+    "Case",
+    "While",
+    "Sum",
+    "seq",
+    "sum_programs",
+    "apply_gate",
+    "rx",
+    "ry",
+    "rz",
+    "rxx",
+    "ryy",
+    "rzz",
+    "case_on_qubit",
+    "bounded_while_on_qubit",
+    "qvar",
+    "check_well_formed",
+    "assert_normal_program",
+    "is_additive_program",
+    "pretty_print",
+    "line_count",
+    "parse_program",
+    "children",
+    "map_program",
+    "iter_subprograms",
+    "iter_gate_applications",
+    "program_size",
+    "unfold_while",
+]

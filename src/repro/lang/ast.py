@@ -1,0 +1,282 @@
+"""Abstract syntax of parameterized quantum bounded while-programs.
+
+The node set follows the grammar of Section 3.1::
+
+    P(θ) ::= abort[q] | skip[q] | q := |0⟩ | q := U(θ)[q]
+           | P₁(θ); P₂(θ)
+           | case M[q] = m → P_m(θ) end
+           | while(T) M[q] = 1 do P₁(θ) done
+
+plus the additive choice ``P₁(θ) + P₂(θ)`` of Section 4.  A *normal* program
+is one that contains no :class:`Sum` node; an *additive* program may contain
+them.  The same node classes serve both languages — the paper's additive
+language is a strict superset — and :func:`repro.lang.wellformed.
+assert_normal_program` enforces the distinction where it matters.
+
+All nodes are immutable; program transformations build new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator, Sequence
+
+from repro.errors import WellFormednessError
+from repro.lang.gates import Gate
+from repro.lang.parameters import Parameter
+from repro.linalg.measurement import Measurement
+
+
+class Program:
+    """Base class of all program AST nodes."""
+
+    def qvars(self) -> frozenset[str]:
+        """Return qVar(P), the set of quantum variables accessible to the program.
+
+        Follows the recursive definition of Appendix B.1.
+        """
+        raise NotImplementedError
+
+    def parameters(self) -> frozenset[Parameter]:
+        """Return every symbolic parameter occurring in the program."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Program", ...]:
+        """Return the immediate sub-programs of this node."""
+        return ()
+
+    def is_additive(self) -> bool:
+        """Return True when the program contains at least one ``+`` node."""
+        return any(child.is_additive() for child in self.children())
+
+    def __str__(self) -> str:
+        from repro.lang.pretty import pretty_print
+
+        return pretty_print(self)
+
+
+@dataclass(frozen=True)
+class Abort(Program):
+    """``abort[q]`` — terminate, producing the zero partial density operator."""
+
+    qubits: tuple[str, ...]
+
+    def __init__(self, qubits: Sequence[str]):
+        object.__setattr__(self, "qubits", _normalize_qubits(qubits))
+
+    def qvars(self) -> frozenset[str]:
+        return frozenset(self.qubits)
+
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Skip(Program):
+    """``skip[q]`` — do nothing."""
+
+    qubits: tuple[str, ...]
+
+    def __init__(self, qubits: Sequence[str]):
+        object.__setattr__(self, "qubits", _normalize_qubits(qubits))
+
+    def qvars(self) -> frozenset[str]:
+        return frozenset(self.qubits)
+
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Init(Program):
+    """``q := |0⟩`` — reset one quantum variable to the basis state ``|0⟩``."""
+
+    qubit: str
+
+    def __init__(self, qubit: str):
+        if not qubit:
+            raise WellFormednessError("initialization requires a variable name")
+        object.__setattr__(self, "qubit", str(qubit))
+
+    def qvars(self) -> frozenset[str]:
+        return frozenset({self.qubit})
+
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class UnitaryApp(Program):
+    """``q := U(θ)[q]`` — apply a (possibly parameterized) unitary gate."""
+
+    gate: Gate
+    qubits: tuple[str, ...]
+
+    def __init__(self, gate: Gate, qubits: Sequence[str]):
+        qubits = _normalize_qubits(qubits)
+        if len(qubits) != gate.arity:
+            raise WellFormednessError(
+                f"gate {gate.display()} acts on {gate.arity} qubit(s) "
+                f"but {len(qubits)} were given: {qubits}"
+            )
+        object.__setattr__(self, "gate", gate)
+        object.__setattr__(self, "qubits", qubits)
+
+    def qvars(self) -> frozenset[str]:
+        return frozenset(self.qubits)
+
+    def parameters(self) -> frozenset[Parameter]:
+        return frozenset(self.gate.parameters())
+
+
+@dataclass(frozen=True)
+class Seq(Program):
+    """``P₁(θ); P₂(θ)`` — sequential composition."""
+
+    first: Program
+    second: Program
+
+    def qvars(self) -> frozenset[str]:
+        return self.first.qvars() | self.second.qvars()
+
+    def parameters(self) -> frozenset[Parameter]:
+        return self.first.parameters() | self.second.parameters()
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.first, self.second)
+
+
+@dataclass(frozen=True)
+class Case(Program):
+    """``case M[q] = m → P_m(θ) end`` — measurement-controlled branching.
+
+    ``branches`` associates every outcome of the measurement with the program
+    executed when that outcome is observed.
+    """
+
+    measurement: Measurement
+    qubits: tuple[str, ...]
+    branches: tuple[tuple[int, Program], ...]
+
+    def __init__(
+        self,
+        measurement: Measurement,
+        qubits: Sequence[str],
+        branches: Sequence[tuple[int, Program]] | dict[int, Program],
+    ):
+        qubits = _normalize_qubits(qubits)
+        if isinstance(branches, dict):
+            items = tuple(sorted(branches.items()))
+        else:
+            items = tuple(sorted((int(m), p) for m, p in branches))
+        outcomes = tuple(m for m, _ in items)
+        if len(set(outcomes)) != len(outcomes):
+            raise WellFormednessError(f"duplicate case branches for outcomes {outcomes}")
+        if set(outcomes) != set(measurement.outcomes):
+            raise WellFormednessError(
+                f"case branches {sorted(outcomes)} do not cover the measurement outcomes "
+                f"{sorted(measurement.outcomes)}"
+            )
+        object.__setattr__(self, "measurement", measurement)
+        object.__setattr__(self, "qubits", qubits)
+        object.__setattr__(self, "branches", items)
+
+    def branch(self, outcome: int) -> Program:
+        """Return the program executed for a given measurement outcome."""
+        for m, program in self.branches:
+            if m == outcome:
+                return program
+        raise WellFormednessError(f"no branch for outcome {outcome}")
+
+    def qvars(self) -> frozenset[str]:
+        result = frozenset(self.qubits)
+        for _, program in self.branches:
+            result |= program.qvars()
+        return result
+
+    def parameters(self) -> frozenset[Parameter]:
+        result: frozenset[Parameter] = frozenset()
+        for _, program in self.branches:
+            result |= program.parameters()
+        return result
+
+    def children(self) -> tuple[Program, ...]:
+        return tuple(program for _, program in self.branches)
+
+
+@dataclass(frozen=True)
+class While(Program):
+    """``while(T) M[q] = 1 do P₁(θ) done`` — T-bounded loop.
+
+    The measurement must be two-outcome (0 terminates, 1 runs the body); the
+    loop iterates at most ``bound`` times, aborting if the guard is still 1
+    after the last permitted iteration, exactly as the macro expansion of
+    Eq. (3.1) prescribes.
+    """
+
+    measurement: Measurement
+    qubits: tuple[str, ...]
+    body: Program
+    bound: int
+
+    def __init__(
+        self,
+        measurement: Measurement,
+        qubits: Sequence[str],
+        body: Program,
+        bound: int,
+    ):
+        qubits = _normalize_qubits(qubits)
+        bound = int(bound)
+        if bound < 1:
+            raise WellFormednessError(f"a bounded while needs bound ≥ 1, got {bound}")
+        if set(measurement.outcomes) != {0, 1}:
+            raise WellFormednessError(
+                "the guard measurement of a while loop must have outcomes {0, 1}, "
+                f"got {sorted(measurement.outcomes)}"
+            )
+        object.__setattr__(self, "measurement", measurement)
+        object.__setattr__(self, "qubits", qubits)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "bound", bound)
+
+    def qvars(self) -> frozenset[str]:
+        return frozenset(self.qubits) | self.body.qvars()
+
+    def parameters(self) -> frozenset[Parameter]:
+        return self.body.parameters()
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Sum(Program):
+    """``P₁(θ) + P₂(θ)`` — the additive (either-or) choice of Section 4."""
+
+    left: Program
+    right: Program
+
+    def qvars(self) -> frozenset[str]:
+        return self.left.qvars() | self.right.qvars()
+
+    def parameters(self) -> frozenset[Parameter]:
+        return self.left.parameters() | self.right.parameters()
+
+    def children(self) -> tuple[Program, ...]:
+        return (self.left, self.right)
+
+    def is_additive(self) -> bool:
+        return True
+
+
+def _normalize_qubits(qubits: Sequence[str]) -> tuple[str, ...]:
+    if isinstance(qubits, str):
+        qubits = (qubits,)
+    names = tuple(str(q) for q in qubits)
+    if not names:
+        raise WellFormednessError("a statement must mention at least one quantum variable")
+    if len(set(names)) != len(names):
+        raise WellFormednessError(f"quantum variables must be distinct, got {names}")
+    return names

@@ -1,0 +1,176 @@
+"""Classical parameters θ of parameterized quantum programs (Section 3.1).
+
+A :class:`Parameter` is a named real-valued symbol.  A
+:class:`ParameterVector` is the ordered tuple θ = (θ₁, …, θ_k) over which a
+program is parameterized.  A :class:`ParameterBinding` fixes a point
+θ* ∈ R^k, which is what every semantic evaluator needs in order to produce
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ParameterError
+
+_NAME_ALPHABET = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+def _validate_name(name: str) -> str:
+    if not name:
+        raise ParameterError("parameter names must be non-empty")
+    if not set(name) <= _NAME_ALPHABET:
+        raise ParameterError(
+            f"parameter name {name!r} may only contain letters, digits and underscores"
+        )
+    if name[0].isdigit():
+        raise ParameterError(f"parameter name {name!r} must not start with a digit")
+    return name
+
+
+@dataclass(frozen=True, order=True)
+class Parameter:
+    """A named classical parameter θ_j."""
+
+    name: str
+
+    def __init__(self, name: str):
+        object.__setattr__(self, "name", _validate_name(name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"Parameter({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class ParameterVector:
+    """An ordered vector of distinct parameters, θ = (θ₁, …, θ_k).
+
+    Elements are named ``{prefix}_{index}`` so that they remain valid
+    identifiers in the surface syntax.
+    """
+
+    def __init__(self, prefix: str, length: int):
+        _validate_name(prefix)
+        if length < 1:
+            raise ParameterError("a parameter vector must have positive length")
+        self._prefix = prefix
+        self._parameters = tuple(Parameter(f"{prefix}_{index}") for index in range(length))
+
+    @property
+    def prefix(self) -> str:
+        """The common name prefix of the vector's entries."""
+        return self._prefix
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._parameters[index]
+
+    def __contains__(self, parameter: object) -> bool:
+        return parameter in self._parameters
+
+    def as_tuple(self) -> tuple[Parameter, ...]:
+        """Return the underlying tuple of parameters."""
+        return self._parameters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ParameterVector({self._prefix!r}, {len(self)})"
+
+
+class ParameterBinding(Mapping[Parameter, float]):
+    """An assignment θ* ∈ R^k of values to parameters.
+
+    The binding behaves like an immutable mapping from :class:`Parameter` to
+    ``float``; convenience constructors accept plain string keys.  Derived
+    bindings (``with_value``, ``shifted``) return new objects, matching the
+    functional style of the rest of the library.
+    """
+
+    def __init__(self, values: Mapping[Parameter | str, float] | None = None):
+        resolved: dict[Parameter, float] = {}
+        for key, value in (values or {}).items():
+            parameter = key if isinstance(key, Parameter) else Parameter(str(key))
+            if parameter in resolved:
+                raise ParameterError(f"parameter {parameter.name!r} bound twice")
+            resolved[parameter] = float(value)
+        self._values = resolved
+
+    # -- Mapping protocol ------------------------------------------------------
+
+    def __getitem__(self, key: Parameter | str) -> float:
+        parameter = key if isinstance(key, Parameter) else Parameter(str(key))
+        try:
+            return self._values[parameter]
+        except KeyError:
+            raise ParameterError(f"parameter {parameter.name!r} is not bound") from None
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, str):
+            key = Parameter(key)
+        return key in self._values
+
+    # -- convenience ------------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, parameters: Iterable[Parameter]) -> "ParameterBinding":
+        """Bind every parameter to zero."""
+        return cls({parameter: 0.0 for parameter in parameters})
+
+    @classmethod
+    def from_values(
+        cls, parameters: Iterable[Parameter], values: Iterable[float]
+    ) -> "ParameterBinding":
+        """Zip a sequence of parameters with a sequence of values."""
+        parameters = list(parameters)
+        values = [float(v) for v in values]
+        if len(parameters) != len(values):
+            raise ParameterError(
+                f"{len(parameters)} parameters but {len(values)} values provided"
+            )
+        return cls(dict(zip(parameters, values)))
+
+    def value(self, parameter: Parameter | str) -> float:
+        """Return the value bound to a parameter (same as indexing)."""
+        return self[parameter]
+
+    def with_value(self, parameter: Parameter | str, value: float) -> "ParameterBinding":
+        """Return a new binding with one parameter (re)bound."""
+        parameter = parameter if isinstance(parameter, Parameter) else Parameter(str(parameter))
+        merged = dict(self._values)
+        merged[parameter] = float(value)
+        return ParameterBinding(merged)
+
+    def shifted(self, parameter: Parameter | str, delta: float) -> "ParameterBinding":
+        """Return a new binding with one parameter shifted by ``delta``.
+
+        The parameter-shift baselines and the finite-difference checks both
+        evaluate the observable semantics at shifted points θ* ± s e_j.
+        """
+        return self.with_value(parameter, self[parameter] + float(delta))
+
+    def merged(self, other: "ParameterBinding") -> "ParameterBinding":
+        """Return the union of two bindings; ``other`` wins on conflicts."""
+        merged = dict(self._values)
+        merged.update(other._values)
+        return ParameterBinding(merged)
+
+    def to_dict(self) -> dict[str, float]:
+        """Return a plain ``{name: value}`` dictionary."""
+        return {parameter.name: value for parameter, value in self._values.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        inner = ", ".join(f"{p.name}={v:.4g}" for p, v in sorted(self._values.items()))
+        return f"ParameterBinding({inner})"

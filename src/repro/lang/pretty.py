@@ -1,0 +1,123 @@
+"""Pretty-printer for the concrete surface syntax.
+
+The printer produces one statement per line with two-space indentation.  Its
+output is accepted by :mod:`repro.lang.parser`, and the number of non-empty
+lines it produces is the "#lines" metric reported in the evaluation tables
+(Tables 2 and 3 of the paper measure the code length of the OCaml input
+programs in the same spirit).
+
+Concrete syntax summary::
+
+    abort[q1, q2]
+    skip[q1]
+    q1 := |0>
+    q1 := RX(theta_0)[q1]
+    q1, q2 := RXX(theta_1)[q1, q2]
+    case M[q1] =
+      0 -> {
+        ...
+      }
+      1 -> {
+        ...
+      }
+    end
+    while(2) M[q1] = 1 do
+      ...
+    done
+    {
+      ...
+    } + {
+      ...
+    }
+
+Sequencing separates statements with ``;`` at the end of every statement but
+the last in a block.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+
+_INDENT = "  "
+
+
+def pretty_print(program: Program) -> str:
+    """Return the concrete-syntax text of a program."""
+    return "\n".join(_lines(program, 0))
+
+
+def line_count(program: Program) -> int:
+    """Return the number of non-empty lines of the pretty-printed program.
+
+    This is the "#lines" resource metric used in the evaluation tables.
+    """
+    return sum(1 for line in _lines(program, 0) if line.strip())
+
+
+def _lines(program: Program, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(program, Seq):
+        statements = _flatten_seq(program)
+        lines: list[str] = []
+        for index, statement in enumerate(statements):
+            chunk = _lines(statement, depth)
+            if index < len(statements) - 1:
+                chunk = chunk[:-1] + [chunk[-1] + ";"]
+            lines.extend(chunk)
+        return lines
+    if isinstance(program, Abort):
+        return [f"{pad}abort[{', '.join(program.qubits)}]"]
+    if isinstance(program, Skip):
+        return [f"{pad}skip[{', '.join(program.qubits)}]"]
+    if isinstance(program, Init):
+        return [f"{pad}{program.qubit} := |0>"]
+    if isinstance(program, UnitaryApp):
+        qubits = ", ".join(program.qubits)
+        return [f"{pad}{qubits} := {program.gate.display()}[{qubits}]"]
+    if isinstance(program, Case):
+        lines = [f"{pad}case {program.measurement.name}[{', '.join(program.qubits)}] ="]
+        for outcome, branch in program.branches:
+            lines.append(f"{pad}{_INDENT}{outcome} -> {{")
+            lines.extend(_lines(branch, depth + 2))
+            lines.append(f"{pad}{_INDENT}}}")
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(program, While):
+        guard = f"{program.measurement.name}[{', '.join(program.qubits)}]"
+        lines = [f"{pad}while({program.bound}) {guard} = 1 do"]
+        lines.extend(_lines(program.body, depth + 1))
+        lines.append(f"{pad}done")
+        return lines
+    if isinstance(program, Sum):
+        summands = _flatten_sum(program)
+        lines = [f"{pad}{{"]
+        for index, summand in enumerate(summands):
+            lines.extend(_lines(summand, depth + 1))
+            if index < len(summands) - 1:
+                lines.append(f"{pad}}} + {{")
+        lines.append(f"{pad}}}")
+        return lines
+    raise WellFormednessError(f"cannot pretty-print node {type(program).__name__}")
+
+
+def _flatten_seq(program: Program) -> list[Program]:
+    if isinstance(program, Seq):
+        return _flatten_seq(program.first) + _flatten_seq(program.second)
+    return [program]
+
+
+def _flatten_sum(program: Program) -> list[Program]:
+    if isinstance(program, Sum):
+        return _flatten_sum(program.left) + _flatten_sum(program.right)
+    return [program]

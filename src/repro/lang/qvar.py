@@ -1,0 +1,35 @@
+"""The ``qVar`` analysis (Appendix B.1).
+
+``qVar(P)`` is the set of quantum variables accessible to ``P``.  The AST
+nodes already compute it recursively; this module exposes the analysis as a
+standalone function (so it can be called on any node uniformly) and adds the
+convention used throughout the paper's proofs: when two programs are
+composed, the smaller one is implicitly identified with ``I ⊗ P`` on the
+variables it does not access.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Program
+
+
+def qvar(program: Program) -> frozenset[str]:
+    """Return qVar(P), the set of quantum variables accessible to the program."""
+    return program.qvars()
+
+
+def shared_variables(first: Program, second: Program) -> frozenset[str]:
+    """Return the variables accessible to both programs."""
+    return qvar(first) & qvar(second)
+
+
+def combined_variables(*programs: Program) -> frozenset[str]:
+    """Return the union of the variable sets of several programs.
+
+    This is the register on which a composed program (or a compiled multiset
+    of programs) must be simulated.
+    """
+    result: frozenset[str] = frozenset()
+    for program in programs:
+        result |= qvar(program)
+    return result

@@ -1,0 +1,185 @@
+"""Generic AST traversals and structural transformations.
+
+Utilities shared by the semantics, the resource analysis, and the
+differentiation transformation: iterating over sub-programs, rebuilding
+trees bottom-up, counting nodes, and expanding bounded while-loops into
+their case/sequence macro form (Eq. 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import WellFormednessError
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+
+
+def children(program: Program) -> tuple[Program, ...]:
+    """Return the immediate sub-programs of a node."""
+    return program.children()
+
+
+def iter_subprograms(program: Program) -> Iterator[Program]:
+    """Yield the program and every sub-program, in pre-order."""
+    yield program
+    for child in program.children():
+        yield from iter_subprograms(child)
+
+
+def iter_gate_applications(program: Program) -> Iterator[UnitaryApp]:
+    """Yield every unitary statement in the program, in pre-order.
+
+    Loop bodies are yielded once (not ``bound`` times); the resource
+    analysis multiplies by the bound separately when counting gates.
+    """
+    for node in iter_subprograms(program):
+        if isinstance(node, UnitaryApp):
+            yield node
+
+
+def program_size(program: Program) -> int:
+    """Return the number of AST nodes in the program."""
+    return sum(1 for _ in iter_subprograms(program))
+
+
+def map_program(program: Program, transform: Callable[[Program], Program]) -> Program:
+    """Rebuild the tree bottom-up, applying ``transform`` to every rebuilt node.
+
+    ``transform`` receives a node whose children have already been
+    transformed and returns its replacement (possibly the node itself).
+    """
+    if isinstance(program, (Abort, Skip, Init, UnitaryApp)):
+        rebuilt: Program = program
+    elif isinstance(program, Seq):
+        rebuilt = Seq(map_program(program.first, transform), map_program(program.second, transform))
+    elif isinstance(program, Sum):
+        rebuilt = Sum(map_program(program.left, transform), map_program(program.right, transform))
+    elif isinstance(program, Case):
+        rebuilt = Case(
+            program.measurement,
+            program.qubits,
+            [(m, map_program(p, transform)) for m, p in program.branches],
+        )
+    elif isinstance(program, While):
+        rebuilt = While(
+            program.measurement,
+            program.qubits,
+            map_program(program.body, transform),
+            program.bound,
+        )
+    else:
+        raise WellFormednessError(f"unknown program node {type(program).__name__}")
+    return transform(rebuilt)
+
+
+def unfold_while(loop: While) -> Case:
+    """Expand one level of a bounded while-loop into its macro form (Eq. 3.1).
+
+    * ``while(1) M[q]=1 do P done  ≡  case M[q] = 0 → skip, 1 → P; abort end``
+    * ``while(T) M[q]=1 do P done  ≡  case M[q] = 0 → skip, 1 → P; while(T−1) end``
+    """
+    qubits = loop.qubits
+    all_vars = tuple(sorted(loop.qvars()))
+    if loop.bound == 1:
+        continuation: Program = Seq(loop.body, Abort(all_vars))
+    else:
+        continuation = Seq(
+            loop.body,
+            While(loop.measurement, loop.qubits, loop.body, loop.bound - 1),
+        )
+    return Case(
+        loop.measurement,
+        qubits,
+        {0: Skip(qubits), 1: continuation},
+    )
+
+
+def fully_unfold_whiles(program: Program) -> Program:
+    """Recursively replace every bounded while-loop by its full macro expansion.
+
+    The result contains no :class:`While` node; it is semantically equal to
+    the input and is used by analyses that only handle the core constructs.
+    """
+
+    def expand(node: Program) -> Program:
+        if isinstance(node, While):
+            # The freshly built Case still contains a While with a smaller
+            # bound; keep expanding until none remain.
+            return fully_unfold_whiles(unfold_while(node))
+        return node
+
+    return map_program(program, expand)
+
+
+def reassociate(program: Program) -> Program:
+    """Normalize the association of ``;`` and ``+`` chains to the left.
+
+    Sequencing and the additive choice are associative; the concrete syntax
+    does not record how a chain was nested, so the parser always rebuilds
+    chains left-associatively.  ``reassociate`` puts an arbitrary AST into
+    that canonical form, which makes ``parse(pretty(P)) == reassociate(P)``
+    an exact identity.
+    """
+
+    def flatten(node: Program, node_type) -> list[Program]:
+        if isinstance(node, node_type):
+            left, right = node.children()
+            return flatten(left, node_type) + flatten(right, node_type)
+        return [reassociate(node)]
+
+    if isinstance(program, Seq):
+        parts = flatten(program, Seq)
+        result = parts[0]
+        for part in parts[1:]:
+            result = Seq(result, part)
+        return result
+    if isinstance(program, Sum):
+        parts = flatten(program, Sum)
+        result = parts[0]
+        for part in parts[1:]:
+            result = Sum(result, part)
+        return result
+    if isinstance(program, Case):
+        return Case(
+            program.measurement,
+            program.qubits,
+            [(m, reassociate(p)) for m, p in program.branches],
+        )
+    if isinstance(program, While):
+        return While(program.measurement, program.qubits, reassociate(program.body), program.bound)
+    return program
+
+
+def contains_while(program: Program) -> bool:
+    """Return True when the program contains a bounded while-loop."""
+    return any(isinstance(node, While) for node in iter_subprograms(program))
+
+
+def contains_case(program: Program) -> bool:
+    """Return True when the program contains a case statement (or a while loop)."""
+    return any(isinstance(node, (Case, While)) for node in iter_subprograms(program))
+
+
+def is_circuit(program: Program) -> bool:
+    """Return True when the program is a pure circuit.
+
+    A circuit in the paper's sense contains only unitary applications,
+    ``skip`` and sequencing — no measurement-controlled branching, no loops,
+    no initialization, no abort and no additive choice.  The parameter-shift
+    baseline of :mod:`repro.baselines.phase_shift` applies exactly to this
+    fragment.
+    """
+    for node in iter_subprograms(program):
+        if isinstance(node, (Case, While, Sum, Abort, Init)):
+            return False
+    return True

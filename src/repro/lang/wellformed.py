@@ -1,0 +1,94 @@
+"""Static well-formedness checking of programs.
+
+The AST constructors already reject the most local errors (wrong gate arity,
+duplicate branches, ...).  The checks here are the global ones that need the
+whole tree or knowledge of which language — normal ``q-while(T)`` or
+additive ``add-q-while(T)`` — the program is supposed to live in:
+
+* every measurement guard acts on as many qubits as it measures and is
+  complete (``Σ M_m†M_m = I``),
+* branch programs of a ``case`` only touch declared variables when a
+  variable universe is supplied,
+* a *normal* program contains no additive ``+`` node.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import WellFormednessError
+from repro.lang.ast import Case, Program, Sum, UnitaryApp, While
+from repro.lang.traversal import iter_subprograms
+
+
+def is_additive_program(program: Program) -> bool:
+    """Return True when the program uses the additive choice ``+`` anywhere."""
+    return program.is_additive()
+
+
+def assert_normal_program(program: Program) -> Program:
+    """Raise unless the program is a normal (non-additive) ``q-while(T)`` program."""
+    if is_additive_program(program):
+        raise WellFormednessError(
+            "expected a normal q-while program but the additive choice '+' occurs in it"
+        )
+    return program
+
+
+def check_well_formed(
+    program: Program,
+    *,
+    variables: Iterable[str] | None = None,
+    allow_additive: bool = True,
+    require_complete_measurements: bool = True,
+) -> Program:
+    """Validate a program, returning it unchanged on success.
+
+    Parameters
+    ----------
+    variables:
+        Optional universe of allowed variable names; when given, any access
+        to a variable outside the universe is an error.
+    allow_additive:
+        When False, reject programs containing ``+``.
+    require_complete_measurements:
+        When True (default), every guard measurement must satisfy the
+        completeness relation.
+    """
+    if not allow_additive:
+        assert_normal_program(program)
+    universe = frozenset(variables) if variables is not None else None
+    if universe is not None:
+        extra = program.qvars() - universe
+        if extra:
+            raise WellFormednessError(
+                f"program accesses variables {sorted(extra)} outside the declared set "
+                f"{sorted(universe)}"
+            )
+    for node in iter_subprograms(program):
+        if isinstance(node, (Case, While)):
+            _check_guard(node, require_complete_measurements)
+        if isinstance(node, UnitaryApp) and len(node.qubits) != node.gate.arity:
+            raise WellFormednessError(
+                f"gate {node.gate.display()} applied to {len(node.qubits)} qubits"
+            )
+    return program
+
+
+def _check_guard(node: Case | While, require_complete: bool) -> None:
+    measurement = node.measurement
+    expected_qubits = measurement.num_qubits()
+    if len(node.qubits) != expected_qubits:
+        raise WellFormednessError(
+            f"measurement {measurement.name!r} acts on {expected_qubits} qubit(s) "
+            f"but the guard lists {len(node.qubits)}: {node.qubits}"
+        )
+    if require_complete and not measurement.is_complete():
+        raise WellFormednessError(
+            f"guard measurement {measurement.name!r} is not complete (Σ M†M ≠ I)"
+        )
+
+
+def declared_parameters(program: Program) -> tuple:
+    """Return the program's parameters as a sorted tuple (stable across runs)."""
+    return tuple(sorted(program.parameters(), key=lambda p: p.name))

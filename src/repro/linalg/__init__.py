@@ -1,0 +1,153 @@
+"""Quantum linear-algebra substrate.
+
+This package implements the mathematical preliminaries of Section 2 and
+Appendix A of the paper: pure and mixed states, unitary operators and common
+gates, superoperators in Kraus form together with their
+Schrödinger–Heisenberg duals, quantum measurements, and observables.
+
+Everything is expressed with dense NumPy arrays; the library targets the
+small- to medium-sized systems used in the paper's evaluation, where exact
+simulation is the intended execution model.
+"""
+
+from repro.linalg.states import (
+    ket,
+    bra,
+    basis_state,
+    computational_basis,
+    zero,
+    one,
+    plus,
+    minus,
+    bell_state,
+    density,
+    pure_density,
+    mixed_density,
+    is_density_operator,
+    is_partial_density_operator,
+    purity,
+    fidelity,
+    trace_distance,
+    random_pure_state,
+    random_density_operator,
+)
+from repro.linalg.operators import (
+    dagger,
+    is_hermitian,
+    is_unitary,
+    is_positive_semidefinite,
+    loewner_leq,
+    commutator,
+    anticommutator,
+    partial_trace,
+    operator_norm,
+    frobenius_inner,
+    kron_all,
+)
+from repro.linalg.gates import (
+    IDENTITY,
+    PAULI_X,
+    PAULI_Y,
+    PAULI_Z,
+    HADAMARD,
+    S_GATE,
+    T_GATE,
+    CNOT,
+    CZ,
+    SWAP,
+    pauli,
+    rotation_matrix,
+    coupling_matrix,
+    controlled,
+    controlled_rotation_matrix,
+    controlled_coupling_matrix,
+    rotation_generator,
+)
+from repro.linalg.superop import (
+    Superoperator,
+    unitary_channel,
+    identity_channel,
+    zero_channel,
+    initialization_channel,
+    measurement_branch_channel,
+)
+from repro.linalg.measurement import (
+    Measurement,
+    computational_measurement,
+    projective_measurement_from_observable,
+)
+from repro.linalg.observables import (
+    Observable,
+    pauli_observable,
+    projector_observable,
+    diagonal_observable,
+)
+
+__all__ = [
+    # states
+    "ket",
+    "bra",
+    "basis_state",
+    "computational_basis",
+    "zero",
+    "one",
+    "plus",
+    "minus",
+    "bell_state",
+    "density",
+    "pure_density",
+    "mixed_density",
+    "is_density_operator",
+    "is_partial_density_operator",
+    "purity",
+    "fidelity",
+    "trace_distance",
+    "random_pure_state",
+    "random_density_operator",
+    # operators
+    "dagger",
+    "is_hermitian",
+    "is_unitary",
+    "is_positive_semidefinite",
+    "loewner_leq",
+    "commutator",
+    "anticommutator",
+    "partial_trace",
+    "operator_norm",
+    "frobenius_inner",
+    "kron_all",
+    # gates
+    "IDENTITY",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "HADAMARD",
+    "S_GATE",
+    "T_GATE",
+    "CNOT",
+    "CZ",
+    "SWAP",
+    "pauli",
+    "rotation_matrix",
+    "coupling_matrix",
+    "controlled",
+    "controlled_rotation_matrix",
+    "controlled_coupling_matrix",
+    "rotation_generator",
+    # superoperators
+    "Superoperator",
+    "unitary_channel",
+    "identity_channel",
+    "zero_channel",
+    "initialization_channel",
+    "measurement_branch_channel",
+    # measurements
+    "Measurement",
+    "computational_measurement",
+    "projective_measurement_from_observable",
+    # observables
+    "Observable",
+    "pauli_observable",
+    "projector_observable",
+    "diagonal_observable",
+]

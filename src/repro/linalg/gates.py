@@ -1,0 +1,135 @@
+"""Concrete gate matrices (paper Sections 2.2, 3.1, and Definition 6.1).
+
+The module provides the fixed gates used throughout the paper (Pauli
+matrices, Hadamard, CNOT, ...), the classically parameterized single-qubit
+rotations ``R_σ(θ) = exp(−iθσ/2)``, the two-qubit coupling gates
+``R_{σ⊗σ}(θ) = exp(−iθ σ⊗σ/2)``, and the controlled rotations
+``C_R_σ(θ) = |0⟩⟨0| ⊗ R_σ(θ) + |1⟩⟨1| ⊗ R_σ(θ+π)`` that appear in the
+differentiation gadget ``R'_σ`` of Definition 6.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LinalgError
+
+IDENTITY = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0, 1], [1, 0]], dtype=complex)
+PAULI_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+PAULI_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+HADAMARD = np.array([[1, 1], [1, -1]], dtype=complex) / np.sqrt(2)
+S_GATE = np.array([[1, 0], [0, 1j]], dtype=complex)
+T_GATE = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex)
+CNOT = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+_PAULI_BY_NAME = {"I": IDENTITY, "X": PAULI_X, "Y": PAULI_Y, "Z": PAULI_Z}
+
+#: The rotation axes supported by the paper's code-transformation rules.
+SINGLE_QUBIT_AXES = ("X", "Y", "Z")
+#: The coupling axes supported by the paper's code-transformation rules.
+COUPLING_AXES = ("XX", "YY", "ZZ")
+
+
+def pauli(name: str) -> np.ndarray:
+    """Return the Pauli matrix (or identity) named ``I``, ``X``, ``Y`` or ``Z``."""
+    try:
+        return _PAULI_BY_NAME[name.upper()].copy()
+    except KeyError:
+        raise LinalgError(f"unknown Pauli name {name!r}") from None
+
+
+def rotation_generator(axis: str) -> np.ndarray:
+    """Return the Hermitian generator σ of ``R_σ`` / ``R_{σ⊗σ}`` for ``axis``.
+
+    ``axis`` is one of ``X``, ``Y``, ``Z`` (single qubit) or ``XX``, ``YY``,
+    ``ZZ`` (two-qubit coupling).  All generators square to the identity,
+    which is the property the differentiation gadget relies on (Lemma D.1).
+    """
+    axis = axis.upper()
+    if axis in SINGLE_QUBIT_AXES:
+        return pauli(axis)
+    if axis in COUPLING_AXES:
+        single = pauli(axis[0])
+        return np.kron(single, single)
+    raise LinalgError(f"unknown rotation axis {axis!r}")
+
+
+def rotation_matrix(axis: str, theta: float) -> np.ndarray:
+    """Single-qubit Pauli rotation ``R_σ(θ) = cos(θ/2) I − i sin(θ/2) σ``."""
+    axis = axis.upper()
+    if axis not in SINGLE_QUBIT_AXES:
+        raise LinalgError(f"single-qubit rotation axis must be X, Y or Z, got {axis!r}")
+    sigma = pauli(axis)
+    return np.cos(theta / 2) * IDENTITY - 1j * np.sin(theta / 2) * sigma
+
+
+def coupling_matrix(axis: str, theta: float) -> np.ndarray:
+    """Two-qubit coupling ``R_{σ⊗σ}(θ) = cos(θ/2) I − i sin(θ/2) σ⊗σ``."""
+    axis = axis.upper()
+    if axis not in COUPLING_AXES:
+        raise LinalgError(f"coupling axis must be XX, YY or ZZ, got {axis!r}")
+    sigma2 = rotation_generator(axis)
+    return np.cos(theta / 2) * np.eye(4, dtype=complex) - 1j * np.sin(theta / 2) * sigma2
+
+
+def controlled(unitary: np.ndarray, *, control_value: int = 1) -> np.ndarray:
+    """Return the controlled version of ``unitary`` with a single control qubit.
+
+    The control qubit is the first tensor factor.  When ``control_value`` is
+    one the gate acts as ``|0⟩⟨0|⊗I + |1⟩⟨1|⊗U``; when zero the roles of the
+    control values are swapped.
+    """
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.ndim != 2 or unitary.shape[0] != unitary.shape[1]:
+        raise LinalgError("controlled() requires a square matrix")
+    dim = unitary.shape[0]
+    identity = np.eye(dim, dtype=complex)
+    proj0 = np.array([[1, 0], [0, 0]], dtype=complex)
+    proj1 = np.array([[0, 0], [0, 1]], dtype=complex)
+    if control_value == 1:
+        return np.kron(proj0, identity) + np.kron(proj1, unitary)
+    if control_value == 0:
+        return np.kron(proj0, unitary) + np.kron(proj1, identity)
+    raise LinalgError(f"control_value must be 0 or 1, got {control_value}")
+
+
+def controlled_rotation_matrix(axis: str, theta: float) -> np.ndarray:
+    """The gadget gate ``C_R_σ(θ) = |0⟩⟨0|⊗R_σ(θ) + |1⟩⟨1|⊗R_σ(θ+π)``.
+
+    This is the single extra gate (Definition 6.1, Eq. 6.2) that replaces the
+    two circuits of the phase-shift rule: the ancilla control selects between
+    the original rotation and the rotation shifted by π.
+    """
+    proj0 = np.array([[1, 0], [0, 0]], dtype=complex)
+    proj1 = np.array([[0, 0], [0, 1]], dtype=complex)
+    return np.kron(proj0, rotation_matrix(axis, theta)) + np.kron(
+        proj1, rotation_matrix(axis, theta + np.pi)
+    )
+
+
+def controlled_coupling_matrix(axis: str, theta: float) -> np.ndarray:
+    """The two-qubit analogue ``C_R_{σ⊗σ}(θ)`` of :func:`controlled_rotation_matrix`."""
+    proj0 = np.array([[1, 0], [0, 0]], dtype=complex)
+    proj1 = np.array([[0, 0], [0, 1]], dtype=complex)
+    return np.kron(proj0, coupling_matrix(axis, theta)) + np.kron(
+        proj1, coupling_matrix(axis, theta + np.pi)
+    )

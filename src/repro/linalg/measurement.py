@@ -1,0 +1,198 @@
+"""Quantum measurements ``{M_m}`` (paper Sections 2.3 and A.4).
+
+A measurement is a finite family of linear operators satisfying the
+completeness relation ``Σ_m M_m† M_m = I``.  Measuring a state ρ yields
+outcome ``m`` with probability ``tr(M_m ρ M_m†)``, after which the state
+collapses to ``M_m ρ M_m† / p_m``.  The ``case`` and bounded ``while``
+statements of the language are driven by such measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.superop import Superoperator, measurement_branch_channel
+
+
+@dataclass(frozen=True, eq=False)
+class Measurement:
+    """A quantum measurement given by Kraus operators indexed by outcome labels."""
+
+    operators: tuple[np.ndarray, ...]
+    outcomes: tuple[int, ...]
+    name: str = "M"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Measurement):
+            return NotImplemented
+        if self.outcomes != other.outcomes or self.name != other.name:
+            return False
+        return all(
+            a.shape == b.shape and np.allclose(a, b)
+            for a, b in zip(self.operators, other.operators)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.outcomes, self.operators[0].shape))
+
+    def __init__(
+        self,
+        operators: Iterable[np.ndarray] | Mapping[int, np.ndarray],
+        outcomes: Sequence[int] | None = None,
+        name: str = "M",
+    ):
+        if isinstance(operators, Mapping):
+            if outcomes is not None:
+                raise LinalgError("outcomes must not be passed twice")
+            outcomes = tuple(sorted(operators))
+            matrices = tuple(np.asarray(operators[m], dtype=complex) for m in outcomes)
+        else:
+            matrices = tuple(np.asarray(op, dtype=complex) for op in operators)
+            outcomes = tuple(range(len(matrices))) if outcomes is None else tuple(outcomes)
+        if not matrices:
+            raise LinalgError("a measurement needs at least one operator")
+        if len(matrices) != len(outcomes):
+            raise LinalgError("number of outcomes must match number of operators")
+        if len(set(outcomes)) != len(outcomes):
+            raise LinalgError("measurement outcomes must be distinct")
+        shape = matrices[0].shape
+        for matrix in matrices:
+            if matrix.shape != shape:
+                raise DimensionMismatchError("all measurement operators must share one shape")
+            if matrix.shape[0] != matrix.shape[1]:
+                raise LinalgError("measurement operators must be square")
+        object.__setattr__(self, "operators", matrices)
+        object.__setattr__(self, "outcomes", outcomes)
+        object.__setattr__(self, "name", name)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the measured space."""
+        return self.operators[0].shape[0]
+
+    @property
+    def num_outcomes(self) -> int:
+        """Number of possible measurement outcomes."""
+        return len(self.operators)
+
+    def num_qubits(self) -> int:
+        """Number of qubits the measurement acts on (its dimension must be 2^n)."""
+        n = int(round(np.log2(self.dim)))
+        if 2**n != self.dim:
+            raise LinalgError(f"measurement dimension {self.dim} is not a power of two")
+        return n
+
+    def operator(self, outcome: int) -> np.ndarray:
+        """Return the Kraus operator ``M_m`` associated with ``outcome``."""
+        try:
+            index = self.outcomes.index(outcome)
+        except ValueError:
+            raise LinalgError(f"unknown measurement outcome {outcome}") from None
+        return self.operators[index]
+
+    def branch_channel(self, outcome: int) -> Superoperator:
+        """Return the superoperator ``E_m = M_m · M_m†`` of one branch."""
+        return measurement_branch_channel(self.operator(outcome))
+
+    def is_complete(self, *, atol: float = 1e-8) -> bool:
+        """Return True when ``Σ_m M_m† M_m = I``."""
+        total = np.zeros((self.dim, self.dim), dtype=complex)
+        for matrix in self.operators:
+            total += matrix.conj().T @ matrix
+        return bool(np.allclose(total, np.eye(self.dim), atol=atol))
+
+    def is_projective(self, *, atol: float = 1e-8) -> bool:
+        """Return True when every operator is an orthogonal projector."""
+        for matrix in self.operators:
+            if not np.allclose(matrix @ matrix, matrix, atol=atol):
+                return False
+            if not np.allclose(matrix, matrix.conj().T, atol=atol):
+                return False
+        return True
+
+    # -- statistics ----------------------------------------------------------
+
+    def probabilities(self, rho: np.ndarray) -> dict[int, float]:
+        """Return the outcome distribution on input state ρ."""
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != (self.dim, self.dim):
+            raise DimensionMismatchError("state dimension does not match measurement")
+        result = {}
+        for outcome, matrix in zip(self.outcomes, self.operators):
+            result[outcome] = float(np.real(np.trace(matrix @ rho @ matrix.conj().T)))
+        return result
+
+    def post_measurement_state(self, rho: np.ndarray, outcome: int) -> tuple[float, np.ndarray]:
+        """Return ``(p_m, M_m ρ M_m† / p_m)`` for the given outcome.
+
+        When the outcome has zero probability the (sub-normalized) zero state
+        is returned together with probability zero.
+        """
+        matrix = self.operator(outcome)
+        unnormalized = matrix @ np.asarray(rho, dtype=complex) @ matrix.conj().T
+        probability = float(np.real(np.trace(unnormalized)))
+        if probability <= 1e-15:
+            return 0.0, np.zeros_like(unnormalized)
+        return probability, unnormalized / probability
+
+    def sample(self, rho: np.ndarray, rng: np.random.Generator | None = None) -> int:
+        """Sample one outcome according to the Born rule."""
+        rng = rng if rng is not None else np.random.default_rng()
+        probabilities = self.probabilities(rho)
+        outcomes = list(probabilities)
+        weights = np.clip(np.array([probabilities[m] for m in outcomes]), 0.0, None)
+        total = weights.sum()
+        if total <= 0:
+            raise LinalgError("cannot sample a measurement on the zero state")
+        weights = weights / total
+        return int(rng.choice(outcomes, p=weights))
+
+
+def computational_measurement(num_qubits: int = 1) -> Measurement:
+    """The projective measurement in the computational basis of ``num_qubits`` qubits."""
+    dim = 2**num_qubits
+    operators = []
+    for index in range(dim):
+        projector = np.zeros((dim, dim), dtype=complex)
+        projector[index, index] = 1.0
+        operators.append(projector)
+    return Measurement(tuple(operators), tuple(range(dim)), name=f"M_comp{num_qubits}")
+
+
+def projective_measurement_from_observable(observable: np.ndarray) -> tuple[Measurement, list[float]]:
+    """Spectrally decompose an observable into a projective measurement.
+
+    Returns the measurement whose operators are the eigenprojectors of the
+    observable together with the list of eigenvalues (one per outcome), so
+    that ``tr(Oρ) = Σ_m λ_m tr(M_m ρ M_m†)`` as in Eq. (5.1).
+    """
+    observable = np.asarray(observable, dtype=complex)
+    if not np.allclose(observable, observable.conj().T, atol=1e-8):
+        raise LinalgError("observables must be Hermitian")
+    eigenvalues, eigenvectors = np.linalg.eigh(observable)
+    # Group (numerically) equal eigenvalues into a single projector.
+    groups: list[tuple[float, list[int]]] = []
+    for index, value in enumerate(eigenvalues):
+        for position, (existing, members) in enumerate(groups):
+            if abs(existing - value) < 1e-9:
+                members.append(index)
+                break
+        else:
+            groups.append((float(value), [index]))
+    operators = []
+    values = []
+    for value, members in groups:
+        projector = np.zeros_like(observable)
+        for index in members:
+            vector = eigenvectors[:, index].reshape(-1, 1)
+            projector += vector @ vector.conj().T
+        operators.append(projector)
+        values.append(value)
+    measurement = Measurement(tuple(operators), tuple(range(len(operators))), name="M_spec")
+    return measurement, values

@@ -1,0 +1,116 @@
+"""Observables (paper Section 5, Eq. 5.1–5.2).
+
+An observable is a Hermitian operator ``O``.  Its expectation on a (partial)
+density operator ρ is ``tr(Oρ)``, the quantity whose derivative the entire
+differentiation machinery computes.  The paper normalizes observables to
+``−I ⊑ O ⊑ I`` so that the shot-based estimation analysis of Section 7
+applies; :meth:`Observable.is_bounded` checks that condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.gates import pauli
+from repro.linalg.measurement import Measurement, projective_measurement_from_observable
+from repro.linalg.operators import is_hermitian, kron_all, loewner_leq
+
+
+@dataclass(frozen=True, eq=False)
+class Observable:
+    """A Hermitian operator with an optional human-readable name."""
+
+    matrix: np.ndarray
+    name: str = "O"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Observable):
+            return NotImplemented
+        return self.matrix.shape == other.matrix.shape and bool(
+            np.allclose(self.matrix, other.matrix)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.matrix.shape))
+
+    def __init__(self, matrix: np.ndarray, name: str = "O"):
+        array = np.asarray(matrix, dtype=complex)
+        if not is_hermitian(array):
+            raise LinalgError("observables must be Hermitian")
+        object.__setattr__(self, "matrix", array)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def dim(self) -> int:
+        """Dimension of the space the observable acts on."""
+        return self.matrix.shape[0]
+
+    def num_qubits(self) -> int:
+        """Number of qubits the observable acts on."""
+        n = int(round(np.log2(self.dim)))
+        if 2**n != self.dim:
+            raise LinalgError(f"observable dimension {self.dim} is not a power of two")
+        return n
+
+    def expectation(self, rho: np.ndarray) -> float:
+        """Return ``tr(Oρ)`` for a (partial) density operator ρ."""
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != self.matrix.shape:
+            raise DimensionMismatchError(
+                f"state dimension {rho.shape} does not match observable dimension "
+                f"{self.matrix.shape}"
+            )
+        return float(np.real(np.trace(self.matrix @ rho)))
+
+    def is_bounded(self, *, atol: float = 1e-8) -> bool:
+        """Check the paper's normalization ``−I ⊑ O ⊑ I`` (Eq. 5.2)."""
+        identity = np.eye(self.dim)
+        return loewner_leq(-identity, self.matrix, atol=atol) and loewner_leq(
+            self.matrix, identity, atol=atol
+        )
+
+    def tensor(self, other: "Observable") -> "Observable":
+        """Return the product observable ``self ⊗ other``."""
+        return Observable(np.kron(self.matrix, other.matrix), name=f"{self.name}⊗{other.name}")
+
+    def scaled(self, factor: float) -> "Observable":
+        """Return the observable multiplied by a real factor."""
+        return Observable(self.matrix * float(factor), name=f"{factor}*{self.name}")
+
+    def spectral_measurement(self) -> tuple[Measurement, list[float]]:
+        """Return the projective measurement and eigenvalues realizing the observable."""
+        return projective_measurement_from_observable(self.matrix)
+
+    def spectral_radius(self) -> float:
+        """Return ``max_m |λ_m|``, used to bound shot counts for unnormalized observables."""
+        return float(np.abs(np.linalg.eigvalsh(self.matrix)).max())
+
+
+def pauli_observable(label: str) -> Observable:
+    """Build a tensor-product Pauli observable from a label such as ``"ZIXZ"``."""
+    label = label.upper()
+    if not label:
+        raise LinalgError("a Pauli label must contain at least one letter")
+    matrices = []
+    for letter in label:
+        matrices.append(pauli(letter))
+    return Observable(kron_all(matrices), name=label)
+
+
+def projector_observable(index: int, num_qubits: int, name: str | None = None) -> Observable:
+    """Observable projecting onto a single computational basis state."""
+    dim = 2**num_qubits
+    if not 0 <= index < dim:
+        raise LinalgError(f"basis index {index} out of range for {num_qubits} qubits")
+    matrix = np.zeros((dim, dim), dtype=complex)
+    matrix[index, index] = 1.0
+    return Observable(matrix, name=name or f"|{index}⟩⟨{index}|")
+
+
+def diagonal_observable(values: np.ndarray | list[float], name: str = "diag") -> Observable:
+    """Observable that is diagonal in the computational basis."""
+    diag = np.asarray(values, dtype=float).reshape(-1)
+    return Observable(np.diag(diag.astype(complex)), name=name)

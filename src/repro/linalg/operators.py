@@ -1,0 +1,146 @@
+"""Operator predicates and utilities (paper Section 2.1, Appendix A.1).
+
+Hermitian conjugation, unitarity and Hermiticity checks, the Löwner order
+used to state the observable bound ``−I ⊑ O ⊑ I``, commutators, partial
+traces, and Kronecker-product helpers shared by the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+
+ATOL = 1e-9
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Return the Hermitian conjugate ``A†`` of ``A``."""
+    return np.conj(np.asarray(matrix, dtype=complex)).T
+
+
+def is_hermitian(matrix: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return True when ``A = A†``."""
+    array = np.asarray(matrix, dtype=complex)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        return False
+    return bool(np.allclose(array, array.conj().T, atol=atol))
+
+
+def is_unitary(matrix: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return True when ``U†U = UU† = I``."""
+    array = np.asarray(matrix, dtype=complex)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        return False
+    identity = np.eye(array.shape[0])
+    return bool(
+        np.allclose(array.conj().T @ array, identity, atol=atol)
+        and np.allclose(array @ array.conj().T, identity, atol=atol)
+    )
+
+
+def is_positive_semidefinite(matrix: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return True when ``A`` is Hermitian with non-negative eigenvalues."""
+    if not is_hermitian(matrix, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh(np.asarray(matrix, dtype=complex))
+    return bool(eigenvalues.min() >= -atol)
+
+
+def loewner_leq(a: np.ndarray, b: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """Return True when ``A ⊑ B`` in the Löwner order (``B − A`` is PSD)."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        raise DimensionMismatchError("Löwner comparison requires equal shapes")
+    return is_positive_semidefinite(b - a, atol=atol)
+
+
+def commutator(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return ``[A, B] = AB − BA``."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    return a @ b - b @ a
+
+
+def anticommutator(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return ``{A, B} = AB + BA``."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    return a @ b + b @ a
+
+
+def operator_norm(matrix: np.ndarray) -> float:
+    """Return the spectral norm (largest singular value) of the operator."""
+    return float(np.linalg.norm(np.asarray(matrix, dtype=complex), ord=2))
+
+
+def frobenius_inner(a: np.ndarray, b: np.ndarray) -> complex:
+    """Return the Hilbert–Schmidt inner product ``tr(A† B)``."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape != b.shape:
+        raise DimensionMismatchError("inner product requires equal shapes")
+    return complex(np.trace(a.conj().T @ b))
+
+
+def kron_all(matrices: Sequence[np.ndarray] | Iterable[np.ndarray]) -> np.ndarray:
+    """Return the Kronecker product of all matrices, left to right.
+
+    The empty product is the 1×1 identity, the unit of the tensor product.
+    """
+    result = np.eye(1, dtype=complex)
+    for matrix in matrices:
+        result = np.kron(result, np.asarray(matrix, dtype=complex))
+    return result
+
+
+def partial_trace(
+    matrix: np.ndarray,
+    keep: Sequence[int],
+    dims: Sequence[int],
+) -> np.ndarray:
+    """Trace out all tensor factors not listed in ``keep``.
+
+    ``dims`` lists the dimension of each tensor factor in order; ``keep``
+    lists (in the desired output order) the indices of factors to retain.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    dims = list(dims)
+    total = int(np.prod(dims))
+    if matrix.shape != (total, total):
+        raise DimensionMismatchError(
+            f"operator shape {matrix.shape} does not match factor dims {dims}"
+        )
+    keep = list(keep)
+    if any(not 0 <= k < len(dims) for k in keep):
+        raise LinalgError(f"keep indices {keep} out of range for {len(dims)} factors")
+    if len(set(keep)) != len(keep):
+        raise LinalgError("keep indices must be distinct")
+
+    num_factors = len(dims)
+    reshaped = matrix.reshape(dims + dims)
+    traced = reshaped
+    # Trace out the factors not kept, from the highest index down so that
+    # earlier axis positions stay valid.
+    removed = sorted(set(range(num_factors)) - set(keep), reverse=True)
+    current_dims = list(dims)
+    for factor in removed:
+        axis_row = factor
+        axis_col = factor + len(current_dims)
+        traced = np.trace(traced, axis1=axis_row, axis2=axis_col)
+        current_dims.pop(factor)
+    kept_sorted = sorted(keep)
+    out_dim = int(np.prod([dims[k] for k in kept_sorted])) if kept_sorted else 1
+    result = traced.reshape(out_dim, out_dim)
+    if kept_sorted == keep:
+        return result
+    # Permute the kept factors into the requested order.
+    perm = [kept_sorted.index(k) for k in keep]
+    kept_dims = [dims[k] for k in kept_sorted]
+    tensor = result.reshape(kept_dims + kept_dims)
+    tensor = np.transpose(tensor, perm + [p + len(kept_dims) for p in perm])
+    final_dim = int(np.prod([dims[k] for k in keep]))
+    return tensor.reshape(final_dim, final_dim)

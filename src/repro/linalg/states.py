@@ -1,0 +1,220 @@
+"""Pure states, mixed states, and density operators (paper Section 2.2, A.2).
+
+Pure states are unit column vectors ``|ψ⟩`` represented as one-dimensional
+complex NumPy arrays.  Mixed states are represented by density operators,
+i.e. trace-one positive semidefinite matrices; partial density operators
+(trace at most one) appear as outputs of trace-non-increasing
+superoperators, in particular of programs that may abort.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+
+#: Absolute tolerance used by all validation predicates in this package.
+ATOL = 1e-9
+
+
+def ket(amplitudes: Sequence[complex]) -> np.ndarray:
+    """Build a normalized pure state from a sequence of amplitudes.
+
+    The amplitudes are normalized to unit Euclidean norm.  A zero vector is
+    rejected because it does not represent a physical state.
+    """
+    vector = np.asarray(amplitudes, dtype=complex).reshape(-1)
+    norm = np.linalg.norm(vector)
+    if norm < ATOL:
+        raise LinalgError("cannot normalize the zero vector into a state")
+    return vector / norm
+
+
+def bra(state: np.ndarray) -> np.ndarray:
+    """Return the Hermitian conjugate (row vector) of a pure state."""
+    return np.conj(np.asarray(state, dtype=complex).reshape(-1))
+
+
+def basis_state(index: int, dim: int) -> np.ndarray:
+    """Return the computational basis vector ``|index⟩`` in dimension ``dim``."""
+    if not 0 <= index < dim:
+        raise LinalgError(f"basis index {index} out of range for dimension {dim}")
+    vector = np.zeros(dim, dtype=complex)
+    vector[index] = 1.0
+    return vector
+
+
+def computational_basis(num_qubits: int) -> list[np.ndarray]:
+    """Return the list of all computational basis states on ``num_qubits`` qubits."""
+    dim = 2**num_qubits
+    return [basis_state(i, dim) for i in range(dim)]
+
+
+def zero() -> np.ndarray:
+    """The single-qubit state ``|0⟩``."""
+    return basis_state(0, 2)
+
+
+def one() -> np.ndarray:
+    """The single-qubit state ``|1⟩``."""
+    return basis_state(1, 2)
+
+
+def plus() -> np.ndarray:
+    """The single-qubit state ``|+⟩ = (|0⟩ + |1⟩)/√2``."""
+    return ket([1.0, 1.0])
+
+
+def minus() -> np.ndarray:
+    """The single-qubit state ``|−⟩ = (|0⟩ − |1⟩)/√2``."""
+    return ket([1.0, -1.0])
+
+
+def bell_state(kind: int = 0) -> np.ndarray:
+    """Return one of the four Bell states.
+
+    ``kind`` selects among ``|β00⟩, |β01⟩, |β10⟩, |β11⟩`` in the usual
+    ordering; ``kind=0`` is the EPR state ``(|00⟩ + |11⟩)/√2`` used in the
+    paper's preliminaries.
+    """
+    if kind not in (0, 1, 2, 3):
+        raise LinalgError(f"Bell state index must be in 0..3, got {kind}")
+    x = kind & 1
+    z = (kind >> 1) & 1
+    first = basis_state(0b00 + x, 4)
+    second = basis_state(0b10 + (1 - x), 4)
+    return ket(first + (-1.0) ** z * second)
+
+
+def pure_density(state: np.ndarray) -> np.ndarray:
+    """Return the density operator ``|ψ⟩⟨ψ|`` of a pure state."""
+    vector = np.asarray(state, dtype=complex).reshape(-1)
+    return np.outer(vector, np.conj(vector))
+
+
+def mixed_density(ensemble: Iterable[tuple[float, np.ndarray]]) -> np.ndarray:
+    """Return the density operator of an ensemble ``{(p_i, |ψ_i⟩)}``.
+
+    Probabilities must be non-negative and sum to at most one (sub-normalized
+    ensembles yield partial density operators).
+    """
+    terms = list(ensemble)
+    if not terms:
+        raise LinalgError("an ensemble must contain at least one state")
+    total = 0.0
+    dim = np.asarray(terms[0][1]).reshape(-1).shape[0]
+    rho = np.zeros((dim, dim), dtype=complex)
+    for probability, state in terms:
+        if probability < -ATOL:
+            raise LinalgError(f"ensemble probability {probability} is negative")
+        vector = np.asarray(state, dtype=complex).reshape(-1)
+        if vector.shape[0] != dim:
+            raise DimensionMismatchError(
+                f"ensemble states live in different dimensions ({vector.shape[0]} vs {dim})"
+            )
+        rho += probability * pure_density(vector)
+        total += probability
+    if total > 1.0 + 1e-6:
+        raise LinalgError(f"ensemble probabilities sum to {total} > 1")
+    return rho
+
+
+def density(state_or_matrix: np.ndarray) -> np.ndarray:
+    """Coerce a pure state vector or a density matrix into a density matrix.
+
+    One-dimensional inputs are interpreted as pure states; two-dimensional
+    inputs are validated as (partial) density operators and returned as-is.
+    """
+    array = np.asarray(state_or_matrix, dtype=complex)
+    if array.ndim == 1:
+        return pure_density(array)
+    if array.ndim == 2:
+        if not is_partial_density_operator(array):
+            raise LinalgError("matrix is not a partial density operator")
+        return array
+    raise LinalgError(f"cannot interpret an array of rank {array.ndim} as a state")
+
+
+def is_density_operator(matrix: np.ndarray, *, atol: float = 1e-7) -> bool:
+    """Return True when ``matrix`` is positive semidefinite with unit trace."""
+    return _is_psd_with_trace(matrix, expect_unit_trace=True, atol=atol)
+
+
+def is_partial_density_operator(matrix: np.ndarray, *, atol: float = 1e-7) -> bool:
+    """Return True when ``matrix`` is positive semidefinite with trace at most one."""
+    return _is_psd_with_trace(matrix, expect_unit_trace=False, atol=atol)
+
+
+def _is_psd_with_trace(matrix: np.ndarray, *, expect_unit_trace: bool, atol: float) -> bool:
+    array = np.asarray(matrix, dtype=complex)
+    if array.ndim != 2 or array.shape[0] != array.shape[1]:
+        return False
+    if not np.allclose(array, array.conj().T, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh(array)
+    if eigenvalues.min() < -atol:
+        return False
+    trace = float(np.real(np.trace(array)))
+    if expect_unit_trace:
+        return abs(trace - 1.0) <= atol
+    return trace <= 1.0 + atol
+
+
+def purity(rho: np.ndarray) -> float:
+    """Return ``tr(ρ²)``; equals one exactly for pure states."""
+    rho = np.asarray(rho, dtype=complex)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Uhlmann fidelity ``F(ρ, σ) = (tr√(√ρ σ √ρ))²`` between density operators."""
+    rho = np.asarray(rho, dtype=complex)
+    sigma = np.asarray(sigma, dtype=complex)
+    if rho.shape != sigma.shape:
+        raise DimensionMismatchError("fidelity requires operators of equal dimension")
+    sqrt_rho = _matrix_sqrt(rho)
+    inner = _matrix_sqrt(sqrt_rho @ sigma @ sqrt_rho)
+    value = float(np.real(np.trace(inner)) ** 2)
+    return min(max(value, 0.0), 1.0 + 1e-9)
+
+
+def trace_distance(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Trace distance ``½‖ρ − σ‖₁`` between two (partial) density operators."""
+    rho = np.asarray(rho, dtype=complex)
+    sigma = np.asarray(sigma, dtype=complex)
+    if rho.shape != sigma.shape:
+        raise DimensionMismatchError("trace distance requires operators of equal dimension")
+    eigenvalues = np.linalg.eigvalsh(rho - sigma)
+    return float(0.5 * np.abs(eigenvalues).sum())
+
+
+def _matrix_sqrt(matrix: np.ndarray) -> np.ndarray:
+    eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    return (eigenvectors * np.sqrt(eigenvalues)) @ eigenvectors.conj().T
+
+
+def random_pure_state(num_qubits: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample a Haar-random pure state on ``num_qubits`` qubits."""
+    rng = rng if rng is not None else np.random.default_rng()
+    dim = 2**num_qubits
+    raw = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return ket(raw)
+
+
+def random_density_operator(
+    num_qubits: int,
+    rank: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample a random density operator of the given rank (full rank by default)."""
+    rng = rng if rng is not None else np.random.default_rng()
+    dim = 2**num_qubits
+    rank = dim if rank is None else rank
+    if not 1 <= rank <= dim:
+        raise LinalgError(f"rank must be in 1..{dim}, got {rank}")
+    raw = rng.normal(size=(dim, rank)) + 1j * rng.normal(size=(dim, rank))
+    rho = raw @ raw.conj().T
+    return rho / np.real(np.trace(rho))

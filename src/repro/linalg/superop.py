@@ -1,0 +1,218 @@
+"""Superoperators in Kraus form (paper Sections 2.2 and A.3).
+
+A :class:`Superoperator` is a completely positive map given by a finite list
+of Kraus operators ``{E_k}``; it acts on density operators as
+``E(ρ) = Σ_k E_k ρ E_k†``.  The class also exposes the
+Schrödinger–Heisenberg dual ``E*`` (Kraus form ``Σ_k E_k† · E_k``), which the
+soundness proof of the Sequence rule uses to move a program across the
+observable (Lemma D.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.operators import is_positive_semidefinite, loewner_leq
+
+
+@dataclass(frozen=True, eq=False)
+class Superoperator:
+    """A completely positive map represented by Kraus operators.
+
+    Equality compares the maps themselves (via their matrix representation),
+    not the particular Kraus decomposition.
+    """
+
+    kraus_operators: tuple[np.ndarray, ...]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Superoperator):
+            return NotImplemented
+        if (self.input_dim, self.output_dim) != (other.input_dim, other.output_dim):
+            return False
+        return bool(
+            np.allclose(self.matrix_representation(), other.matrix_representation())
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.input_dim, self.output_dim, len(self.kraus_operators)))
+
+    def __init__(self, kraus_operators: Iterable[np.ndarray]):
+        operators = tuple(np.asarray(k, dtype=complex) for k in kraus_operators)
+        if not operators:
+            raise LinalgError("a superoperator needs at least one Kraus operator")
+        shape = operators[0].shape
+        if len(shape) != 2:
+            raise LinalgError("Kraus operators must be matrices")
+        for op in operators:
+            if op.shape != shape:
+                raise DimensionMismatchError("all Kraus operators must share one shape")
+        object.__setattr__(self, "kraus_operators", operators)
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def input_dim(self) -> int:
+        """Dimension of the input Hilbert space."""
+        return self.kraus_operators[0].shape[1]
+
+    @property
+    def output_dim(self) -> int:
+        """Dimension of the output Hilbert space."""
+        return self.kraus_operators[0].shape[0]
+
+    def __call__(self, rho: np.ndarray) -> np.ndarray:
+        return self.apply(rho)
+
+    def apply(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the map to a (partial) density operator."""
+        rho = np.asarray(rho, dtype=complex)
+        if rho.shape != (self.input_dim, self.input_dim):
+            raise DimensionMismatchError(
+                f"state dimension {rho.shape} does not match superoperator input "
+                f"dimension {self.input_dim}"
+            )
+        result = np.zeros((self.output_dim, self.output_dim), dtype=complex)
+        for op in self.kraus_operators:
+            result += op @ rho @ op.conj().T
+        return result
+
+    # -- algebra -----------------------------------------------------------
+
+    def compose(self, earlier: "Superoperator") -> "Superoperator":
+        """Return the composition ``self ∘ earlier`` (``earlier`` acts first)."""
+        if earlier.output_dim != self.input_dim:
+            raise DimensionMismatchError("superoperator composition dimension mismatch")
+        return Superoperator(
+            tuple(a @ b for a in self.kraus_operators for b in earlier.kraus_operators)
+        )
+
+    def then(self, later: "Superoperator") -> "Superoperator":
+        """Return the composition ``later ∘ self`` (``self`` acts first)."""
+        return later.compose(self)
+
+    def add(self, other: "Superoperator") -> "Superoperator":
+        """Return the completely positive sum ``E + F`` (union of Kraus sets)."""
+        if (self.input_dim, self.output_dim) != (other.input_dim, other.output_dim):
+            raise DimensionMismatchError("superoperator sum dimension mismatch")
+        return Superoperator(self.kraus_operators + other.kraus_operators)
+
+    def tensor(self, other: "Superoperator") -> "Superoperator":
+        """Return the tensor product ``E ⊗ F``."""
+        return Superoperator(
+            tuple(np.kron(a, b) for a in self.kraus_operators for b in other.kraus_operators)
+        )
+
+    def scale(self, factor: float) -> "Superoperator":
+        """Scale the map by a non-negative factor (scales each Kraus by √factor)."""
+        if factor < 0:
+            raise LinalgError("superoperators can only be scaled by non-negative factors")
+        root = np.sqrt(factor)
+        return Superoperator(tuple(root * op for op in self.kraus_operators))
+
+    def dual(self) -> "Superoperator":
+        """Return the Schrödinger–Heisenberg dual ``E*`` with Kraus form Σ E_k†·E_k."""
+        return Superoperator(tuple(op.conj().T for op in self.kraus_operators))
+
+    def apply_dual(self, observable: np.ndarray) -> np.ndarray:
+        """Apply the dual map to an observable: ``E*(A) = Σ_k E_k† A E_k``."""
+        observable = np.asarray(observable, dtype=complex)
+        if observable.shape != (self.output_dim, self.output_dim):
+            raise DimensionMismatchError("observable dimension does not match output space")
+        result = np.zeros((self.input_dim, self.input_dim), dtype=complex)
+        for op in self.kraus_operators:
+            result += op.conj().T @ observable @ op
+        return result
+
+    # -- validation --------------------------------------------------------
+
+    def kraus_sum(self) -> np.ndarray:
+        """Return ``Σ_k E_k† E_k``, the operator governing trace behaviour."""
+        total = np.zeros((self.input_dim, self.input_dim), dtype=complex)
+        for op in self.kraus_operators:
+            total += op.conj().T @ op
+        return total
+
+    def is_trace_preserving(self, *, atol: float = 1e-8) -> bool:
+        """Return True when ``Σ_k E_k† E_k = I`` (a quantum channel)."""
+        return bool(np.allclose(self.kraus_sum(), np.eye(self.input_dim), atol=atol))
+
+    def is_trace_nonincreasing(self, *, atol: float = 1e-8) -> bool:
+        """Return True when ``Σ_k E_k† E_k ⊑ I`` (an admissible superoperator)."""
+        return loewner_leq(self.kraus_sum(), np.eye(self.input_dim), atol=atol)
+
+    def choi_matrix(self) -> np.ndarray:
+        """Return the (unnormalized) Choi matrix ``Σ_ij |i⟩⟨j| ⊗ E(|i⟩⟨j|)``."""
+        dim = self.input_dim
+        choi = np.zeros((dim * self.output_dim, dim * self.output_dim), dtype=complex)
+        for i in range(dim):
+            for j in range(dim):
+                unit = np.zeros((dim, dim), dtype=complex)
+                unit[i, j] = 1.0
+                choi += np.kron(unit, self.apply(unit))
+        return choi
+
+    def is_completely_positive(self, *, atol: float = 1e-7) -> bool:
+        """Return True when the Choi matrix is positive semidefinite.
+
+        Always true by construction for Kraus-form maps; exposed so tests can
+        validate superoperators assembled by other code paths.
+        """
+        return is_positive_semidefinite(self.choi_matrix(), atol=atol)
+
+    def matrix_representation(self) -> np.ndarray:
+        """Return the natural (column-stacking) matrix representation of the map."""
+        result = np.zeros(
+            (self.output_dim * self.output_dim, self.input_dim * self.input_dim),
+            dtype=complex,
+        )
+        for op in self.kraus_operators:
+            result += np.kron(np.conj(op), op)
+        return result
+
+
+# -- constructors -----------------------------------------------------------
+
+
+def unitary_channel(unitary: np.ndarray) -> Superoperator:
+    """The channel ``ρ ↦ UρU†``."""
+    return Superoperator((np.asarray(unitary, dtype=complex),))
+
+
+def identity_channel(dim: int) -> Superoperator:
+    """The identity channel on a ``dim``-dimensional space."""
+    return Superoperator((np.eye(dim, dtype=complex),))
+
+
+def zero_channel(dim: int) -> Superoperator:
+    """The zero map ``ρ ↦ 0`` (semantics of ``abort``)."""
+    return Superoperator((np.zeros((dim, dim), dtype=complex),))
+
+
+def initialization_channel(dim: int) -> Superoperator:
+    """The reset channel ``E_{q→0}(ρ) = Σ_n |0⟩⟨n| ρ |n⟩⟨0|`` on one variable."""
+    kraus = []
+    for n in range(dim):
+        op = np.zeros((dim, dim), dtype=complex)
+        op[0, n] = 1.0
+        kraus.append(op)
+    return Superoperator(tuple(kraus))
+
+
+def measurement_branch_channel(kraus_operator: np.ndarray) -> Superoperator:
+    """The (trace-decreasing) branch map ``E_m(ρ) = M_m ρ M_m†``."""
+    return Superoperator((np.asarray(kraus_operator, dtype=complex),))
+
+
+def superoperator_sum(superoperators: Sequence[Superoperator]) -> Superoperator:
+    """Return the completely positive sum of several superoperators."""
+    if not superoperators:
+        raise LinalgError("cannot sum an empty sequence of superoperators")
+    result = superoperators[0]
+    for extra in superoperators[1:]:
+        result = result.add(extra)
+    return result

@@ -1,0 +1,42 @@
+"""Semantics of parameterized quantum while-programs.
+
+* :mod:`repro.semantics.operational` — the small-step transition system of
+  Figure 1a (plus the Sum-Components rule of Figure 2 for additive
+  programs), and the multiset of terminal configurations it induces.
+* :mod:`repro.semantics.denotational` — the superoperator semantics of
+  Figure 1b, evaluated on density states.
+* :mod:`repro.semantics.superoperators` — programs as explicit
+  :class:`~repro.linalg.superop.Superoperator` objects (matrix
+  representation, Schrödinger–Heisenberg dual application).
+* :mod:`repro.semantics.observable` — the observable semantics
+  ``[[(O, ρ) → P(θ)]]`` of Definition 5.1, its ancilla variant of
+  Definition 5.2, and the (numerically evaluated) differential semantics of
+  Definition 5.3.
+"""
+
+from repro.semantics.operational import Configuration, step, run_to_terminals, terminal_states
+from repro.semantics.denotational import denote, denote_matrix
+from repro.semantics.superoperators import program_superoperator, apply_program_dual
+from repro.semantics.observable import (
+    observable_semantics,
+    observable_semantics_with_ancilla,
+    additive_observable_semantics,
+    additive_observable_semantics_with_ancilla,
+    differential_semantics,
+)
+
+__all__ = [
+    "Configuration",
+    "step",
+    "run_to_terminals",
+    "terminal_states",
+    "denote",
+    "denote_matrix",
+    "program_superoperator",
+    "apply_program_dual",
+    "observable_semantics",
+    "observable_semantics_with_ancilla",
+    "additive_observable_semantics",
+    "additive_observable_semantics_with_ancilla",
+    "differential_semantics",
+]

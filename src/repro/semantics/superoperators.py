@@ -1,0 +1,76 @@
+"""Programs as explicit superoperators.
+
+For small registers it is convenient to materialize ``[[P(θ*)]]`` as a
+matrix (the natural/column-stacking representation of the superoperator).
+This gives direct access to the Schrödinger–Heisenberg dual
+``[[P(θ*)]]*`` — the map on observables satisfying
+``tr(O · [[P]](ρ)) = tr([[P]]*(O) · ρ)`` — which Lemma D.2 uses to move a
+program across the observable in the Sequence soundness proof.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Program
+from repro.lang.parameters import ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.denotational import denote
+
+
+def program_transfer_matrix(
+    program: Program,
+    layout: RegisterLayout,
+    binding: ParameterBinding | None = None,
+) -> np.ndarray:
+    """Return the matrix ``M`` with ``vec([[P]](ρ)) = M · vec(ρ)`` (column stacking).
+
+    The matrix is assembled by evaluating the program on every matrix unit
+    ``|i⟩⟨j|``; its size is ``d² × d²`` for a register of dimension ``d``, so
+    this is intended for small registers (tests, the dual computation below).
+    """
+    missing = program.qvars() - set(layout.names)
+    if missing:
+        raise SemanticsError(f"layout is missing program variables {sorted(missing)}")
+    dim = layout.total_dim
+    transfer = np.zeros((dim * dim, dim * dim), dtype=complex)
+    for i in range(dim):
+        for j in range(dim):
+            unit = np.zeros((dim, dim), dtype=complex)
+            unit[i, j] = 1.0
+            output = denote(program, DensityState(layout, unit), binding).matrix
+            transfer[:, j * dim + i] = output.reshape(-1, order="F")
+    return transfer
+
+
+def program_superoperator(
+    program: Program,
+    layout: RegisterLayout,
+    binding: ParameterBinding | None = None,
+) -> np.ndarray:
+    """Alias of :func:`program_transfer_matrix` (kept for discoverability)."""
+    return program_transfer_matrix(program, layout, binding)
+
+
+def apply_program_dual(
+    program: Program,
+    layout: RegisterLayout,
+    observable: np.ndarray,
+    binding: ParameterBinding | None = None,
+) -> np.ndarray:
+    """Return ``[[P(θ*)]]*(O)``, the dual (Heisenberg-picture) action on an observable.
+
+    Satisfies ``tr(O · [[P]](ρ)) = tr([[P]]*(O) · ρ)`` for every state ρ.
+    """
+    observable = np.asarray(observable, dtype=complex)
+    dim = layout.total_dim
+    if observable.shape != (dim, dim):
+        raise SemanticsError(
+            f"observable shape {observable.shape} does not match register dimension {dim}"
+        )
+    transfer = program_transfer_matrix(program, layout, binding)
+    vectorized = observable.reshape(-1, order="F")
+    dual_vector = transfer.conj().T @ vectorized
+    return dual_vector.reshape(dim, dim, order="F")

@@ -1,0 +1,33 @@
+"""Quantum simulation substrate.
+
+The paper's evaluation runs its compiled programs on a classical simulator;
+this package is that simulator.  It provides
+
+* :mod:`repro.sim.hilbert` — the register layout mapping named quantum
+  variables to tensor factors and embedding local operators into the global
+  space;
+* :mod:`repro.sim.density` — an exact density-matrix simulator, the
+  execution substrate used by the denotational and observable semantics;
+* :mod:`repro.sim.statevector` — a pure-state simulator with trajectory
+  sampling, used for shot-based estimation;
+* :mod:`repro.sim.shots` — Chernoff-bound shot counts and sampling
+  estimators of observable expectations (Section 7).
+"""
+
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.density import DensityState
+from repro.sim.statevector import StateVector
+from repro.sim.shots import (
+    chernoff_shot_count,
+    estimate_expectation,
+    estimate_expectation_from_samples,
+)
+
+__all__ = [
+    "RegisterLayout",
+    "DensityState",
+    "StateVector",
+    "chernoff_shot_count",
+    "estimate_expectation",
+    "estimate_expectation_from_samples",
+]

@@ -1,0 +1,175 @@
+"""Exact density-matrix simulation.
+
+:class:`DensityState` couples a partial density operator with a
+:class:`~repro.sim.hilbert.RegisterLayout` and exposes exactly the state
+transformers required by the denotational semantics of Figure 1b:
+
+* applying a unitary to a subset of variables,
+* applying the reset channel of ``q := |0⟩``,
+* computing the (sub-normalized) branch state of a measurement outcome,
+* scaling and adding states (probabilistic combination of branches),
+* taking observable expectations.
+
+States are *partial* density operators — the trace may drop below one when a
+program aborts on some branches — which is precisely the convention the
+paper uses to encode branch probabilities into the output state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.measurement import Measurement
+from repro.linalg.superop import Superoperator, initialization_channel
+from repro.sim.hilbert import RegisterLayout
+
+
+@dataclass(frozen=True, eq=False)
+class DensityState:
+    """A partial density operator over the variables of a register layout."""
+
+    layout: RegisterLayout
+    matrix: np.ndarray
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DensityState):
+            return NotImplemented
+        return self.layout == other.layout and bool(np.allclose(self.matrix, other.matrix))
+
+    def __hash__(self) -> int:
+        return hash((self.layout, self.matrix.shape))
+
+    def __init__(self, layout: RegisterLayout, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (layout.total_dim, layout.total_dim):
+            raise DimensionMismatchError(
+                f"state shape {matrix.shape} does not match layout dimension {layout.total_dim}"
+            )
+        object.__setattr__(self, "layout", layout)
+        object.__setattr__(self, "matrix", matrix)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, layout: RegisterLayout) -> "DensityState":
+        """The all-``|0⟩`` product state."""
+        return cls.basis_state(layout, {})
+
+    @classmethod
+    def basis_state(cls, layout: RegisterLayout, assignment: Mapping[str, int]) -> "DensityState":
+        """A computational-basis product state given per-variable values."""
+        vector = layout.basis_product_state(assignment)
+        return cls(layout, np.outer(vector, np.conj(vector)))
+
+    @classmethod
+    def from_pure(cls, layout: RegisterLayout, vector: np.ndarray) -> "DensityState":
+        """Wrap a pure state vector on the full register."""
+        vector = np.asarray(vector, dtype=complex).reshape(-1)
+        if vector.shape[0] != layout.total_dim:
+            raise DimensionMismatchError("pure state dimension does not match layout")
+        return cls(layout, np.outer(vector, np.conj(vector)))
+
+    @classmethod
+    def null_state(cls, layout: RegisterLayout) -> "DensityState":
+        """The zero partial density operator (output of ``abort``)."""
+        dim = layout.total_dim
+        return cls(layout, np.zeros((dim, dim), dtype=complex))
+
+    # -- basic queries ----------------------------------------------------------
+
+    def trace(self) -> float:
+        """Total probability mass carried by the state."""
+        return float(np.real(np.trace(self.matrix)))
+
+    def is_null(self, *, atol: float = 1e-12) -> bool:
+        """Return True when the state is (numerically) the zero operator."""
+        return bool(np.allclose(self.matrix, 0.0, atol=atol))
+
+    def copy(self) -> "DensityState":
+        """Return an independent copy of the state."""
+        return DensityState(self.layout, self.matrix.copy())
+
+    # -- state transformers -------------------------------------------------------
+
+    def apply_unitary(self, unitary: np.ndarray, targets: Sequence[str]) -> "DensityState":
+        """Return ``UρU†`` where ``U`` acts on the target variables."""
+        full = self.layout.embed_operator(unitary, targets)
+        return DensityState(self.layout, full @ self.matrix @ full.conj().T)
+
+    def apply_kraus(self, kraus_operators: Sequence[np.ndarray], targets: Sequence[str]) -> "DensityState":
+        """Apply a Kraus-form superoperator acting on the target variables."""
+        result = np.zeros_like(self.matrix)
+        for op in kraus_operators:
+            full = self.layout.embed_operator(op, targets)
+            result += full @ self.matrix @ full.conj().T
+        return DensityState(self.layout, result)
+
+    def apply_superoperator(self, channel: Superoperator, targets: Sequence[str]) -> "DensityState":
+        """Apply a :class:`Superoperator` acting on the target variables."""
+        return self.apply_kraus(channel.kraus_operators, targets)
+
+    def initialize(self, variable: str) -> "DensityState":
+        """Apply the reset channel of ``q := |0⟩`` to one variable.
+
+        Implements ``E_{q→0}(ρ) = Σ_n |0⟩_q⟨n| ρ |n⟩_q⟨0|`` which covers both
+        the Boolean and the bounded-integer cases of Figure 1a.
+        """
+        dim = self.layout.dim_of(variable)
+        return self.apply_superoperator(initialization_channel(dim), [variable])
+
+    def measurement_branch(self, measurement: Measurement, targets: Sequence[str], outcome: int) -> "DensityState":
+        """Return the sub-normalized branch state ``M_m ρ M_m†`` of one outcome."""
+        operator = measurement.operator(outcome)
+        full = self.layout.embed_operator(operator, targets)
+        return DensityState(self.layout, full @ self.matrix @ full.conj().T)
+
+    def measurement_probabilities(self, measurement: Measurement, targets: Sequence[str]) -> dict[int, float]:
+        """Return the Born-rule outcome distribution of measuring the targets."""
+        result = {}
+        for outcome in measurement.outcomes:
+            result[outcome] = self.measurement_branch(measurement, targets, outcome).trace()
+        return result
+
+    def scaled(self, factor: float) -> "DensityState":
+        """Scale the partial density operator by a non-negative factor."""
+        if factor < 0:
+            raise LinalgError("states can only be scaled by non-negative factors")
+        return DensityState(self.layout, self.matrix * factor)
+
+    def add(self, other: "DensityState") -> "DensityState":
+        """Sum two partial density operators over the same layout."""
+        if self.layout != other.layout:
+            raise DimensionMismatchError("cannot add states over different layouts")
+        return DensityState(self.layout, self.matrix + other.matrix)
+
+    # -- observables -----------------------------------------------------------------
+
+    def expectation(self, observable: np.ndarray, targets: Sequence[str] | None = None) -> float:
+        """Return ``tr(Oρ)``; ``targets`` selects the variables ``O`` acts on.
+
+        When ``targets`` is omitted the observable must act on the whole
+        register in layout order.
+        """
+        observable = np.asarray(observable, dtype=complex)
+        if targets is None:
+            if observable.shape != self.matrix.shape:
+                raise DimensionMismatchError("observable dimension does not match register")
+            full = observable
+        else:
+            full = self.layout.embed_operator(observable, targets)
+        return float(np.real(np.trace(full @ self.matrix)))
+
+    def extended(self, variable: str, dim: int = 2, *, front: bool = True) -> "DensityState":
+        """Return the state ``|0⟩⟨0|_new ⊗ ρ`` on a layout extended with an ancilla."""
+        new_layout = self.layout.extended(variable, dim, front=front)
+        zero = np.zeros((dim, dim), dtype=complex)
+        zero[0, 0] = 1.0
+        if front:
+            matrix = np.kron(zero, self.matrix)
+        else:
+            matrix = np.kron(self.matrix, zero)
+        return DensityState(new_layout, matrix)

@@ -1,0 +1,200 @@
+"""Register layout: named quantum variables as tensor factors.
+
+The language of Section 3 manipulates named quantum variables (``q1``,
+``q2``, ...).  The simulator fixes an ordering of those variables once — a
+:class:`RegisterLayout` — and every operator that acts on a subset of the
+variables is embedded into the full space by tensoring with identities and
+permuting tensor factors.
+
+All variables are qubits (``type(q) = Bool``) by default, matching the VQC
+programs of the evaluation; bounded-integer variables of a given dimension
+are also supported because the initialization channel of the language is
+defined for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+
+#: Memo for embedded operators; keyed by (layout, targets, shape, matrix bytes).
+_EMBED_CACHE: dict = {}
+_EMBED_CACHE_LIMIT = 4096
+
+
+@dataclass(frozen=True)
+class RegisterLayout:
+    """An ordered collection of named quantum variables with their dimensions."""
+
+    names: tuple[str, ...]
+    dims: tuple[int, ...]
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        dims: Sequence[int] | Mapping[str, int] | None = None,
+    ):
+        names = tuple(names)
+        if len(set(names)) != len(names):
+            raise LinalgError(f"duplicate variable names in layout: {names}")
+        if not names:
+            raise LinalgError("a register layout needs at least one variable")
+        if dims is None:
+            resolved = tuple(2 for _ in names)
+        elif isinstance(dims, Mapping):
+            resolved = tuple(int(dims.get(name, 2)) for name in names)
+        else:
+            resolved = tuple(int(d) for d in dims)
+            if len(resolved) != len(names):
+                raise DimensionMismatchError("dims must match names in length")
+        for dim in resolved:
+            if dim < 2:
+                raise LinalgError(f"variable dimension must be at least 2, got {dim}")
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "dims", resolved)
+
+    # -- basic queries ------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables (tensor factors)."""
+        return len(self.names)
+
+    @property
+    def total_dim(self) -> int:
+        """Dimension of the full Hilbert space."""
+        return int(np.prod(self.dims))
+
+    def index(self, name: str) -> int:
+        """Position of a variable in the tensor order."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise LinalgError(f"variable {name!r} is not part of this layout") from None
+
+    def dim_of(self, name: str) -> int:
+        """Dimension of one variable."""
+        return self.dims[self.index(name)]
+
+    def contains(self, names: Iterable[str]) -> bool:
+        """Return True when every name is a variable of this layout."""
+        return all(name in self.names for name in names)
+
+    def extended(self, name: str, dim: int = 2, *, front: bool = True) -> "RegisterLayout":
+        """Return a new layout with an extra variable (ancilla) added.
+
+        The differentiation pipeline adds the ancilla as the *first* tensor
+        factor so that the combined observable is ``Z_A ⊗ O`` exactly as in
+        Definition 5.2; ``front=False`` appends instead.
+        """
+        if name in self.names:
+            raise LinalgError(f"variable {name!r} already exists in the layout")
+        if front:
+            return RegisterLayout((name,) + self.names, (dim,) + self.dims)
+        return RegisterLayout(self.names + (name,), self.dims + (dim,))
+
+    def restricted(self, names: Sequence[str]) -> "RegisterLayout":
+        """Return the layout containing only ``names``, in this layout's order."""
+        kept = [name for name in self.names if name in set(names)]
+        missing = set(names) - set(kept)
+        if missing:
+            raise LinalgError(f"variables {sorted(missing)} are not part of this layout")
+        return RegisterLayout(tuple(kept), tuple(self.dim_of(name) for name in kept))
+
+    # -- operator embedding ---------------------------------------------------
+
+    def embed_operator(self, operator: np.ndarray, targets: Sequence[str]) -> np.ndarray:
+        """Embed an operator acting on ``targets`` into the full space.
+
+        ``operator`` must act on the tensor product of the target variables in
+        the order given by ``targets``; the result acts on the full register.
+        Results are memoized (keyed by the operator's bytes and the target
+        names) because simulation applies the same handful of gate matrices
+        over and over.
+        """
+        operator = np.asarray(operator, dtype=complex)
+        cache_key = (self, tuple(targets), operator.shape, operator.tobytes())
+        cached = _EMBED_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+        embedded = self._embed_operator_uncached(operator, targets)
+        if len(_EMBED_CACHE) >= _EMBED_CACHE_LIMIT:
+            _EMBED_CACHE.clear()
+        _EMBED_CACHE[cache_key] = embedded
+        return embedded
+
+    def _embed_operator_uncached(self, operator: np.ndarray, targets: Sequence[str]) -> np.ndarray:
+        operator = np.asarray(operator, dtype=complex)
+        targets = list(targets)
+        if len(set(targets)) != len(targets):
+            raise LinalgError(f"target variables must be distinct, got {targets}")
+        target_dims = [self.dim_of(name) for name in targets]
+        expected = int(np.prod(target_dims))
+        if operator.shape != (expected, expected):
+            raise DimensionMismatchError(
+                f"operator shape {operator.shape} does not match target dims {target_dims}"
+            )
+        if len(targets) == self.num_variables and targets == list(self.names):
+            return operator
+
+        # Build the operator on the full space with targets first, identities
+        # after, then permute tensor factors into layout order.
+        remaining = [name for name in self.names if name not in targets]
+        remaining_dim = int(np.prod([self.dim_of(name) for name in remaining])) if remaining else 1
+        big = np.kron(operator, np.eye(remaining_dim, dtype=complex))
+
+        permuted_names = targets + remaining
+        return self._permute_operator(big, permuted_names)
+
+    def _permute_operator(self, operator: np.ndarray, current_order: Sequence[str]) -> np.ndarray:
+        """Reorder the tensor factors of ``operator`` from ``current_order`` to layout order."""
+        current_order = list(current_order)
+        if current_order == list(self.names):
+            return operator
+        dims_current = [self.dim_of(name) for name in current_order]
+        n = len(current_order)
+        tensor = operator.reshape(dims_current + dims_current)
+        # Axis i of the target order should come from the position of
+        # self.names[i] inside current_order.
+        perm = [current_order.index(name) for name in self.names]
+        tensor = np.transpose(tensor, perm + [p + n for p in perm])
+        total = self.total_dim
+        return tensor.reshape(total, total)
+
+    def embed_state(self, state: np.ndarray, targets: Sequence[str]) -> np.ndarray:
+        """Embed a density operator on ``targets`` into the full space.
+
+        The remaining variables are placed in ``|0⟩``.  Used to prepare the
+        global input state when only part of the register is specified.
+        """
+        state = np.asarray(state, dtype=complex)
+        remaining = [name for name in self.names if name not in set(targets)]
+        pieces = [state]
+        for name in remaining:
+            dim = self.dim_of(name)
+            zero = np.zeros((dim, dim), dtype=complex)
+            zero[0, 0] = 1.0
+            pieces.append(zero)
+        big = pieces[0]
+        for piece in pieces[1:]:
+            big = np.kron(big, piece)
+        return self._permute_operator(big, list(targets) + remaining)
+
+    def basis_product_state(self, assignment: Mapping[str, int]) -> np.ndarray:
+        """Return the basis pure-state *vector* assigning each variable a basis index.
+
+        Variables not mentioned default to ``|0⟩``.
+        """
+        vector = np.ones(1, dtype=complex)
+        for name, dim in zip(self.names, self.dims):
+            value = int(assignment.get(name, 0))
+            if not 0 <= value < dim:
+                raise LinalgError(f"value {value} out of range for variable {name!r}")
+            local = np.zeros(dim, dtype=complex)
+            local[value] = 1.0
+            vector = np.kron(vector, local)
+        return vector

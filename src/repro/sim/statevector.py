@@ -1,0 +1,138 @@
+"""Pure-state (statevector) simulation with measurement sampling.
+
+Density-matrix simulation (:mod:`repro.sim.density`) is the reference
+substrate for the semantics because it represents probabilistic branching
+exactly.  The statevector simulator here is the cheaper trajectory-based
+alternative: it tracks a single pure state, samples measurement outcomes
+according to the Born rule, and is used by the shot-based gradient
+estimators of Section 7 where the paper's execution model repeats the whole
+program many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.measurement import Measurement
+from repro.sim.hilbert import RegisterLayout
+
+
+@dataclass
+class StateVector:
+    """A mutable pure state over a register layout."""
+
+    layout: RegisterLayout
+    amplitudes: np.ndarray
+
+    def __init__(self, layout: RegisterLayout, amplitudes: np.ndarray | None = None):
+        if amplitudes is None:
+            amplitudes = layout.basis_product_state({})
+        amplitudes = np.asarray(amplitudes, dtype=complex).reshape(-1)
+        if amplitudes.shape[0] != layout.total_dim:
+            raise DimensionMismatchError("amplitude vector does not match layout dimension")
+        self.layout = layout
+        self.amplitudes = amplitudes
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def basis_state(cls, layout: RegisterLayout, assignment: Mapping[str, int]) -> "StateVector":
+        """Computational basis product state."""
+        return cls(layout, layout.basis_product_state(assignment))
+
+    def copy(self) -> "StateVector":
+        """Independent copy of the state."""
+        return StateVector(self.layout, self.amplitudes.copy())
+
+    # -- queries --------------------------------------------------------------------
+
+    def norm(self) -> float:
+        """Euclidean norm of the amplitude vector."""
+        return float(np.linalg.norm(self.amplitudes))
+
+    def density_matrix(self) -> np.ndarray:
+        """Return the projector ``|ψ⟩⟨ψ|``."""
+        return np.outer(self.amplitudes, np.conj(self.amplitudes))
+
+    def probability_of(self, assignment: Mapping[str, int]) -> float:
+        """Probability of observing the given computational-basis assignment."""
+        target = self.layout.basis_product_state(assignment)
+        return float(abs(np.vdot(target, self.amplitudes)) ** 2)
+
+    def expectation(self, observable: np.ndarray, targets: Sequence[str] | None = None) -> float:
+        """Return ``⟨ψ|O|ψ⟩`` for an observable on a subset of variables."""
+        observable = np.asarray(observable, dtype=complex)
+        full = (
+            observable
+            if targets is None
+            else self.layout.embed_operator(observable, targets)
+        )
+        if full.shape[0] != self.amplitudes.shape[0]:
+            raise DimensionMismatchError("observable dimension does not match register")
+        return float(np.real(np.vdot(self.amplitudes, full @ self.amplitudes)))
+
+    # -- evolution ---------------------------------------------------------------------
+
+    def apply_unitary(self, unitary: np.ndarray, targets: Sequence[str]) -> "StateVector":
+        """Apply a unitary acting on the target variables (in place; returns self)."""
+        full = self.layout.embed_operator(unitary, targets)
+        self.amplitudes = full @ self.amplitudes
+        return self
+
+    def initialize(self, variable: str, rng: np.random.Generator | None = None) -> "StateVector":
+        """Reset one variable to ``|0⟩``.
+
+        Trajectory semantics: the variable is measured in the computational
+        basis (collapsing the state) and then rotated/relabelled to ``|0⟩``.
+        This reproduces the reset channel in expectation over trajectories.
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        dim = self.layout.dim_of(variable)
+        measurement = Measurement(
+            tuple(_basis_projector(dim, value) for value in range(dim)),
+            tuple(range(dim)),
+            name=f"reset({variable})",
+        )
+        outcome = self.measure(measurement, [variable], rng=rng)
+        if outcome != 0:
+            # Map |outcome⟩ to |0⟩ with a permutation unitary.
+            permutation = np.eye(dim, dtype=complex)
+            permutation[[0, outcome]] = permutation[[outcome, 0]]
+            self.apply_unitary(permutation, [variable])
+        return self
+
+    def measure(
+        self,
+        measurement: Measurement,
+        targets: Sequence[str],
+        rng: np.random.Generator | None = None,
+    ) -> int:
+        """Sample a measurement outcome and collapse the state accordingly."""
+        rng = rng if rng is not None else np.random.default_rng()
+        probabilities = []
+        candidates = []
+        for outcome in measurement.outcomes:
+            full = self.layout.embed_operator(measurement.operator(outcome), targets)
+            candidate = full @ self.amplitudes
+            probability = float(np.real(np.vdot(candidate, candidate)))
+            probabilities.append(max(probability, 0.0))
+            candidates.append(candidate)
+        total = sum(probabilities)
+        if total <= 1e-15:
+            raise LinalgError("cannot measure a state with zero norm")
+        weights = np.array(probabilities) / total
+        choice = int(rng.choice(len(weights), p=weights))
+        outcome = measurement.outcomes[choice]
+        collapsed = candidates[choice]
+        self.amplitudes = collapsed / np.linalg.norm(collapsed)
+        return outcome
+
+
+def _basis_projector(dim: int, value: int) -> np.ndarray:
+    projector = np.zeros((dim, dim), dtype=complex)
+    projector[value, value] = 1.0
+    return projector

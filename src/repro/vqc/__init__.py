@@ -1,0 +1,63 @@
+"""Variational quantum circuits: the paper's evaluation workloads (Section 8).
+
+* :mod:`repro.vqc.generators` — the QNN / VQE / QAOA program families of
+  Appendix F.2 at small/medium/large scale with basic/shared/if/while
+  control-flow variants: the instances behind Tables 2 and 3;
+* :mod:`repro.vqc.classifier` — the 4-qubit classifiers P1 (no control) and
+  P2 (with control) of Section 8.1 and the boolean labelling task
+  ``f(z) = ¬(z1 ⊕ z4)``;
+* :mod:`repro.vqc.datasets` — boolean-function datasets and input-state
+  encoding;
+* :mod:`repro.vqc.training` — loss functions and the gradient-descent
+  training loop used to reproduce Figure 6.
+"""
+
+from repro.vqc.generators import (
+    VQCInstance,
+    build_instance,
+    qnn_block,
+    vqe_block,
+    qaoa_block,
+    table2_suite,
+    table3_suite,
+)
+from repro.vqc.classifier import (
+    BooleanClassifier,
+    build_q_layer,
+    build_p1,
+    build_p2,
+)
+from repro.vqc.datasets import (
+    paper_label_function,
+    boolean_dataset,
+    all_bitstrings,
+)
+from repro.vqc.training import (
+    TrainingConfig,
+    TrainingResult,
+    GradientDescentTrainer,
+    squared_loss,
+    negative_log_likelihood,
+)
+
+__all__ = [
+    "VQCInstance",
+    "build_instance",
+    "qnn_block",
+    "vqe_block",
+    "qaoa_block",
+    "table2_suite",
+    "table3_suite",
+    "BooleanClassifier",
+    "build_q_layer",
+    "build_p1",
+    "build_p2",
+    "paper_label_function",
+    "boolean_dataset",
+    "all_bitstrings",
+    "TrainingConfig",
+    "TrainingResult",
+    "GradientDescentTrainer",
+    "squared_loss",
+    "negative_log_likelihood",
+]

@@ -1,0 +1,166 @@
+"""The controlled-VQC classifiers of the Section 8.1 case study.
+
+``Q(Γ)`` is one layer of single-qubit rotations — ``R_X`` then ``R_Y`` then
+``R_Z`` on each of the four data qubits (twelve parameters).  The two
+classifiers compared in Figure 6 are
+
+* ``P1(Θ, Φ) = Q(Θ); Q(Φ)`` — a plain circuit, 24 parameters, differentiable
+  with the phase-shift baseline as well;
+* ``P2(Θ, Φ, Ψ) = Q(Θ); case M[q1] = 0 → Q(Φ), 1 → Q(Ψ) end`` — the same
+  gate count per run but with a measurement-controlled branch, 36
+  parameters, differentiable only with the paper's scheme.
+
+An input bitstring ``z`` is loaded as the basis state ``|z⟩`` of the data
+qubits; the classifier's output ``l_θ(z)`` is the probability of reading 1
+when measuring the fourth qubit, i.e. the observable ``|1⟩⟨1|`` on ``q4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.lang.ast import Program
+from repro.lang.builder import case_on_qubit, rx, ry, rz, seq
+from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.observable import observable_semantics
+from repro.autodiff.execution import DerivativeProgramSet, differentiate_and_compile
+
+DATA_QUBITS = ("q1", "q2", "q3", "q4")
+READOUT_QUBIT = "q4"
+
+#: Single-qubit projector |1⟩⟨1| used as the readout observable.
+_PROJECTOR_ONE = np.array([[0, 0], [0, 1]], dtype=complex)
+
+
+def build_q_layer(parameters: Sequence[Parameter], qubits: Sequence[str] = DATA_QUBITS) -> Program:
+    """Build ``Q(Γ)``: R_X on each qubit, then R_Y on each, then R_Z on each.
+
+    ``parameters`` must contain ``3 × len(qubits)`` entries ordered exactly as
+    in the paper: the X angles, then the Y angles, then the Z angles.
+    """
+    qubits = tuple(qubits)
+    expected = 3 * len(qubits)
+    if len(parameters) != expected:
+        raise TrainingError(f"Q layer over {len(qubits)} qubits needs {expected} parameters")
+    statements: list[Program] = []
+    n = len(qubits)
+    statements.extend(rx(parameters[i], qubits[i]) for i in range(n))
+    statements.extend(ry(parameters[n + i], qubits[i]) for i in range(n))
+    statements.extend(rz(parameters[2 * n + i], qubits[i]) for i in range(n))
+    return seq(statements)
+
+
+def build_p1(
+    theta: Sequence[Parameter] | None = None,
+    phi: Sequence[Parameter] | None = None,
+) -> "BooleanClassifier":
+    """Build the no-control classifier ``P1(Θ, Φ) = Q(Θ); Q(Φ)`` (Eq. 8.1)."""
+    theta = tuple(theta) if theta is not None else ParameterVector("theta", 12).as_tuple()
+    phi = tuple(phi) if phi is not None else ParameterVector("phi", 12).as_tuple()
+    program = seq([build_q_layer(theta), build_q_layer(phi)])
+    return BooleanClassifier(
+        name="P1 (no control)",
+        program=program,
+        parameters=theta + phi,
+        data_qubits=DATA_QUBITS,
+        readout_qubit=READOUT_QUBIT,
+    )
+
+
+def build_p2(
+    theta: Sequence[Parameter] | None = None,
+    phi: Sequence[Parameter] | None = None,
+    psi: Sequence[Parameter] | None = None,
+) -> "BooleanClassifier":
+    """Build the controlled classifier ``P2(Θ, Φ, Ψ)`` of Eq. (8.2).
+
+    After the first layer the first qubit is measured; depending on the
+    outcome either ``Q(Φ)`` or ``Q(Ψ)`` runs.  Each execution applies the
+    same number of gates as ``P1``.
+    """
+    theta = tuple(theta) if theta is not None else ParameterVector("theta", 12).as_tuple()
+    phi = tuple(phi) if phi is not None else ParameterVector("phi", 12).as_tuple()
+    psi = tuple(psi) if psi is not None else ParameterVector("psi", 12).as_tuple()
+    program = seq(
+        [
+            build_q_layer(theta),
+            case_on_qubit("q1", {0: build_q_layer(phi), 1: build_q_layer(psi)}),
+        ]
+    )
+    return BooleanClassifier(
+        name="P2 (with control)",
+        program=program,
+        parameters=theta + phi + psi,
+        data_qubits=DATA_QUBITS,
+        readout_qubit=READOUT_QUBIT,
+    )
+
+
+@dataclass(frozen=True)
+class BooleanClassifier:
+    """A VQC classifier over boolean inputs with a single-qubit 0/1 readout."""
+
+    name: str
+    program: Program
+    parameters: tuple[Parameter, ...]
+    data_qubits: tuple[str, ...]
+    readout_qubit: str
+
+    def layout(self) -> RegisterLayout:
+        """The register layout: the data qubits plus any extra program qubits."""
+        extra = tuple(sorted(self.program.qvars() - set(self.data_qubits)))
+        return RegisterLayout(self.data_qubits + extra)
+
+    def readout_observable(self) -> np.ndarray:
+        """The observable ``|1⟩⟨1|`` on the readout qubit, embedded in the full register."""
+        return self.layout().embed_operator(_PROJECTOR_ONE, [self.readout_qubit])
+
+    def input_state(self, bits: Sequence[int]) -> DensityState:
+        """Encode a bitstring as the computational basis state of the data qubits."""
+        if len(bits) != len(self.data_qubits):
+            raise TrainingError(
+                f"expected {len(self.data_qubits)} input bits, got {len(bits)}"
+            )
+        assignment = {q: int(b) for q, b in zip(self.data_qubits, bits)}
+        return DensityState.basis_state(self.layout(), assignment)
+
+    def predict_probability(self, bits: Sequence[int], binding: ParameterBinding) -> float:
+        """Return ``l_θ(z)``: the probability of reading 1 on the readout qubit."""
+        return observable_semantics(
+            self.program, self.readout_observable(), self.input_state(bits), binding
+        )
+
+    def predict_label(self, bits: Sequence[int], binding: ParameterBinding) -> int:
+        """Threshold the probability at ½ into a hard 0/1 label."""
+        return 1 if self.predict_probability(bits, binding) >= 0.5 else 0
+
+    def accuracy(self, dataset: Sequence[tuple[Sequence[int], int]], binding: ParameterBinding) -> float:
+        """Fraction of dataset points whose hard label matches the ground truth."""
+        if not dataset:
+            raise TrainingError("cannot compute the accuracy of an empty dataset")
+        correct = sum(
+            1 for bits, label in dataset if self.predict_label(bits, binding) == int(label)
+        )
+        return correct / len(dataset)
+
+    def derivative_program_sets(self) -> tuple[DerivativeProgramSet, ...]:
+        """Pre-compile the derivative program multiset for every parameter.
+
+        This is the compile-time half of the differentiation pipeline; the
+        trainer builds it once and reuses it at every epoch.
+        """
+        return tuple(
+            differentiate_and_compile(self.program, parameter) for parameter in self.parameters
+        )
+
+    def initial_binding(self, seed: int = 0, spread: float = 0.1) -> ParameterBinding:
+        """Small random initial parameter values (deterministic given the seed)."""
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(-spread, spread, size=len(self.parameters))
+        return ParameterBinding.from_values(self.parameters, values)

@@ -1,0 +1,68 @@
+"""Boolean-function datasets for the classification case study (Section 8.1).
+
+The paper's task: classify 4-bit inputs ``z = z1 z2 z3 z4`` according to the
+label ``f(z) = ¬(z1 ⊕ z4)``.  The input bits are loaded into the quantum
+register as the computational basis state ``|z1 z2 z3 z4⟩`` and the
+classifier reads out the fourth qubit.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Callable, Sequence
+
+from repro.errors import TrainingError
+
+Bits = tuple[int, ...]
+LabelFunction = Callable[[Bits], int]
+
+
+def paper_label_function(bits: Bits) -> int:
+    """The labelling function of Section 8.1: ``f(z) = ¬(z1 ⊕ z4)``."""
+    if len(bits) != 4:
+        raise TrainingError(f"the paper's label function takes 4 bits, got {len(bits)}")
+    return 1 - (bits[0] ^ bits[3])
+
+
+def parity_label_function(bits: Bits) -> int:
+    """Parity of all bits — a harder labelling used by the extra examples/tests."""
+    value = 0
+    for bit in bits:
+        value ^= bit
+    return value
+
+
+def majority_label_function(bits: Bits) -> int:
+    """Majority vote of the bits (ties broken towards 0)."""
+    return 1 if sum(bits) * 2 > len(bits) else 0
+
+
+def all_bitstrings(num_bits: int) -> list[Bits]:
+    """Every bitstring of the given length, in lexicographic order."""
+    if num_bits < 1:
+        raise TrainingError("a dataset needs at least one input bit")
+    return [tuple(bits) for bits in product((0, 1), repeat=num_bits)]
+
+
+def boolean_dataset(
+    label_function: LabelFunction,
+    num_bits: int = 4,
+    inputs: Sequence[Bits] | None = None,
+) -> list[tuple[Bits, int]]:
+    """Build a labelled dataset ``[(z, f(z)), ...]`` over all (or selected) inputs."""
+    points = list(inputs) if inputs is not None else all_bitstrings(num_bits)
+    dataset = []
+    for bits in points:
+        bits = tuple(int(b) for b in bits)
+        if any(b not in (0, 1) for b in bits):
+            raise TrainingError(f"input {bits} is not a bitstring")
+        label = int(label_function(bits))
+        if label not in (0, 1):
+            raise TrainingError(f"label function returned {label}, expected 0 or 1")
+        dataset.append((bits, label))
+    return dataset
+
+
+def paper_dataset() -> list[tuple[Bits, int]]:
+    """The full 16-point dataset of the Section 8.1 case study."""
+    return boolean_dataset(paper_label_function, num_bits=4)

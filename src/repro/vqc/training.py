@@ -1,0 +1,202 @@
+"""Loss functions and the gradient-descent training loop (Section 8.1, Figure 6).
+
+The paper trains the two classifiers by minimizing the squared loss
+
+    loss(θ) = Σ_z ½ (l_θ(z) − f(z))²
+
+over all sixteen 4-bit inputs, with gradients obtained from the collection
+of derivative programs ``∂P/∂α`` for every parameter α.  The trainer below
+reproduces that loop: it pre-compiles the derivative program multisets once,
+then at every epoch evaluates the prediction and its gradient for every
+data point and takes a plain gradient-descent step.
+
+The average negative log-likelihood — the loss the paper calls natural but
+could not use because PennyLane did not support it — is also provided
+(``loss="nll"``); it exercises the same gradient machinery through the chain
+rule and is used by the extension example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.lang.parameters import ParameterBinding
+from repro.vqc.classifier import BooleanClassifier
+from repro.autodiff.execution import DerivativeProgramSet
+
+Bits = tuple[int, ...]
+Dataset = Sequence[tuple[Sequence[int], int]]
+
+
+def squared_loss(predictions: Sequence[float], labels: Sequence[int]) -> float:
+    """``Σ_z ½ (l_θ(z) − f(z))²`` — the loss of Eq. (8.3)."""
+    if len(predictions) != len(labels):
+        raise TrainingError("predictions and labels must have the same length")
+    return float(sum(0.5 * (p - y) ** 2 for p, y in zip(predictions, labels)))
+
+
+def squared_loss_gradient_weight(prediction: float, label: int) -> float:
+    """``∂loss/∂l`` for one data point under the squared loss."""
+    return prediction - label
+
+
+def negative_log_likelihood(
+    predictions: Sequence[float], labels: Sequence[int], *, epsilon: float = 1e-9
+) -> float:
+    """Average negative log-likelihood of the labels under the predicted probabilities."""
+    if len(predictions) != len(labels):
+        raise TrainingError("predictions and labels must have the same length")
+    total = 0.0
+    for p, y in zip(predictions, labels):
+        p = min(max(p, epsilon), 1.0 - epsilon)
+        total += -(y * math.log(p) + (1 - y) * math.log(1.0 - p))
+    return total / len(predictions)
+
+
+def negative_log_likelihood_gradient_weight(
+    prediction: float, label: int, count: int, *, epsilon: float = 1e-9
+) -> float:
+    """``∂NLL/∂l`` for one data point (averaged over the dataset size)."""
+    p = min(max(prediction, epsilon), 1.0 - epsilon)
+    return (-(label / p) + (1 - label) / (1.0 - p)) / count
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters of the gradient-descent loop."""
+
+    epochs: int = 200
+    learning_rate: float = 0.5
+    loss: str = "squared"
+    seed: int = 0
+    initial_spread: float = 0.1
+    record_accuracy: bool = True
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise TrainingError("training needs at least one epoch")
+        if self.learning_rate <= 0:
+            raise TrainingError("the learning rate must be positive")
+        if self.loss not in ("squared", "nll"):
+            raise TrainingError(f"unknown loss {self.loss!r}; expected 'squared' or 'nll'")
+
+
+@dataclass
+class TrainingResult:
+    """The outcome of one training run."""
+
+    classifier_name: str
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    final_binding: ParameterBinding | None = None
+
+    @property
+    def final_loss(self) -> float:
+        """The loss after the last epoch."""
+        if not self.losses:
+            raise TrainingError("the training run recorded no losses")
+        return self.losses[-1]
+
+    @property
+    def best_loss(self) -> float:
+        """The minimum loss observed during training."""
+        if not self.losses:
+            raise TrainingError("the training run recorded no losses")
+        return min(self.losses)
+
+
+class GradientDescentTrainer:
+    """Plain gradient descent on a :class:`BooleanClassifier`.
+
+    The trainer is deliberately simple (no momentum, no batching): the
+    point of the case study is the *gradient computation*, which goes
+    through the paper's transform → compile → execute pipeline for every
+    parameter.
+    """
+
+    def __init__(self, classifier: BooleanClassifier, config: TrainingConfig | None = None):
+        self.classifier = classifier
+        self.config = config if config is not None else TrainingConfig()
+        self._program_sets: tuple[DerivativeProgramSet, ...] | None = None
+
+    @property
+    def program_sets(self) -> tuple[DerivativeProgramSet, ...]:
+        """The pre-compiled derivative program multisets (built lazily, once)."""
+        if self._program_sets is None:
+            self._program_sets = self.classifier.derivative_program_sets()
+        return self._program_sets
+
+    # -- single-epoch computations ----------------------------------------------
+
+    def predictions(self, dataset: Dataset, binding: ParameterBinding) -> list[float]:
+        """The classifier output ``l_θ(z)`` for every data point."""
+        return [
+            self.classifier.predict_probability(bits, binding) for bits, _ in dataset
+        ]
+
+    def loss(self, dataset: Dataset, binding: ParameterBinding) -> float:
+        """Evaluate the configured loss on the whole dataset."""
+        predictions = self.predictions(dataset, binding)
+        labels = [label for _, label in dataset]
+        if self.config.loss == "squared":
+            return squared_loss(predictions, labels)
+        return negative_log_likelihood(predictions, labels)
+
+    def loss_gradient(self, dataset: Dataset, binding: ParameterBinding) -> np.ndarray:
+        """Gradient of the loss with respect to every classifier parameter.
+
+        Chain rule: ``∂loss/∂α = Σ_z (∂loss/∂l)(z) · ∂l_θ(z)/∂α`` where the
+        inner derivative is computed by the paper's differentiation pipeline.
+        """
+        observable = self.classifier.readout_observable()
+        gradient = np.zeros(len(self.classifier.parameters), dtype=float)
+        count = len(dataset)
+        for bits, label in dataset:
+            state = self.classifier.input_state(bits)
+            prediction = self.classifier.predict_probability(bits, binding)
+            if self.config.loss == "squared":
+                weight = squared_loss_gradient_weight(prediction, label)
+            else:
+                weight = negative_log_likelihood_gradient_weight(prediction, label, count)
+            if abs(weight) < 1e-15:
+                continue
+            for index, program_set in enumerate(self.program_sets):
+                gradient[index] += weight * program_set.evaluate(observable, state, binding)
+        return gradient
+
+    # -- the training loop ----------------------------------------------------------
+
+    def train(
+        self,
+        dataset: Dataset,
+        initial_binding: ParameterBinding | None = None,
+    ) -> TrainingResult:
+        """Run gradient descent and return the loss (and accuracy) history."""
+        if not dataset:
+            raise TrainingError("cannot train on an empty dataset")
+        binding = (
+            initial_binding
+            if initial_binding is not None
+            else self.classifier.initial_binding(self.config.seed, self.config.initial_spread)
+        )
+        result = TrainingResult(classifier_name=self.classifier.name)
+        for _ in range(self.config.epochs):
+            result.losses.append(self.loss(dataset, binding))
+            if self.config.record_accuracy:
+                result.accuracies.append(self.classifier.accuracy(dataset, binding))
+            gradient = self.loss_gradient(dataset, binding)
+            updates = {
+                parameter: binding[parameter] - self.config.learning_rate * gradient[index]
+                for index, parameter in enumerate(self.classifier.parameters)
+            }
+            binding = ParameterBinding(updates)
+        result.losses.append(self.loss(dataset, binding))
+        if self.config.record_accuracy:
+            result.accuracies.append(self.classifier.accuracy(dataset, binding))
+        result.final_binding = binding
+        return result

@@ -1,0 +1,155 @@
+"""Unit tests for the additive-program compiler (Figure 3), including Example 4.1."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.lang.ast import Abort, Case, Seq, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, rz, seq, sum_programs
+from repro.lang.parameters import Parameter
+from repro.additive.compile import canonical_abort, compile_additive, nonaborting_count
+from repro.additive.essential_abort import essentially_aborts
+
+THETA = Parameter("theta")
+
+
+class TestNormalPrograms:
+    def test_normal_program_compiles_to_itself(self):
+        program = seq([rx(THETA, "q1"), ry(0.2, "q2")])
+        assert compile_additive(program) == [program]
+
+    def test_normal_aborting_program_collapses(self):
+        program = seq([rx(THETA, "q1"), Abort(["q1"])])
+        assert compile_additive(program) == [Abort(("q1",))]
+
+    def test_while_is_preserved(self):
+        program = bounded_while_on_qubit("q1", rx(THETA, "q1"), 2)
+        assert compile_additive(program) == [program]
+
+    def test_canonical_abort_uses_sorted_qvars(self):
+        program = seq([rx(THETA, "q2"), ry(0.1, "q1")])
+        assert canonical_abort(program) == Abort(("q1", "q2"))
+
+
+class TestSumRule:
+    def test_plain_sum_unions(self):
+        program = Sum(rx(THETA, "q1"), ry(0.1, "q1"))
+        assert compile_additive(program) == [rx(THETA, "q1"), ry(0.1, "q1")]
+
+    def test_sum_drops_aborting_side(self):
+        program = Sum(rx(THETA, "q1"), Abort(["q1"]))
+        assert compile_additive(program) == [rx(THETA, "q1")]
+        program = Sum(Abort(["q1"]), rx(THETA, "q1"))
+        assert compile_additive(program) == [rx(THETA, "q1")]
+
+    def test_sum_of_two_aborts_collapses(self):
+        program = Sum(Abort(["q1"]), Seq(Skip(["q1"]), Abort(["q1"])))
+        assert compile_additive(program) == [Abort(("q1",))]
+
+    def test_nested_sum_flattens_to_multiset(self):
+        program = sum_programs([rx(THETA, "q1"), ry(0.1, "q1"), rz(0.2, "q1")])
+        assert len(compile_additive(program)) == 3
+
+    def test_duplicate_summands_are_kept_as_multiset(self):
+        program = Sum(rx(THETA, "q1"), rx(THETA, "q1"))
+        assert compile_additive(program) == [rx(THETA, "q1"), rx(THETA, "q1")]
+
+
+class TestSequenceRule:
+    def test_cross_product(self):
+        program = Seq(Sum(rx(THETA, "q1"), ry(0.1, "q1")), Sum(rz(0.2, "q1"), Skip(["q1"])))
+        compiled = compile_additive(program)
+        assert len(compiled) == 4
+        assert Seq(rx(THETA, "q1"), rz(0.2, "q1")) in compiled
+        assert Seq(ry(0.1, "q1"), Skip(["q1"])) in compiled
+
+    def test_aborting_first_operand_collapses_everything(self):
+        program = Seq(Abort(["q1"]), Sum(rx(THETA, "q1"), ry(0.1, "q1")))
+        assert compile_additive(program) == [Abort(("q1",))]
+
+    def test_aborting_second_operand_collapses_everything(self):
+        program = Seq(Sum(rx(THETA, "q1"), ry(0.1, "q1")), Seq(Skip(["q1"]), Abort(["q1"])))
+        assert compile_additive(program) == [Abort(("q1",))]
+
+
+class TestCaseRule:
+    def test_fill_and_break_of_example_4_1(self):
+        """Example 4.1: case 0 → P1+P2, 1 → P3 compiles to two case programs."""
+        p1, p2, p3 = rx(THETA, "q1"), ry(0.4, "q1"), rz(0.7, "q1")
+        program = case_on_qubit("q1", {0: Sum(p1, p2), 1: p3})
+        compiled = compile_additive(program)
+        assert len(compiled) == 2
+        first, second = compiled
+        assert isinstance(first, Case) and isinstance(second, Case)
+        assert first.branch(0) == p1 and first.branch(1) == p3
+        assert second.branch(0) == p2
+        assert isinstance(second.branch(1), Abort)
+
+    def test_all_branches_aborting_collapse(self):
+        program = case_on_qubit(
+            "q1", {0: Sum(Abort(["q1"]), Abort(["q1"])), 1: Seq(Skip(["q1"]), Abort(["q1"]))}
+        )
+        assert compile_additive(program) == [Abort(("q1",))]
+
+    def test_padding_keeps_branch_alignment(self):
+        p1, p2, p3 = rx(THETA, "q1"), ry(0.4, "q1"), rz(0.7, "q1")
+        program = case_on_qubit("q1", {0: sum_programs([p1, p2, p3]), 1: Skip(["q1"])})
+        compiled = compile_additive(program)
+        assert len(compiled) == 3
+        # The 1-branch appears once and is padded with aborts afterwards.
+        one_branches = [c.branch(1) for c in compiled]
+        assert one_branches[0] == Skip(["q1"])
+        assert all(isinstance(b, Abort) for b in one_branches[1:])
+
+
+class TestWhileRule:
+    def test_additive_while_body_is_unfolded_and_compiled(self):
+        body = Sum(rx(THETA, "q1"), ry(0.4, "q1"))
+        program = bounded_while_on_qubit("q1", body, 2)
+        compiled = compile_additive(program)
+        # Two choices for the first body execution (the second is a smaller loop).
+        assert len(compiled) == 2
+        assert all(isinstance(c, Case) for c in compiled)
+
+    def test_additive_while_bound_one_collapses(self):
+        """With bound 1 the guard-1 branch always ends in abort, so only the
+        skip branch survives and fill-and-break produces a single program."""
+        body = Sum(rx(THETA, "q1"), ry(0.4, "q1"))
+        program = bounded_while_on_qubit("q1", body, 1)
+        compiled = compile_additive(program)
+        assert len(compiled) == 1
+        assert isinstance(compiled[0], Case)
+        assert isinstance(compiled[0].branch(1), Abort)
+
+
+class TestCountsAndInvariants:
+    def test_nonaborting_count_of_normal_program(self):
+        assert nonaborting_count(rx(THETA, "q1")) == 1
+        assert nonaborting_count(Abort(["q1"])) == 0
+
+    def test_nonaborting_count_of_sum(self):
+        program = sum_programs([rx(THETA, "q1"), Abort(["q1"]), ry(0.1, "q1")])
+        assert nonaborting_count(program) == 2
+
+    def test_exponential_example_from_section_4(self):
+        """(Q1+R1); ...; (Qn+Rn) compiles to 2^n programs."""
+        factors = [Sum(rx(THETA, "q1"), ry(0.1, "q1")) for _ in range(4)]
+        program = seq(factors)
+        assert nonaborting_count(program) == 2**4
+
+    def test_compiled_output_contains_no_sums_or_stray_aborts(self):
+        program = Seq(
+            Sum(rx(THETA, "q1"), Abort(["q1"])),
+            case_on_qubit("q1", {0: Sum(ry(0.1, "q2"), rz(0.2, "q2")), 1: Skip(["q1"])}),
+        )
+        compiled = compile_additive(program)
+        for entry in compiled:
+            assert not entry.is_additive()
+            assert not essentially_aborts(entry)
+
+    def test_canonical_abort_requires_variables(self):
+        class Empty:
+            def qvars(self):
+                return frozenset()
+
+        with pytest.raises(CompilationError):
+            canonical_abort(Empty())

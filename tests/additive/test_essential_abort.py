@@ -1,0 +1,53 @@
+"""Unit tests for the "essentially aborts" predicate (Definition 3.2)."""
+
+from repro.lang.ast import Abort, Init, Seq, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, seq
+from repro.lang.parameters import Parameter
+from repro.additive.essential_abort import essentially_aborts
+
+THETA = Parameter("theta")
+
+
+class TestAtomic:
+    def test_abort_aborts(self):
+        assert essentially_aborts(Abort(["q1"]))
+
+    def test_skip_init_unitary_do_not(self):
+        assert not essentially_aborts(Skip(["q1"]))
+        assert not essentially_aborts(Init("q1"))
+        assert not essentially_aborts(rx(THETA, "q1"))
+
+
+class TestSequence:
+    def test_abort_anywhere_in_sequence(self):
+        assert essentially_aborts(Seq(Abort(["q1"]), Skip(["q1"])))
+        assert essentially_aborts(Seq(Skip(["q1"]), Abort(["q1"])))
+        assert essentially_aborts(seq([rx(THETA, "q1"), Skip(["q1"]), Abort(["q1"])]))
+
+    def test_abort_free_sequence(self):
+        assert not essentially_aborts(seq([rx(THETA, "q1"), Skip(["q1"])]))
+
+    def test_nested_sequence(self):
+        inner = Seq(Skip(["q1"]), Abort(["q1"]))
+        assert essentially_aborts(Seq(rx(THETA, "q1"), inner))
+
+
+class TestCase:
+    def test_all_branches_abort(self):
+        program = case_on_qubit("q1", {0: Abort(["q1"]), 1: Seq(rx(THETA, "q1"), Abort(["q1"]))})
+        assert essentially_aborts(program)
+
+    def test_one_live_branch_suffices(self):
+        program = case_on_qubit("q1", {0: Abort(["q1"]), 1: Skip(["q1"])})
+        assert not essentially_aborts(program)
+
+
+class TestWhileAndSum:
+    def test_while_never_essentially_aborts(self):
+        loop = bounded_while_on_qubit("q1", Abort(["q1"]), 2)
+        assert not essentially_aborts(loop)
+
+    def test_sum_aborts_only_when_both_sides_do(self):
+        assert essentially_aborts(Sum(Abort(["q1"]), Seq(Skip(["q1"]), Abort(["q1"]))))
+        assert not essentially_aborts(Sum(Abort(["q1"]), Skip(["q1"])))
+        assert not essentially_aborts(Sum(Skip(["q1"]), Abort(["q1"])))

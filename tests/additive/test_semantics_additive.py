@@ -1,0 +1,96 @@
+"""Unit tests for the additive multiset semantics and Proposition 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.lang.ast import Abort, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.additive.semantics import (
+    additive_terminal_states,
+    check_compilation_consistency,
+    compiled_terminal_states,
+    states_match_as_multisets,
+)
+
+THETA = Parameter("theta")
+LAYOUT = RegisterLayout(["q1", "q2"])
+BINDING = ParameterBinding({THETA: 0.6})
+
+
+def _state(q1=0, q2=0):
+    return DensityState.basis_state(LAYOUT, {"q1": q1, "q2": q2})
+
+
+class TestMultisetSemantics:
+    def test_sum_yields_one_terminal_per_choice(self):
+        program = Sum(rx(THETA, "q1"), ry(0.3, "q1"))
+        states = additive_terminal_states(program, _state(), BINDING)
+        assert len(states) == 2
+
+    def test_definition_4_1_does_not_sum_traces(self):
+        """Each trace in the multiset stays ≤ 1; the entries are not merged."""
+        program = Sum(Skip(["q1"]), Skip(["q1"]))
+        states = additive_terminal_states(program, _state(), BINDING)
+        assert len(states) == 2
+        assert all(np.isclose(s.trace(), 1.0) for s in states)
+
+    def test_aborting_choice_is_dropped(self):
+        program = Sum(Skip(["q1"]), Abort(["q1"]))
+        states = additive_terminal_states(program, _state(), BINDING)
+        assert len(states) == 1
+
+
+class TestProposition42:
+    @pytest.mark.parametrize("q1_value", [0, 1])
+    def test_sum_inside_case(self, q1_value):
+        program = case_on_qubit(
+            "q1",
+            {0: Sum(rx(THETA, "q2"), ry(0.8, "q2")), 1: rx(0.2, "q2")},
+        )
+        state = _state(q1=q1_value)
+        assert check_compilation_consistency(program, state, BINDING)
+
+    def test_sum_inside_sequence(self):
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                Sum(ry(0.3, "q2"), Skip(["q2"])),
+                case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(0.1, "q2")}),
+            ]
+        )
+        assert check_compilation_consistency(program, _state(), BINDING)
+
+    def test_sum_inside_while_body(self):
+        program = bounded_while_on_qubit("q1", Sum(rx(THETA, "q1"), ry(0.7, "q1")), 2)
+        assert check_compilation_consistency(program, _state(q1=1), BINDING)
+
+    def test_exact_multiset_match_for_simple_sum(self):
+        program = Sum(rx(THETA, "q1"), ry(0.3, "q1"))
+        left = additive_terminal_states(program, _state(), BINDING)
+        right = compiled_terminal_states(program, _state(), BINDING)
+        assert states_match_as_multisets(left, right)
+
+    def test_normal_program_sides_coincide(self):
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(0.5, "q2")})])
+        left = additive_terminal_states(program, _state(), BINDING)
+        right = compiled_terminal_states(program, _state(), BINDING)
+        assert states_match_as_multisets(left, right)
+
+
+class TestMultisetMatcher:
+    def test_length_mismatch(self):
+        assert not states_match_as_multisets([_state()], [])
+
+    def test_value_mismatch(self):
+        assert not states_match_as_multisets([_state(0, 0)], [_state(1, 0)])
+
+    def test_permutation_invariance(self):
+        a, b = _state(0, 0), _state(1, 1)
+        assert states_match_as_multisets([a, b], [b, a])
+
+    def test_multiplicity_sensitivity(self):
+        a, b = _state(0, 0), _state(1, 1)
+        assert not states_match_as_multisets([a, a], [a, b])

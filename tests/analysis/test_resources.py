@@ -1,0 +1,143 @@
+"""Unit tests for the resource analysis (Definition 7.1, Definition 4.3, Prop. 7.2)."""
+
+import pytest
+
+from repro.lang.ast import Abort, Init, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, rz, seq
+from repro.lang.parameters import Parameter
+from repro.analysis.resources import (
+    ResourceReport,
+    analyze_program,
+    circuit_depth,
+    derivative_program_count,
+    gate_count,
+    occurrence_count,
+    qubit_count,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+
+
+class TestOccurrenceCount:
+    def test_atomic_statements_are_zero(self):
+        for program in (Skip(["q1"]), Abort(["q1"]), Init("q1")):
+            assert occurrence_count(program, THETA) == 0
+
+    def test_unitary_counts_only_nontrivial_use(self):
+        assert occurrence_count(rx(THETA, "q1"), THETA) == 1
+        assert occurrence_count(rx(PHI, "q1"), THETA) == 0
+        assert occurrence_count(rx(0.4, "q1"), THETA) == 0
+
+    def test_sequence_sums(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q2"), rz(PHI, "q1")])
+        assert occurrence_count(program, THETA) == 2
+        assert occurrence_count(program, PHI) == 1
+
+    def test_case_takes_maximum_over_branches(self):
+        program = case_on_qubit(
+            "q1",
+            {0: seq([rx(THETA, "q2"), ry(THETA, "q2")]), 1: rz(THETA, "q2")},
+        )
+        assert occurrence_count(program, THETA) == 2
+
+    def test_while_multiplies_by_bound(self):
+        program = bounded_while_on_qubit("q1", seq([rx(THETA, "q1"), ry(THETA, "q2")]), 3)
+        assert occurrence_count(program, THETA) == 6
+
+    def test_sum_counts_both_sides(self):
+        program = Sum(rx(THETA, "q1"), seq([ry(THETA, "q1"), rz(THETA, "q1")]))
+        assert occurrence_count(program, THETA) == 3
+
+
+class TestDerivativeProgramCount:
+    def test_circuit_count_equals_occurrences(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q2"), rxx(THETA, "q1", "q2"), rz(PHI, "q1")])
+        assert derivative_program_count(program, THETA) == 3
+
+    def test_case_count_is_max_over_branches(self):
+        program = case_on_qubit(
+            "q1", {0: seq([rx(THETA, "q2"), ry(THETA, "q2")]), 1: rz(THETA, "q2")}
+        )
+        assert derivative_program_count(program, THETA) == 2
+
+    def test_while_count_drops_aborting_unrollings(self):
+        """For a 2-bounded loop |#∂| = OC(body), strictly below OC = 2·OC(body)."""
+        body = seq([rx(THETA, "q1"), ry(THETA, "q2")])
+        program = bounded_while_on_qubit("q1", body, 2)
+        assert occurrence_count(program, THETA) == 4
+        assert derivative_program_count(program, THETA) == 2
+
+    def test_zero_when_parameter_absent(self):
+        assert derivative_program_count(rx(PHI, "q1"), THETA) == 0
+
+
+class TestProposition72:
+    @pytest.mark.parametrize(
+        "program_builder",
+        [
+            lambda: seq([rx(THETA, "q1"), ry(THETA, "q2"), rz(THETA, "q1")]),
+            lambda: case_on_qubit("q1", {0: rx(THETA, "q2"), 1: seq([ry(THETA, "q2"), rz(THETA, "q2")])}),
+            lambda: bounded_while_on_qubit("q1", seq([rx(THETA, "q1"), rxx(THETA, "q1", "q2")]), 2),
+            lambda: seq(
+                [
+                    rx(THETA, "q1"),
+                    bounded_while_on_qubit(
+                        "q1", case_on_qubit("q2", {0: ry(THETA, "q2"), 1: Abort(["q2"])}), 2
+                    ),
+                ]
+            ),
+        ],
+    )
+    def test_bound_holds(self, program_builder):
+        program = program_builder()
+        assert derivative_program_count(program, THETA) <= occurrence_count(program, THETA)
+
+
+class TestSizeMetrics:
+    def test_gate_count(self):
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                case_on_qubit("q1", {0: ry(0.1, "q2"), 1: seq([rz(0.2, "q2"), rx(0.3, "q2")])}),
+                bounded_while_on_qubit("q2", rxx(0.4, "q1", "q2"), 3),
+            ]
+        )
+        # 1 + (1 + 2) + 3·1 = 7
+        assert gate_count(program) == 7
+
+    def test_gate_count_ignores_non_unitaries(self):
+        assert gate_count(seq([Skip(["q1"]), Init("q1"), Abort(["q1"])])) == 0
+
+    def test_qubit_count(self):
+        assert qubit_count(seq([rx(THETA, "q1"), rxx(0.1, "q2", "q3")])) == 3
+
+    def test_circuit_depth_sequential_vs_parallel(self):
+        sequential = seq([rx(THETA, "q1"), ry(0.1, "q1"), rz(0.2, "q1")])
+        parallel = seq([rx(THETA, "q1"), ry(0.1, "q2")])
+        assert circuit_depth(sequential) == 3
+        assert circuit_depth(parallel) == 1
+
+    def test_circuit_depth_of_loop_multiplies(self):
+        loop = bounded_while_on_qubit("q1", seq([rx(THETA, "q2"), ry(0.2, "q2")]), 2)
+        assert circuit_depth(loop) >= 4
+
+
+class TestReport:
+    def test_analyze_program_produces_consistent_report(self):
+        program = seq([rx(THETA, "q1"), bounded_while_on_qubit("q1", ry(THETA, "q2"), 2)])
+        report = analyze_program(program, THETA, name="demo", layer_count=3)
+        assert isinstance(report, ResourceReport)
+        assert report.name == "demo"
+        assert report.occurrence_count == 3
+        assert report.derivative_program_count == 2
+        assert report.gate_count == 3
+        assert report.layer_count == 3
+        assert report.qubit_count == 2
+        assert report.satisfies_bound()
+        assert report.as_row()[0] == "demo"
+
+    def test_report_without_declared_layers_uses_depth(self):
+        program = seq([rx(THETA, "q1"), ry(0.1, "q1")])
+        report = analyze_program(program, THETA)
+        assert report.layer_count == circuit_depth(program)

@@ -1,0 +1,48 @@
+"""Unit tests for the proposition-checking helpers."""
+
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.analysis.verification import (
+    check_operational_denotational_agreement,
+    check_resource_bound,
+)
+
+THETA = Parameter("theta")
+LAYOUT = RegisterLayout(["q1", "q2"])
+
+
+class TestResourceBound:
+    def test_holds_for_nested_control_flow(self):
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rx(THETA, "q2")}),
+                bounded_while_on_qubit("q2", seq([rx(THETA, "q1"), ry(THETA, "q2")]), 2),
+            ]
+        )
+        assert check_resource_bound(program, THETA)
+
+    def test_holds_for_parameter_free_program(self):
+        program = seq([rx(0.1, "q1"), ry(0.2, "q2")])
+        assert check_resource_bound(program, THETA)
+
+
+class TestOperationalDenotationalAgreement:
+    def test_agreement_on_branching_program(self):
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                case_on_qubit("q1", {0: ry(0.4, "q2"), 1: rx(0.9, "q2")}),
+                bounded_while_on_qubit("q2", ry(0.3, "q1"), 2),
+            ]
+        )
+        state = DensityState.basis_state(LAYOUT, {"q1": 0, "q2": 1})
+        binding = ParameterBinding({THETA: 1.3})
+        assert check_operational_denotational_agreement(program, state, binding)
+
+    def test_agreement_for_unparameterized_program(self):
+        program = seq([rx(0.5, "q1"), ry(0.25, "q2")])
+        state = DensityState.zero_state(LAYOUT)
+        assert check_operational_denotational_agreement(program, state)

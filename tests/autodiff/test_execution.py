@@ -1,0 +1,150 @@
+"""Unit tests for the end-to-end gradient execution pipeline (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Abort, Skip
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, rz, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.autodiff.execution import (
+    DerivativeProgramSet,
+    derivative_expectation,
+    differentiate_and_compile,
+    estimate_derivative_expectation,
+    expectation,
+    gradient,
+)
+from repro.analysis.resources import occurrence_count
+from repro.baselines.finite_diff import finite_difference_derivative, finite_difference_gradient
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+ZZ = pauli_observable("ZZ")
+BINDING = ParameterBinding({THETA: 0.52, PHI: -0.8})
+
+
+def _state(q1=0, q2=0):
+    return DensityState.basis_state(LAYOUT, {"q1": q1, "q2": q2})
+
+
+def _control_program():
+    return seq(
+        [
+            rx(THETA, "q1"),
+            rxx(PHI, "q1", "q2"),
+            case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rz(THETA, "q2")}),
+        ]
+    )
+
+
+class TestDerivativeProgramSet:
+    def test_compile_time_artifact_structure(self):
+        program_set = differentiate_and_compile(_control_program(), THETA)
+        assert program_set.parameter == THETA
+        assert program_set.ancilla == "anc_theta"
+        assert program_set.additive.is_additive()
+        assert len(program_set.programs) >= program_set.nonaborting_count
+        assert all(not p.is_additive() for p in program_set.programs)
+
+    def test_nonaborting_count_respects_occurrence_bound(self):
+        program = _control_program()
+        program_set = differentiate_and_compile(program, THETA)
+        assert program_set.nonaborting_count <= occurrence_count(program, THETA)
+
+    def test_programs_extend_register_with_one_ancilla(self):
+        program_set = differentiate_and_compile(_control_program(), THETA)
+        for compiled in program_set.nonaborting_programs():
+            assert compiled.qvars() <= {"q1", "q2", "anc_theta"}
+
+    def test_evaluate_matches_finite_differences(self):
+        program = _control_program()
+        program_set = differentiate_and_compile(program, THETA)
+        value = program_set.evaluate(ZZ, _state(), BINDING)
+        reference = finite_difference_derivative(program, THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(reference, abs=1e-6)
+
+    def test_evaluate_checks_observable_dimension(self):
+        program_set = differentiate_and_compile(rx(THETA, "q1"), THETA)
+        state = DensityState.basis_state(RegisterLayout(["q1"]), {})
+        with pytest.raises(SemanticsError):
+            program_set.evaluate(ZZ, state, BINDING)
+
+    def test_zero_derivative_when_parameter_absent(self):
+        program = seq([rx(PHI, "q1"), ry(0.3, "q2")])
+        program_set = differentiate_and_compile(program, THETA)
+        assert program_set.nonaborting_count == 0
+        assert program_set.evaluate(ZZ, _state(), BINDING) == pytest.approx(0.0)
+
+
+class TestExpectationHelpers:
+    def test_expectation_is_observable_semantics(self):
+        value = expectation(Skip(["q1"]), ZZ, _state(0, 1), BINDING)
+        assert value == pytest.approx(-1.0)
+
+    def test_derivative_expectation_single_rotation(self):
+        value = derivative_expectation(rx(THETA, "q1"), THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(-np.sin(0.52), abs=1e-9)
+
+    def test_derivative_expectation_on_while_program(self):
+        program = seq(
+            [rx(THETA, "q1"), bounded_while_on_qubit("q1", seq([ry(THETA, "q2"), rx(0.4, "q1")]), 2)]
+        )
+        value = derivative_expectation(program, THETA, ZZ, _state(), BINDING)
+        reference = finite_difference_derivative(program, THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(reference, abs=1e-6)
+
+    def test_derivative_of_aborting_program_is_zero(self):
+        program = seq([rx(THETA, "q1"), Abort(["q1"])])
+        assert derivative_expectation(program, THETA, ZZ, _state(), BINDING) == pytest.approx(0.0)
+
+
+class TestGradient:
+    def test_gradient_matches_finite_differences(self):
+        program = _control_program()
+        parameters = [THETA, PHI]
+        exact = gradient(program, parameters, ZZ, _state(), BINDING)
+        reference = finite_difference_gradient(program, parameters, ZZ, _state(), BINDING)
+        assert np.allclose(exact, reference, atol=1e-6)
+
+    def test_gradient_with_prebuilt_program_sets(self):
+        program = _control_program()
+        parameters = [THETA, PHI]
+        program_sets = [differentiate_and_compile(program, p) for p in parameters]
+        first = gradient(program, parameters, ZZ, _state(), BINDING, program_sets=program_sets)
+        second = gradient(program, parameters, ZZ, _state(), BINDING)
+        assert np.allclose(first, second)
+
+    def test_gradient_program_set_count_mismatch(self):
+        program = _control_program()
+        with pytest.raises(SemanticsError):
+            gradient(program, [THETA, PHI], ZZ, _state(), BINDING, program_sets=[])
+
+    def test_gradient_changes_with_the_point(self):
+        program = _control_program()
+        at_origin = gradient(program, [THETA], ZZ, _state(), ParameterBinding({THETA: 0.0, PHI: 0.0}))
+        elsewhere = gradient(program, [THETA], ZZ, _state(), BINDING)
+        assert not np.allclose(at_origin, elsewhere)
+
+
+class TestSampledExecution:
+    def test_sampled_estimate_close_to_exact(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q1")])
+        rng = np.random.default_rng(7)
+        exact = derivative_expectation(program, THETA, ZZ, _state(), BINDING)
+        estimate = estimate_derivative_expectation(
+            program, THETA, ZZ, _state(), BINDING, precision=0.15, rng=rng
+        )
+        assert abs(estimate - exact) < 0.15
+
+    def test_sampled_estimate_of_zero_derivative(self):
+        program = rx(PHI, "q1")
+        rng = np.random.default_rng(8)
+        estimate = estimate_derivative_expectation(
+            program, THETA, ZZ, _state(), BINDING, precision=0.2, rng=rng
+        )
+        assert estimate == pytest.approx(0.0)

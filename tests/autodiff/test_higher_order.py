@@ -1,0 +1,168 @@
+"""Tests for the higher-order differentiation extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.lang.ast import Seq, UnitaryApp
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, seq
+from repro.lang.gates import ControlledCoupling, ControlledRotation
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.lang.traversal import iter_gate_applications
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.denotational import denote
+from repro.semantics.observable import observable_semantics
+from repro.autodiff.gadgets import rotation_prime, coupling_prime
+from repro.autodiff.higher_order import (
+    eliminate_controlled_rotations,
+    higher_order_derivative_expectation,
+    iterated_derivative,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+BINDING = ParameterBinding({THETA: 0.7, PHI: -0.4})
+
+
+def _state():
+    return DensityState.zero_state(LAYOUT)
+
+
+def _numeric_second_derivative(program, parameter, observable, state, binding, step=1e-3):
+    def f(value):
+        return observable_semantics(program, observable, state, binding.with_value(parameter, value))
+
+    point = binding[parameter]
+    return (f(point + step) - 2 * f(point) + f(point - step)) / step**2
+
+
+def _numeric_mixed_derivative(program, p1, p2, observable, state, binding, step=1e-4):
+    def f(a, b):
+        shifted = binding.with_value(p1, a).with_value(p2, b)
+        return observable_semantics(program, observable, state, shifted)
+
+    a0, b0 = binding[p1], binding[p2]
+    return (
+        f(a0 + step, b0 + step)
+        - f(a0 + step, b0 - step)
+        - f(a0 - step, b0 + step)
+        + f(a0 - step, b0 - step)
+    ) / (4 * step**2)
+
+
+class TestElimination:
+    def test_gadget_gates_are_removed(self):
+        gadget = rotation_prime("X", THETA, "a", "q1")
+        rewritten = eliminate_controlled_rotations(gadget)
+        assert not any(
+            isinstance(g.gate, (ControlledRotation, ControlledCoupling))
+            for g in iter_gate_applications(rewritten)
+        )
+
+    def test_elimination_preserves_semantics_for_rotations(self):
+        gadget = rotation_prime("Y", THETA, "a", "q1")
+        rewritten = eliminate_controlled_rotations(gadget)
+        layout = RegisterLayout(["a", "q1"])
+        state = DensityState.basis_state(layout, {"a": 1, "q1": 0})
+        assert np.allclose(
+            denote(gadget, state, BINDING).matrix,
+            denote(rewritten, state, BINDING).matrix,
+        )
+
+    def test_elimination_preserves_semantics_for_couplings(self):
+        gadget = coupling_prime("ZZ", PHI, "a", "q1", "q2")
+        rewritten = eliminate_controlled_rotations(gadget)
+        layout = RegisterLayout(["a", "q1", "q2"])
+        state = DensityState.basis_state(layout, {"a": 1, "q2": 1})
+        assert np.allclose(
+            denote(gadget, state, BINDING).matrix,
+            denote(rewritten, state, BINDING).matrix,
+        )
+
+    def test_programs_without_gadget_gates_are_untouched(self):
+        program = seq([rx(THETA, "q1"), ry(0.3, "q2")])
+        assert eliminate_controlled_rotations(program) == program
+
+
+class TestIteratedDerivative:
+    def test_requires_at_least_one_parameter(self):
+        with pytest.raises(TransformError):
+            iterated_derivative(rx(THETA, "q1"), [])
+
+    def test_one_fresh_ancilla_per_order(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q1")])
+        derivative, ancillae = iterated_derivative(program, [THETA, THETA])
+        assert len(ancillae) == 2
+        assert len(set(ancillae)) == 2
+        assert set(ancillae) <= derivative.qvars()
+
+
+class TestSecondDerivatives:
+    def test_second_derivative_of_single_rotation_is_analytic(self):
+        """⟨Z⟩ after RX(θ)|0⟩ is cos θ, so the second derivative is −cos θ."""
+        program = rx(THETA, "q1")
+        observable = pauli_observable("ZI")
+        value = higher_order_derivative_expectation(
+            program, [THETA, THETA], observable, _state(), BINDING
+        )
+        assert value == pytest.approx(-np.cos(0.7), abs=1e-9)
+
+    def test_second_derivative_of_composition(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q1"), rxx(0.4, "q1", "q2")])
+        observable = pauli_observable("ZZ")
+        value = higher_order_derivative_expectation(
+            program, [THETA, THETA], observable, _state(), BINDING
+        )
+        numeric = _numeric_second_derivative(program, THETA, observable, _state(), BINDING)
+        assert value == pytest.approx(numeric, abs=1e-4)
+
+    def test_second_derivative_of_program_with_controls(self):
+        program = seq(
+            [rx(THETA, "q1"), case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rx(THETA, "q2")})]
+        )
+        observable = pauli_observable("IZ")
+        value = higher_order_derivative_expectation(
+            program, [THETA, THETA], observable, _state(), BINDING
+        )
+        numeric = _numeric_second_derivative(program, THETA, observable, _state(), BINDING)
+        assert value == pytest.approx(numeric, abs=1e-4)
+
+    def test_mixed_partial_derivative(self):
+        program = seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(THETA, "q2")])
+        observable = pauli_observable("ZZ")
+        value = higher_order_derivative_expectation(
+            program, [THETA, PHI], observable, _state(), BINDING
+        )
+        numeric = _numeric_mixed_derivative(program, THETA, PHI, observable, _state(), BINDING)
+        assert value == pytest.approx(numeric, abs=1e-4)
+
+    def test_mixed_partials_commute(self):
+        program = seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(THETA, "q2")])
+        observable = pauli_observable("ZZ")
+        theta_phi = higher_order_derivative_expectation(
+            program, [THETA, PHI], observable, _state(), BINDING
+        )
+        phi_theta = higher_order_derivative_expectation(
+            program, [PHI, THETA], observable, _state(), BINDING
+        )
+        assert theta_phi == pytest.approx(phi_theta, abs=1e-9)
+
+    def test_first_order_reduces_to_standard_pipeline(self):
+        from repro.autodiff.execution import derivative_expectation
+
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        observable = pauli_observable("ZZ")
+        via_higher_order = higher_order_derivative_expectation(
+            program, [THETA], observable, _state(), BINDING
+        )
+        via_pipeline = derivative_expectation(program, THETA, observable, _state(), BINDING)
+        assert via_higher_order == pytest.approx(via_pipeline, abs=1e-9)
+
+    def test_observable_dimension_validated(self):
+        with pytest.raises(TransformError):
+            higher_order_derivative_expectation(
+                rx(THETA, "q1"), [THETA], pauli_observable("Z"), _state(), BINDING
+            )

@@ -1,0 +1,55 @@
+"""Unit tests for the scheme-cost comparison (Sections 1 and 6 resource argument)."""
+
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, seq
+from repro.lang.parameters import Parameter
+from repro.baselines.comparison import (
+    SchemeCost,
+    gadget_program_count,
+    phase_shift_circuit_count,
+    scheme_costs,
+)
+
+THETA = Parameter("theta")
+
+
+def _circuit():
+    return seq([rx(THETA, "q1"), ry(THETA, "q2"), rx(0.3, "q1")])
+
+
+def _controlled_program():
+    return seq([rx(THETA, "q1"), case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rx(THETA, "q2")})])
+
+
+class TestCounts:
+    def test_phase_shift_needs_two_circuits_per_occurrence(self):
+        assert phase_shift_circuit_count(_circuit(), THETA) == 4
+
+    def test_phase_shift_not_applicable_to_controls(self):
+        assert phase_shift_circuit_count(_controlled_program(), THETA) is None
+
+    def test_gadget_count_on_circuit(self):
+        assert gadget_program_count(_circuit(), THETA) == 2
+
+    def test_gadget_count_on_controlled_program(self):
+        assert gadget_program_count(_controlled_program(), THETA) == 2
+
+    def test_gadget_count_on_while_program_is_below_occurrences(self):
+        program = bounded_while_on_qubit("q1", seq([rx(THETA, "q1"), ry(THETA, "q2")]), 2)
+        assert gadget_program_count(program, THETA) == 2
+
+
+class TestSchemeCosts:
+    def test_comparison_on_circuit(self):
+        costs = scheme_costs(_circuit(), THETA)
+        gadget, shift = costs["gadget"], costs["phase_shift"]
+        assert isinstance(gadget, SchemeCost) and isinstance(shift, SchemeCost)
+        assert gadget.applicable and shift.applicable
+        assert gadget.programs_per_parameter < shift.programs_per_parameter
+        assert gadget.extra_ancillas == 1 and shift.extra_ancillas == 0
+
+    def test_comparison_on_controlled_program(self):
+        costs = scheme_costs(_controlled_program(), THETA)
+        assert costs["gadget"].applicable
+        assert not costs["phase_shift"].applicable
+        assert costs["gadget"].supports_controls
+        assert not costs["phase_shift"].supports_controls

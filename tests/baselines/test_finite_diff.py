@@ -1,0 +1,55 @@
+"""Unit tests for the finite-difference baseline."""
+
+import numpy as np
+import pytest
+
+from repro.lang.ast import Sum
+from repro.lang.builder import case_on_qubit, rx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.baselines.finite_diff import finite_difference_derivative, finite_difference_gradient
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+ZZ = pauli_observable("ZZ")
+BINDING = ParameterBinding({THETA: 0.33, PHI: 1.2})
+
+
+def _state():
+    return DensityState.zero_state(LAYOUT)
+
+
+class TestFiniteDifferences:
+    def test_analytic_value_for_single_rotation(self):
+        value = finite_difference_derivative(rx(THETA, "q1"), THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(-np.sin(0.33), abs=1e-6)
+
+    def test_step_size_controls_accuracy(self):
+        coarse = finite_difference_derivative(
+            rx(THETA, "q1"), THETA, ZZ, _state(), BINDING, step=0.5
+        )
+        fine = finite_difference_derivative(
+            rx(THETA, "q1"), THETA, ZZ, _state(), BINDING, step=1e-6
+        )
+        exact = -np.sin(0.33)
+        assert abs(fine - exact) < abs(coarse - exact)
+
+    def test_handles_control_flow(self):
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rx(0.1, "q2")})])
+        value = finite_difference_derivative(program, THETA, ZZ, _state(), BINDING)
+        assert np.isfinite(value)
+
+    def test_handles_additive_programs(self):
+        program = Sum(rx(THETA, "q1"), rx(THETA, "q1"))
+        value = finite_difference_derivative(program, THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(-2 * np.sin(0.33), abs=1e-6)
+
+    def test_gradient_has_one_entry_per_parameter(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        grad = finite_difference_gradient(program, [THETA, PHI], ZZ, _state(), BINDING)
+        assert grad.shape == (2,)
+        assert grad[0] == pytest.approx(-np.sin(0.33) * np.cos(1.2), abs=1e-5)
+        assert grad[1] == pytest.approx(-np.cos(0.33) * np.sin(1.2), abs=1e-5)

@@ -1,0 +1,89 @@
+"""Unit tests for the two-circuit parameter-shift baseline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.lang.ast import Abort, Init, Skip
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, rz, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.autodiff.execution import derivative_expectation, gradient
+from repro.baselines.finite_diff import finite_difference_derivative
+from repro.baselines.phase_shift import phase_shift_derivative, phase_shift_gradient
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+ZZ = pauli_observable("ZZ")
+BINDING = ParameterBinding({THETA: 0.64, PHI: -1.3})
+
+
+def _state():
+    return DensityState.basis_state(LAYOUT, {"q1": 0, "q2": 1})
+
+
+def _circuit():
+    return seq([rx(THETA, "q1"), ry(PHI, "q2"), rxx(THETA, "q1", "q2"), rz(0.3, "q1")])
+
+
+class TestCorrectness:
+    def test_single_rotation_analytic(self):
+        value = phase_shift_derivative(rx(THETA, "q1"), THETA, pauli_observable("ZI"), _state(), BINDING)
+        assert value == pytest.approx(-np.sin(0.64), abs=1e-9)
+
+    def test_repeated_parameter_sums_occurrences(self):
+        value = phase_shift_derivative(_circuit(), THETA, ZZ, _state(), BINDING)
+        reference = finite_difference_derivative(_circuit(), THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(reference, abs=1e-6)
+
+    def test_agrees_with_gadget_pipeline_on_circuits(self):
+        ours = derivative_expectation(_circuit(), THETA, ZZ, _state(), BINDING)
+        baseline = phase_shift_derivative(_circuit(), THETA, ZZ, _state(), BINDING)
+        assert ours == pytest.approx(baseline, abs=1e-9)
+
+    def test_zero_for_absent_parameter(self):
+        other = Parameter("other")
+        binding = ParameterBinding({THETA: 0.64, PHI: -1.3, other: 0.1})
+        assert phase_shift_derivative(_circuit(), other, ZZ, _state(), binding) == pytest.approx(0.0)
+
+    def test_gradient_matches_gadget_gradient(self):
+        parameters = [THETA, PHI]
+        baseline = phase_shift_gradient(_circuit(), parameters, ZZ, _state(), BINDING)
+        ours = gradient(_circuit(), parameters, ZZ, _state(), BINDING)
+        assert np.allclose(baseline, ours, atol=1e-9)
+
+    def test_skip_statements_are_tolerated(self):
+        circuit = seq([rx(THETA, "q1"), Skip(["q2"]), ry(PHI, "q2")])
+        value = phase_shift_derivative(circuit, THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(
+            finite_difference_derivative(circuit, THETA, ZZ, _state(), BINDING), abs=1e-6
+        )
+
+
+class TestDomainRestrictions:
+    """The baseline rejects exactly the programs PennyLane-style rules cannot handle."""
+
+    def test_rejects_case_statements(self):
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(THETA, "q2")})])
+        with pytest.raises(TransformError):
+            phase_shift_derivative(program, THETA, ZZ, _state(), BINDING)
+
+    def test_rejects_while_loops(self):
+        program = bounded_while_on_qubit("q1", rx(THETA, "q1"), 2)
+        with pytest.raises(TransformError):
+            phase_shift_derivative(program, THETA, ZZ, _state(), BINDING)
+
+    def test_rejects_initialization_and_abort(self):
+        with pytest.raises(TransformError):
+            phase_shift_derivative(seq([Init("q1"), rx(THETA, "q1")]), THETA, ZZ, _state(), BINDING)
+        with pytest.raises(TransformError):
+            phase_shift_derivative(seq([rx(THETA, "q1"), Abort(["q1"])]), THETA, ZZ, _state(), BINDING)
+
+    def test_the_gadget_pipeline_handles_what_the_baseline_rejects(self):
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(THETA, "q2")})])
+        value = derivative_expectation(program, THETA, ZZ, _state(), BINDING)
+        reference = finite_difference_derivative(program, THETA, ZZ, _state(), BINDING)
+        assert value == pytest.approx(reference, abs=1e-6)

@@ -1,0 +1,168 @@
+"""Shared fixtures and hypothesis strategies for the test-suite.
+
+The strategies build random — but well-formed — parameterized quantum
+programs over a small register, which the property-based tests use to
+validate the paper's propositions (operational/denotational agreement,
+compilation consistency, soundness of the differentiation transformation,
+the resource bound) on inputs nobody hand-picked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.lang.ast import Program, Seq, Sum
+from repro.lang.builder import (
+    bounded_while_on_qubit,
+    case_on_qubit,
+    rx,
+    rxx,
+    ry,
+    rz,
+    seq,
+)
+from repro.lang.ast import Abort, Init, Skip
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import Observable, pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+
+TWO_QUBITS = ("q1", "q2")
+
+
+@pytest.fixture
+def theta() -> Parameter:
+    return THETA
+
+
+@pytest.fixture
+def phi() -> Parameter:
+    return PHI
+
+
+@pytest.fixture
+def two_qubit_layout() -> RegisterLayout:
+    return RegisterLayout(TWO_QUBITS)
+
+
+@pytest.fixture
+def two_qubit_state(two_qubit_layout: RegisterLayout) -> DensityState:
+    return DensityState.basis_state(two_qubit_layout, {"q1": 0, "q2": 1})
+
+
+@pytest.fixture
+def binding() -> ParameterBinding:
+    return ParameterBinding({THETA: 0.37, PHI: -1.1})
+
+
+@pytest.fixture
+def zz_observable() -> Observable:
+    return pauli_observable("ZZ")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for random programs
+# ---------------------------------------------------------------------------
+
+QUBITS = ("q1", "q2")
+PARAMETERS = (THETA, PHI)
+
+
+def _leaf_statements(parameters: tuple[Parameter, ...]) -> st.SearchStrategy[Program]:
+    """Atomic statements over the two-qubit register."""
+    qubit = st.sampled_from(QUBITS)
+    angle = st.one_of(
+        st.sampled_from(parameters),
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False),
+    )
+    rotations = st.builds(
+        lambda builder, a, q: builder(a, q),
+        st.sampled_from((rx, ry, rz)),
+        angle,
+        qubit,
+    )
+    couplings = st.builds(lambda a: rxx(a, "q1", "q2"), angle)
+    simple = st.one_of(
+        st.builds(Skip, st.just(QUBITS)),
+        st.builds(Init, qubit),
+        st.builds(Abort, st.just(QUBITS)),
+    )
+    # Rotations dominate so that programs usually depend on the parameters.
+    return st.one_of(rotations, rotations, couplings, simple)
+
+
+def program_strategy(
+    *,
+    max_depth: int = 3,
+    allow_sum: bool = False,
+    allow_abort: bool = True,
+    parameters: tuple[Parameter, ...] = PARAMETERS,
+) -> st.SearchStrategy[Program]:
+    """Random well-formed programs over the fixed two-qubit register."""
+    leaves = _leaf_statements(parameters)
+    if not allow_abort:
+        leaves = leaves.filter(lambda p: not isinstance(p, Abort))
+
+    def extend(children: st.SearchStrategy[Program]) -> st.SearchStrategy[Program]:
+        sequences = st.lists(children, min_size=2, max_size=3).map(seq)
+        cases = st.builds(
+            lambda q, left, right: case_on_qubit(q, {0: left, 1: right}),
+            st.sampled_from(QUBITS),
+            children,
+            children,
+        )
+        whiles = st.builds(
+            lambda q, body, bound: bounded_while_on_qubit(q, body, bound),
+            st.sampled_from(QUBITS),
+            children,
+            st.integers(min_value=1, max_value=2),
+        )
+        options = [sequences, cases, whiles]
+        if allow_sum:
+            options.append(st.builds(Sum, children, children))
+        return st.one_of(*options)
+
+    return st.recursive(leaves, extend, max_leaves=max_depth * 3)
+
+
+def binding_strategy(parameters: tuple[Parameter, ...] = PARAMETERS) -> st.SearchStrategy[ParameterBinding]:
+    """Random parameter bindings at moderate angles."""
+    return st.builds(
+        lambda values: ParameterBinding(dict(zip(parameters, values))),
+        st.lists(
+            st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False),
+            min_size=len(parameters),
+            max_size=len(parameters),
+        ),
+    )
+
+
+def observable_strategy() -> st.SearchStrategy[Observable]:
+    """Random two-qubit Pauli-string observables (all satisfy −I ⊑ O ⊑ I)."""
+    return st.sampled_from(
+        [pauli_observable(label) for label in ("ZZ", "ZI", "IZ", "XX", "XZ", "YI", "ZX")]
+    )
+
+
+def input_state_strategy() -> st.SearchStrategy[DensityState]:
+    """Random two-qubit computational-basis product states."""
+    layout = RegisterLayout(QUBITS)
+    return st.builds(
+        lambda b1, b2: DensityState.basis_state(layout, {"q1": b1, "q2": b2}),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=1),
+    )

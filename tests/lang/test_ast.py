@@ -1,0 +1,123 @@
+"""Unit tests for the program AST (construction, qVar, parameters, equality)."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.lang.ast import Abort, Case, Init, Seq, Skip, Sum, UnitaryApp, While
+from repro.lang.builder import rx, ry, rz, rxx, seq
+from repro.lang.gates import Rotation, hadamard
+from repro.lang.parameters import Parameter
+from repro.linalg.measurement import computational_measurement
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+
+
+class TestAtomicStatements:
+    def test_abort_skip_qvars(self):
+        assert Abort(["q1", "q2"]).qvars() == {"q1", "q2"}
+        assert Skip(["q1"]).qvars() == {"q1"}
+
+    def test_single_name_coercion(self):
+        assert Skip("q1").qubits == ("q1",)
+
+    def test_init_qvar(self):
+        assert Init("q3").qvars() == {"q3"}
+
+    def test_init_requires_name(self):
+        with pytest.raises(WellFormednessError):
+            Init("")
+
+    def test_statement_requires_some_qubits(self):
+        with pytest.raises(WellFormednessError):
+            Abort([])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(WellFormednessError):
+            Skip(["q1", "q1"])
+
+    def test_no_parameters(self):
+        assert Abort(["q1"]).parameters() == frozenset()
+        assert Init("q1").parameters() == frozenset()
+
+    def test_not_additive(self):
+        assert not Skip(["q1"]).is_additive()
+
+
+class TestUnitaryApp:
+    def test_arity_check(self):
+        with pytest.raises(WellFormednessError):
+            UnitaryApp(hadamard(), ("q1", "q2"))
+        with pytest.raises(WellFormednessError):
+            UnitaryApp(Rotation("X", THETA), ("q1", "q2"))
+
+    def test_parameters(self):
+        assert rx(THETA, "q1").parameters() == {THETA}
+        assert rx(0.5, "q1").parameters() == frozenset()
+
+    def test_qvars(self):
+        assert rxx(THETA, "q1", "q2").qvars() == {"q1", "q2"}
+
+    def test_equality(self):
+        assert rx(THETA, "q1") == rx(THETA, "q1")
+        assert rx(THETA, "q1") != rx(PHI, "q1")
+        assert rx(THETA, "q1") != ry(THETA, "q1")
+
+
+class TestComposite:
+    def test_seq_collects_qvars_and_parameters(self):
+        program = Seq(rx(THETA, "q1"), ry(PHI, "q2"))
+        assert program.qvars() == {"q1", "q2"}
+        assert program.parameters() == {THETA, PHI}
+        assert program.children() == (rx(THETA, "q1"), ry(PHI, "q2"))
+
+    def test_case_requires_branch_per_outcome(self):
+        measurement = computational_measurement(1)
+        with pytest.raises(WellFormednessError):
+            Case(measurement, ("q1",), {0: Skip(["q1"])})
+
+    def test_case_rejects_duplicate_branches(self):
+        measurement = computational_measurement(1)
+        with pytest.raises(WellFormednessError):
+            Case(measurement, ("q1",), [(0, Skip(["q1"])), (0, Skip(["q1"])), (1, Skip(["q1"]))])
+
+    def test_case_branch_lookup(self):
+        measurement = computational_measurement(1)
+        case = Case(measurement, ("q1",), {0: rx(THETA, "q2"), 1: Skip(["q1"])})
+        assert case.branch(0) == rx(THETA, "q2")
+        with pytest.raises(WellFormednessError):
+            case.branch(3)
+
+    def test_case_qvars_include_guard_and_branches(self):
+        case = Case(computational_measurement(1), ("q1",), {0: rx(THETA, "q2"), 1: Skip(["q3"])})
+        assert case.qvars() == {"q1", "q2", "q3"}
+        assert case.parameters() == {THETA}
+
+    def test_while_validation(self):
+        measurement = computational_measurement(1)
+        with pytest.raises(WellFormednessError):
+            While(measurement, ("q1",), Skip(["q1"]), 0)
+        three_outcome = computational_measurement(2)
+        with pytest.raises(WellFormednessError):
+            While(three_outcome, ("q1", "q2"), Skip(["q1"]), 2)
+
+    def test_while_qvars(self):
+        loop = While(computational_measurement(1), ("q1",), rz(THETA, "q2"), 2)
+        assert loop.qvars() == {"q1", "q2"}
+        assert loop.parameters() == {THETA}
+        assert loop.children() == (rz(THETA, "q2"),)
+
+    def test_sum_is_additive(self):
+        program = Sum(Skip(["q1"]), Abort(["q1"]))
+        assert program.is_additive()
+        assert Seq(program, Skip(["q1"])).is_additive()
+        assert not Seq(Skip(["q1"]), Skip(["q1"])).is_additive()
+
+    def test_nested_equality(self):
+        a = seq([rx(THETA, "q1"), ry(PHI, "q2"), rxx(THETA, "q1", "q2")])
+        b = seq([rx(THETA, "q1"), ry(PHI, "q2"), rxx(THETA, "q1", "q2")])
+        assert a == b
+
+    def test_str_is_pretty_printed(self):
+        text = str(rx(THETA, "q1"))
+        assert "RX(theta)" in text

@@ -1,0 +1,88 @@
+"""Unit tests for the program-construction helpers."""
+
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.lang.ast import Case, Seq, Sum, UnitaryApp, While
+from repro.lang.builder import (
+    apply_gate,
+    bounded_while_on_qubit,
+    case_on_qubit,
+    rx,
+    rxx,
+    ry,
+    ryy,
+    rz,
+    rzz,
+    seq,
+    sum_programs,
+)
+from repro.lang.gates import Coupling, Rotation, hadamard
+from repro.lang.parameters import Parameter
+from repro.linalg.measurement import Measurement, computational_measurement
+import numpy as np
+
+THETA = Parameter("theta")
+
+
+class TestSequencing:
+    def test_seq_left_association(self):
+        a, b, c = rx(THETA, "q1"), ry(0.1, "q1"), rz(0.2, "q1")
+        program = seq([a, b, c])
+        assert program == Seq(Seq(a, b), c)
+
+    def test_seq_single_program(self):
+        assert seq([rx(THETA, "q1")]) == rx(THETA, "q1")
+
+    def test_seq_empty_rejected(self):
+        with pytest.raises(WellFormednessError):
+            seq([])
+
+    def test_sum_programs(self):
+        a, b, c = rx(THETA, "q1"), ry(0.1, "q1"), rz(0.2, "q1")
+        assert sum_programs([a, b, c]) == Sum(Sum(a, b), c)
+        with pytest.raises(WellFormednessError):
+            sum_programs([])
+
+
+class TestGateShortcuts:
+    def test_rotation_builders(self):
+        assert isinstance(rx(THETA, "q1").gate, Rotation)
+        assert rx(THETA, "q1").gate.axis == "X"
+        assert ry(THETA, "q1").gate.axis == "Y"
+        assert rz(THETA, "q1").gate.axis == "Z"
+
+    def test_coupling_builders(self):
+        assert isinstance(rxx(THETA, "a", "b").gate, Coupling)
+        assert ryy(THETA, "a", "b").gate.axis == "YY"
+        assert rzz(THETA, "a", "b").qubits == ("a", "b")
+
+    def test_apply_gate(self):
+        statement = apply_gate(hadamard(), "q1")
+        assert isinstance(statement, UnitaryApp)
+        assert statement.qubits == ("q1",)
+
+
+class TestControlFlowBuilders:
+    def test_case_on_qubit_defaults_to_computational(self):
+        case = case_on_qubit("q1", {0: rx(THETA, "q2"), 1: ry(0.2, "q2")})
+        assert isinstance(case, Case)
+        assert case.measurement == computational_measurement(1)
+        assert case.qubits == ("q1",)
+
+    def test_case_on_qubit_custom_measurement(self):
+        plus_minus = Measurement(
+            {
+                0: np.array([[0.5, 0.5], [0.5, 0.5]]),
+                1: np.array([[0.5, -0.5], [-0.5, 0.5]]),
+            },
+            name="M_pm",
+        )
+        case = case_on_qubit("q1", {0: rx(THETA, "q1"), 1: ry(0.2, "q1")}, plus_minus)
+        assert case.measurement.name == "M_pm"
+
+    def test_bounded_while_on_qubit(self):
+        loop = bounded_while_on_qubit("q1", rx(THETA, "q1"), 2)
+        assert isinstance(loop, While)
+        assert loop.bound == 2
+        assert loop.measurement == computational_measurement(1)

@@ -1,0 +1,104 @@
+"""Unit tests for parameters and bindings."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
+
+
+class TestParameter:
+    def test_valid_names(self):
+        assert Parameter("theta").name == "theta"
+        assert Parameter("gamma_12").name == "gamma_12"
+
+    def test_invalid_names(self):
+        with pytest.raises(ParameterError):
+            Parameter("")
+        with pytest.raises(ParameterError):
+            Parameter("1theta")
+        with pytest.raises(ParameterError):
+            Parameter("theta[0]")
+
+    def test_equality_and_hash(self):
+        assert Parameter("a") == Parameter("a")
+        assert Parameter("a") != Parameter("b")
+        assert len({Parameter("a"), Parameter("a"), Parameter("b")}) == 2
+
+    def test_ordering(self):
+        assert sorted([Parameter("b"), Parameter("a")]) == [Parameter("a"), Parameter("b")]
+
+    def test_str(self):
+        assert str(Parameter("phi")) == "phi"
+
+
+class TestParameterVector:
+    def test_generates_named_entries(self):
+        vector = ParameterVector("theta", 3)
+        assert [p.name for p in vector] == ["theta_0", "theta_1", "theta_2"]
+        assert len(vector) == 3
+        assert vector[1] == Parameter("theta_1")
+        assert Parameter("theta_2") in vector
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ParameterError):
+            ParameterVector("theta", 0)
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(ParameterError):
+            ParameterVector("0theta", 2)
+
+    def test_as_tuple(self):
+        assert ParameterVector("p", 2).as_tuple() == (Parameter("p_0"), Parameter("p_1"))
+
+
+class TestParameterBinding:
+    def test_lookup_by_parameter_or_name(self):
+        binding = ParameterBinding({Parameter("a"): 1.0, "b": 2.0})
+        assert binding[Parameter("a")] == 1.0
+        assert binding["b"] == 2.0
+        assert binding.value("a") == 1.0
+
+    def test_missing_parameter(self):
+        binding = ParameterBinding({"a": 1.0})
+        with pytest.raises(ParameterError):
+            binding["z"]
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(ParameterError):
+            ParameterBinding({Parameter("a"): 1.0, "a": 2.0})
+
+    def test_mapping_protocol(self):
+        binding = ParameterBinding({"a": 1.0, "b": 2.0})
+        assert len(binding) == 2
+        assert Parameter("a") in binding
+        assert "b" in binding
+        assert set(binding) == {Parameter("a"), Parameter("b")}
+
+    def test_zeros_and_from_values(self):
+        params = ParameterVector("t", 3).as_tuple()
+        zeros = ParameterBinding.zeros(params)
+        assert all(zeros[p] == 0.0 for p in params)
+        values = ParameterBinding.from_values(params, [1.0, 2.0, 3.0])
+        assert values[params[2]] == 3.0
+        with pytest.raises(ParameterError):
+            ParameterBinding.from_values(params, [1.0])
+
+    def test_with_value_and_shifted_are_functional(self):
+        binding = ParameterBinding({"a": 1.0})
+        shifted = binding.shifted("a", 0.5)
+        assert shifted["a"] == 1.5
+        assert binding["a"] == 1.0
+        rebound = binding.with_value("b", 7.0)
+        assert rebound["b"] == 7.0
+        assert "b" not in binding
+
+    def test_merged(self):
+        first = ParameterBinding({"a": 1.0, "b": 2.0})
+        second = ParameterBinding({"b": 5.0, "c": 3.0})
+        merged = first.merged(second)
+        assert merged["a"] == 1.0
+        assert merged["b"] == 5.0
+        assert merged["c"] == 3.0
+
+    def test_to_dict(self):
+        assert ParameterBinding({"a": 1.0}).to_dict() == {"a": 1.0}

@@ -1,0 +1,164 @@
+"""Unit tests for the surface-syntax tokenizer and parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.ast import Abort, Case, Init, Seq, Skip, Sum, UnitaryApp, While
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, rz, seq
+from repro.lang.gates import ControlledRotation
+from repro.lang.parameters import Parameter
+from repro.lang.parser import parse_program, tokenize
+from repro.lang.pretty import pretty_print
+from repro.linalg.measurement import Measurement
+
+THETA = Parameter("theta")
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("q1 := RX(theta)[q1]")]
+        assert kinds == ["NAME", "ASSIGN", "NAME", "LPAREN", "NAME", "RPAREN",
+                         "LBRACKET", "NAME", "RBRACKET", "EOF"]
+
+    def test_keywords_are_recognized(self):
+        kinds = {t.kind for t in tokenize("case while do done end abort skip")}
+        assert {"CASE", "WHILE", "DO", "DONE", "END", "ABORT", "SKIP"} <= kinds
+
+    def test_ket_zero_token(self):
+        assert tokenize("|0>")[0].kind == "KET0"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("skip[q1] // comment here\n")
+        assert [t.kind for t in tokens] == ["SKIP", "LBRACKET", "NAME", "RBRACKET", "EOF"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("skip[q1] $")
+
+    def test_positions(self):
+        tokens = tokenize("skip[q1];\nabort[q1]")
+        abort_token = [t for t in tokens if t.kind == "ABORT"][0]
+        assert abort_token.line == 2
+        assert abort_token.column == 1
+
+
+class TestStatements:
+    def test_parse_abort_skip(self):
+        assert parse_program("abort[q1, q2]") == Abort(["q1", "q2"])
+        assert parse_program("skip[q1]") == Skip(["q1"])
+
+    def test_parse_init(self):
+        assert parse_program("q3 := |0>") == Init("q3")
+
+    def test_parse_rotation(self):
+        assert parse_program("q1 := RX(theta)[q1]") == rx(THETA, "q1")
+
+    def test_parse_numeric_angle(self):
+        assert parse_program("q1 := RZ(0.25)[q1]") == rz(0.25, "q1")
+
+    def test_parse_coupling(self):
+        assert parse_program("q1, q2 := RXX(theta)[q1, q2]") == rxx(THETA, "q1", "q2")
+
+    def test_parse_fixed_gate(self):
+        program = parse_program("q1 := H[q1]")
+        assert isinstance(program, UnitaryApp)
+        assert program.gate.name == "H"
+
+    def test_parse_controlled_rotation(self):
+        program = parse_program("a, q1 := CRX(theta)[a, q1]")
+        assert isinstance(program.gate, ControlledRotation)
+
+    def test_parse_sequence(self):
+        program = parse_program("q1 := RX(theta)[q1];\nq2 := RY(0.5)[q2]")
+        assert program == Seq(rx(THETA, "q1"), ry(0.5, "q2"))
+
+    def test_trailing_semicolon_allowed(self):
+        assert parse_program("skip[q1];") == Skip(["q1"])
+
+    def test_parse_case(self):
+        text = """
+        case M[q1] =
+          0 -> { skip[q1] }
+          1 -> { q2 := RX(theta)[q2] }
+        end
+        """
+        assert parse_program(text) == case_on_qubit("q1", {0: Skip(["q1"]), 1: rx(THETA, "q2")})
+
+    def test_parse_while(self):
+        text = "while(2) M[q1] = 1 do q1 := RX(theta)[q1] done"
+        assert parse_program(text) == bounded_while_on_qubit("q1", rx(THETA, "q1"), 2)
+
+    def test_parse_sum(self):
+        text = "{ skip[q1] } + { abort[q1] }"
+        assert parse_program(text) == Sum(Skip(["q1"]), Abort(["q1"]))
+
+    def test_parse_named_measurement(self):
+        plus_minus = Measurement(
+            {0: np.array([[0.5, 0.5], [0.5, 0.5]]), 1: np.array([[0.5, -0.5], [-0.5, 0.5]])},
+            name="Mpm",
+        )
+        text = "case Mpm[q1] =\n 0 -> { skip[q1] }\n 1 -> { skip[q1] }\nend"
+        program = parse_program(text, measurements={"Mpm": plus_minus})
+        assert isinstance(program, Case)
+        assert program.measurement.name == "Mpm"
+
+
+class TestErrors:
+    def test_unknown_gate(self):
+        with pytest.raises(ParseError):
+            parse_program("q1 := FOO(theta)[q1]")
+
+    def test_unknown_measurement(self):
+        with pytest.raises(ParseError):
+            parse_program("case Mystery[q1] =\n 0 -> { skip[q1] }\n 1 -> { skip[q1] }\nend")
+
+    def test_fixed_gate_with_angle(self):
+        with pytest.raises(ParseError):
+            parse_program("q1 := H(0.5)[q1]")
+
+    def test_rotation_without_angle(self):
+        with pytest.raises(ParseError):
+            parse_program("q1 := RX[q1]")
+
+    def test_mismatched_targets(self):
+        with pytest.raises(ParseError):
+            parse_program("q1 := RX(theta)[q2]")
+
+    def test_init_multiple_targets(self):
+        with pytest.raises(ParseError):
+            parse_program("q1, q2 := |0>")
+
+    def test_while_guard_must_be_one(self):
+        with pytest.raises(ParseError):
+            parse_program("while(2) M[q1] = 0 do skip[q1] done")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("skip[q1] skip[q2]")
+
+    def test_sum_with_single_block(self):
+        with pytest.raises(ParseError):
+            parse_program("{ skip[q1] }")
+
+    def test_empty_case(self):
+        with pytest.raises(ParseError):
+            parse_program("case M[q1] = end")
+
+
+class TestRoundTrip:
+    def test_roundtrip_composite_program(self):
+        program = seq(
+            [
+                Init("q1"),
+                rx(THETA, "q1"),
+                case_on_qubit("q1", {0: ry(0.3, "q2"), 1: Skip(["q1"])}),
+                bounded_while_on_qubit("q2", seq([rz(THETA, "q2"), rxx(0.7, "q1", "q2")]), 2),
+                Abort(["q1", "q2"]),
+            ]
+        )
+        assert parse_program(pretty_print(program)) == program
+
+    def test_roundtrip_additive_program(self):
+        program = Sum(Seq(rx(THETA, "q1"), ry(0.2, "q2")), rz(0.1, "q1"))
+        assert parse_program(pretty_print(program)) == program

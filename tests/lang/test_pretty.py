@@ -1,0 +1,86 @@
+"""Unit tests for the pretty-printer."""
+
+from repro.lang.ast import Abort, Init, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, seq
+from repro.lang.parameters import Parameter
+from repro.lang.pretty import line_count, pretty_print
+
+THETA = Parameter("theta")
+
+
+class TestStatements:
+    def test_abort(self):
+        assert pretty_print(Abort(["q1", "q2"])) == "abort[q1, q2]"
+
+    def test_skip(self):
+        assert pretty_print(Skip(["q1"])) == "skip[q1]"
+
+    def test_init(self):
+        assert pretty_print(Init("q2")) == "q2 := |0>"
+
+    def test_unitary_single(self):
+        assert pretty_print(rx(THETA, "q1")) == "q1 := RX(theta)[q1]"
+
+    def test_unitary_two_qubit(self):
+        assert pretty_print(rxx(0.5, "q1", "q2")) == "q1, q2 := RXX(0.5)[q1, q2]"
+
+    def test_sequence_uses_semicolons(self):
+        text = pretty_print(seq([rx(THETA, "q1"), ry(0.2, "q2")]))
+        lines = text.splitlines()
+        assert lines[0].endswith(";")
+        assert not lines[1].endswith(";")
+
+    def test_case_layout(self):
+        program = case_on_qubit("q1", {0: Skip(["q1"]), 1: rx(THETA, "q1")})
+        text = pretty_print(program)
+        assert text.splitlines()[0].startswith("case ")
+        assert "0 -> {" in text
+        assert "1 -> {" in text
+        assert text.splitlines()[-1] == "end"
+
+    def test_while_layout(self):
+        program = bounded_while_on_qubit("q1", rx(THETA, "q1"), 2)
+        text = pretty_print(program)
+        assert text.splitlines()[0].startswith("while(2)")
+        assert text.splitlines()[-1] == "done"
+
+    def test_sum_layout(self):
+        program = Sum(rx(THETA, "q1"), ry(0.1, "q1"))
+        text = pretty_print(program)
+        assert text.splitlines()[0] == "{"
+        assert "} + {" in text
+        assert text.splitlines()[-1] == "}"
+
+    def test_nested_indentation(self):
+        inner = case_on_qubit("q1", {0: Skip(["q1"]), 1: rx(THETA, "q2")})
+        program = bounded_while_on_qubit("q2", inner, 2)
+        text = pretty_print(program)
+        assert "  case" in text  # the case guard is indented inside the loop
+
+
+class TestLineCount:
+    def test_single_statement(self):
+        assert line_count(rx(THETA, "q1")) == 1
+
+    def test_sequence_counts_each_statement(self):
+        assert line_count(seq([rx(THETA, "q1"), ry(0.1, "q2"), Skip(["q1"])])) == 3
+
+    def test_case_counts_scaffolding(self):
+        program = case_on_qubit("q1", {0: Skip(["q1"]), 1: rx(THETA, "q1")})
+        # case-header, two branch headers, two branch bodies, two closers, end
+        assert line_count(program) == 8
+
+    def test_while_counts_scaffolding(self):
+        program = bounded_while_on_qubit("q1", rx(THETA, "q1"), 2)
+        assert line_count(program) == 3
+
+    def test_line_count_matches_pretty_lines(self):
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(0.5, "q2")}),
+                bounded_while_on_qubit("q2", rx(0.1, "q1"), 2),
+            ]
+        )
+        rendered = [line for line in pretty_print(program).splitlines() if line.strip()]
+        assert line_count(program) == len(rendered)

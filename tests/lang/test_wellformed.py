@@ -1,0 +1,85 @@
+"""Unit tests for well-formedness checking and qVar."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WellFormednessError
+from repro.lang.ast import Case, Skip, Sum
+from repro.lang.builder import case_on_qubit, rx, ry, seq
+from repro.lang.parameters import Parameter
+from repro.lang.qvar import combined_variables, qvar, shared_variables
+from repro.lang.wellformed import (
+    assert_normal_program,
+    check_well_formed,
+    declared_parameters,
+    is_additive_program,
+)
+from repro.linalg.measurement import Measurement
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+
+
+class TestNormality:
+    def test_is_additive(self):
+        assert is_additive_program(Sum(Skip(["q1"]), Skip(["q1"])))
+        assert not is_additive_program(Skip(["q1"]))
+
+    def test_assert_normal(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        assert assert_normal_program(program) is program
+        with pytest.raises(WellFormednessError):
+            assert_normal_program(Sum(Skip(["q1"]), Skip(["q1"])))
+
+
+class TestCheckWellFormed:
+    def test_accepts_good_program(self):
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(PHI, "q2")})])
+        assert check_well_formed(program) is program
+
+    def test_variable_universe(self):
+        program = rx(THETA, "q9")
+        with pytest.raises(WellFormednessError):
+            check_well_formed(program, variables=["q1", "q2"])
+        assert check_well_formed(program, variables=["q9"]) is program
+
+    def test_reject_additive_when_disallowed(self):
+        with pytest.raises(WellFormednessError):
+            check_well_formed(Sum(Skip(["q1"]), Skip(["q1"])), allow_additive=False)
+
+    def test_guard_qubit_count_mismatch(self):
+        two_qubit_measurement = Measurement(
+            {m: np.diag([1.0 if i == m else 0.0 for i in range(4)]) for m in range(4)}
+        )
+        bad = Case(two_qubit_measurement, ("q1",), {m: Skip(["q1"]) for m in range(4)})
+        with pytest.raises(WellFormednessError):
+            check_well_formed(bad)
+
+    def test_incomplete_measurement_rejected(self):
+        incomplete = Measurement({0: np.diag([1.0, 0.0]), 1: np.diag([0.0, 0.5])})
+        bad = case_on_qubit("q1", {0: Skip(["q1"]), 1: Skip(["q1"])}, incomplete)
+        with pytest.raises(WellFormednessError):
+            check_well_formed(bad)
+        # The same program passes when completeness checking is turned off.
+        assert check_well_formed(bad, require_complete_measurements=False) is bad
+
+    def test_declared_parameters_sorted(self):
+        program = seq([ry(PHI, "q1"), rx(THETA, "q2")])
+        assert declared_parameters(program) == (PHI, THETA)
+
+
+class TestQvarHelpers:
+    def test_qvar_matches_method(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        assert qvar(program) == program.qvars() == {"q1", "q2"}
+
+    def test_shared_variables(self):
+        assert shared_variables(rx(THETA, "q1"), ry(PHI, "q1")) == {"q1"}
+        assert shared_variables(rx(THETA, "q1"), ry(PHI, "q2")) == frozenset()
+
+    def test_combined_variables(self):
+        assert combined_variables(rx(THETA, "q1"), ry(PHI, "q2"), Skip(["q3"])) == {
+            "q1",
+            "q2",
+            "q3",
+        }

@@ -1,0 +1,139 @@
+"""Unit tests for repro.linalg.gates, including Lemma D.1 identities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg import gates
+from repro.linalg.operators import is_unitary
+
+
+ALL_AXES = ("X", "Y", "Z")
+COUPLING_AXES = ("XX", "YY", "ZZ")
+
+
+class TestFixedGates:
+    def test_fixed_gates_are_unitary(self):
+        for matrix in (gates.HADAMARD, gates.PAULI_X, gates.PAULI_Y, gates.PAULI_Z,
+                       gates.S_GATE, gates.T_GATE, gates.CNOT, gates.CZ, gates.SWAP):
+            assert is_unitary(matrix)
+
+    def test_hadamard_maps_computational_to_plus_minus(self):
+        plus = gates.HADAMARD @ np.array([1, 0])
+        assert np.allclose(plus, np.array([1, 1]) / np.sqrt(2))
+
+    def test_cnot_truth_table(self):
+        for control, target, expected in ((0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)):
+            vec = np.zeros(4)
+            vec[2 * control + target] = 1.0
+            out = gates.CNOT @ vec
+            assert np.isclose(abs(out[2 * control + expected]), 1.0)
+
+    def test_pauli_lookup(self):
+        assert np.allclose(gates.pauli("x"), gates.PAULI_X)
+        with pytest.raises(LinalgError):
+            gates.pauli("Q")
+
+
+class TestRotations:
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_rotation_is_unitary(self, axis):
+        assert is_unitary(gates.rotation_matrix(axis, 0.7))
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_rotation_at_zero_is_identity(self, axis):
+        assert np.allclose(gates.rotation_matrix(axis, 0.0), np.eye(2))
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_rotation_at_two_pi_is_minus_identity(self, axis):
+        assert np.allclose(gates.rotation_matrix(axis, 2 * np.pi), -np.eye(2))
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_rotation_matches_exponential(self, axis):
+        theta = 0.93
+        sigma = gates.pauli(axis)
+        eigenvalues, eigenvectors = np.linalg.eigh(sigma)
+        expected = eigenvectors @ np.diag(np.exp(-1j * theta / 2 * eigenvalues)) @ eigenvectors.conj().T
+        assert np.allclose(gates.rotation_matrix(axis, theta), expected)
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_lemma_d1_derivative_is_half_pi_shift(self, axis):
+        """d/dθ R_σ(θ) = ½ R_σ(θ + π) — Lemma D.1."""
+        theta, eps = 0.41, 1e-6
+        numeric = (
+            gates.rotation_matrix(axis, theta + eps) - gates.rotation_matrix(axis, theta - eps)
+        ) / (2 * eps)
+        assert np.allclose(numeric, 0.5 * gates.rotation_matrix(axis, theta + np.pi), atol=1e-6)
+
+    def test_rotation_rejects_coupling_axis(self):
+        with pytest.raises(LinalgError):
+            gates.rotation_matrix("XX", 0.2)
+
+
+class TestCouplings:
+    @pytest.mark.parametrize("axis", COUPLING_AXES)
+    def test_coupling_is_unitary(self, axis):
+        assert is_unitary(gates.coupling_matrix(axis, 1.3))
+
+    @pytest.mark.parametrize("axis", COUPLING_AXES)
+    def test_coupling_generator_squares_to_identity(self, axis):
+        generator = gates.rotation_generator(axis)
+        assert np.allclose(generator @ generator, np.eye(4))
+
+    @pytest.mark.parametrize("axis", COUPLING_AXES)
+    def test_lemma_d1_for_couplings(self, axis):
+        theta, eps = -0.77, 1e-6
+        numeric = (
+            gates.coupling_matrix(axis, theta + eps) - gates.coupling_matrix(axis, theta - eps)
+        ) / (2 * eps)
+        assert np.allclose(numeric, 0.5 * gates.coupling_matrix(axis, theta + np.pi), atol=1e-6)
+
+    def test_xx_coupling_generates_entanglement(self):
+        state = np.zeros(4)
+        state[0] = 1.0
+        out = gates.coupling_matrix("XX", np.pi / 2) @ state
+        # The output (|00⟩ − i|11⟩)/√2 is maximally entangled.
+        rho = np.outer(out, out.conj()).reshape(2, 2, 2, 2)
+        reduced = np.trace(rho, axis1=1, axis2=3)
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+    def test_coupling_rejects_single_axis(self):
+        with pytest.raises(LinalgError):
+            gates.coupling_matrix("X", 0.2)
+
+
+class TestControlledGates:
+    def test_controlled_unitary_block_structure(self):
+        controlled_x = gates.controlled(gates.PAULI_X)
+        assert np.allclose(controlled_x, gates.CNOT)
+
+    def test_controlled_on_zero_value(self):
+        gate = gates.controlled(gates.PAULI_X, control_value=0)
+        vec = np.array([1, 0, 0, 0], dtype=complex)
+        assert np.isclose(abs((gate @ vec)[1]), 1.0)
+
+    def test_controlled_rejects_bad_control_value(self):
+        with pytest.raises(LinalgError):
+            gates.controlled(gates.PAULI_X, control_value=2)
+
+    @pytest.mark.parametrize("axis", ALL_AXES)
+    def test_controlled_rotation_definition(self, axis):
+        """C_Rσ(θ) = |0⟩⟨0|⊗Rσ(θ) + |1⟩⟨1|⊗Rσ(θ+π) — Definition 6.1."""
+        theta = 0.61
+        gate = gates.controlled_rotation_matrix(axis, theta)
+        assert is_unitary(gate)
+        assert np.allclose(gate[:2, :2], gates.rotation_matrix(axis, theta))
+        assert np.allclose(gate[2:, 2:], gates.rotation_matrix(axis, theta + np.pi))
+        assert np.allclose(gate[:2, 2:], 0.0)
+
+    @pytest.mark.parametrize("axis", COUPLING_AXES)
+    def test_controlled_coupling_definition(self, axis):
+        theta = -1.2
+        gate = gates.controlled_coupling_matrix(axis, theta)
+        assert is_unitary(gate)
+        assert np.allclose(gate[:4, :4], gates.coupling_matrix(axis, theta))
+        assert np.allclose(gate[4:, 4:], gates.coupling_matrix(axis, theta + np.pi))
+
+    def test_rotation_generator_unknown_axis(self):
+        with pytest.raises(LinalgError):
+            gates.rotation_generator("XY")

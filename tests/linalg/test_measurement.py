@@ -1,0 +1,120 @@
+"""Unit tests for repro.linalg.measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.gates import PAULI_X, PAULI_Z
+from repro.linalg.measurement import (
+    Measurement,
+    computational_measurement,
+    projective_measurement_from_observable,
+)
+from repro.linalg.states import plus, pure_density, zero
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        m = Measurement({0: np.diag([1.0, 0.0]), 1: np.diag([0.0, 1.0])})
+        assert m.outcomes == (0, 1)
+        assert m.num_outcomes == 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(LinalgError):
+            Measurement(())
+
+    def test_rejects_duplicate_outcomes(self):
+        with pytest.raises(LinalgError):
+            Measurement((np.eye(2), np.eye(2)), outcomes=(0, 0))
+
+    def test_rejects_outcome_count_mismatch(self):
+        with pytest.raises(LinalgError):
+            Measurement((np.eye(2),), outcomes=(0, 1))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            Measurement((np.eye(2), np.eye(4)))
+
+    def test_rejects_double_outcomes_with_mapping(self):
+        with pytest.raises(LinalgError):
+            Measurement({0: np.eye(2)}, outcomes=(0,))
+
+    def test_num_qubits(self):
+        assert computational_measurement(2).num_qubits() == 2
+
+    def test_equality_and_hash(self):
+        assert computational_measurement(1) == computational_measurement(1)
+        assert hash(computational_measurement(1)) == hash(computational_measurement(1))
+
+
+class TestStatistics:
+    def test_computational_measurement_is_complete_and_projective(self):
+        m = computational_measurement(2)
+        assert m.is_complete()
+        assert m.is_projective()
+
+    def test_probabilities_on_plus_state(self):
+        m = computational_measurement(1)
+        probabilities = m.probabilities(pure_density(plus()))
+        assert np.isclose(probabilities[0], 0.5)
+        assert np.isclose(probabilities[1], 0.5)
+
+    def test_probabilities_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            computational_measurement(1).probabilities(np.eye(4) / 4)
+
+    def test_post_measurement_state(self):
+        m = computational_measurement(1)
+        probability, post = m.post_measurement_state(pure_density(plus()), 0)
+        assert np.isclose(probability, 0.5)
+        assert np.allclose(post, pure_density(zero()))
+
+    def test_post_measurement_zero_probability(self):
+        m = computational_measurement(1)
+        probability, post = m.post_measurement_state(pure_density(zero()), 1)
+        assert probability == 0.0
+        assert np.allclose(post, 0.0)
+
+    def test_unknown_outcome(self):
+        with pytest.raises(LinalgError):
+            computational_measurement(1).operator(7)
+
+    def test_branch_channel_matches_operator(self):
+        m = computational_measurement(1)
+        rho = pure_density(plus())
+        assert np.allclose(m.branch_channel(0)(rho), m.operator(0) @ rho @ m.operator(0))
+
+    def test_sampling_distribution(self):
+        rng = np.random.default_rng(11)
+        m = computational_measurement(1)
+        samples = [m.sample(pure_density(plus()), rng) for _ in range(400)]
+        assert 0.4 < np.mean(samples) < 0.6
+
+    def test_sampling_zero_state_fails(self):
+        with pytest.raises(LinalgError):
+            computational_measurement(1).sample(np.zeros((2, 2)))
+
+
+class TestSpectralMeasurement:
+    def test_pauli_z_decomposition(self):
+        measurement, values = projective_measurement_from_observable(PAULI_Z)
+        assert sorted(values) == [-1.0, 1.0]
+        assert measurement.is_complete()
+        assert measurement.is_projective()
+
+    def test_expectation_recovery(self):
+        """tr(Oρ) = Σ_m λ_m tr(M_m ρ M_m†) — Eq. (5.1)."""
+        measurement, values = projective_measurement_from_observable(PAULI_X)
+        rho = pure_density(plus())
+        probabilities = measurement.probabilities(rho)
+        recovered = sum(values[m] * probabilities[m] for m in probabilities)
+        assert np.isclose(recovered, np.real(np.trace(PAULI_X @ rho)))
+
+    def test_degenerate_eigenvalues_grouped(self):
+        measurement, values = projective_measurement_from_observable(np.eye(2))
+        assert len(values) == 1
+        assert np.allclose(measurement.operator(0), np.eye(2))
+
+    def test_rejects_non_hermitian(self):
+        with pytest.raises(LinalgError):
+            projective_measurement_from_observable(np.array([[0, 1], [0, 0]]))

@@ -1,0 +1,81 @@
+"""Unit tests for repro.linalg.observables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.gates import PAULI_Z
+from repro.linalg.observables import (
+    Observable,
+    diagonal_observable,
+    pauli_observable,
+    projector_observable,
+)
+from repro.linalg.states import plus, pure_density, zero
+
+
+class TestObservable:
+    def test_requires_hermitian(self):
+        with pytest.raises(LinalgError):
+            Observable(np.array([[0, 1], [0, 0]]))
+
+    def test_expectation_of_z_on_zero(self):
+        assert np.isclose(Observable(PAULI_Z).expectation(pure_density(zero())), 1.0)
+
+    def test_expectation_of_z_on_plus(self):
+        assert np.isclose(Observable(PAULI_Z).expectation(pure_density(plus())), 0.0)
+
+    def test_expectation_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            Observable(PAULI_Z).expectation(np.eye(4) / 4)
+
+    def test_boundedness_check(self):
+        assert Observable(PAULI_Z).is_bounded()
+        assert not Observable(2 * PAULI_Z).is_bounded()
+
+    def test_tensor(self):
+        zz = Observable(PAULI_Z).tensor(Observable(PAULI_Z))
+        assert zz.dim == 4
+        assert np.allclose(zz.matrix, np.kron(PAULI_Z, PAULI_Z))
+
+    def test_scaled(self):
+        half = Observable(PAULI_Z).scaled(0.5)
+        assert np.allclose(half.matrix, 0.5 * PAULI_Z)
+
+    def test_num_qubits(self):
+        assert pauli_observable("ZIZ").num_qubits() == 3
+
+    def test_spectral_radius(self):
+        assert np.isclose(Observable(3 * PAULI_Z).spectral_radius(), 3.0)
+
+    def test_spectral_measurement_roundtrip(self):
+        observable = pauli_observable("ZZ")
+        measurement, values = observable.spectral_measurement()
+        rho = np.kron(pure_density(plus()), pure_density(zero()))
+        probabilities = measurement.probabilities(rho)
+        recovered = sum(values[m] * probabilities[m] for m in probabilities)
+        assert np.isclose(recovered, observable.expectation(rho))
+
+    def test_equality(self):
+        assert pauli_observable("Z") == Observable(PAULI_Z)
+
+
+class TestConstructors:
+    def test_pauli_observable_labels(self):
+        assert pauli_observable("ZI").dim == 4
+        with pytest.raises(LinalgError):
+            pauli_observable("")
+        with pytest.raises(LinalgError):
+            pauli_observable("ZQ")
+
+    def test_projector_observable(self):
+        projector = projector_observable(3, 2)
+        assert np.isclose(projector.matrix[3, 3], 1.0)
+        assert np.isclose(np.trace(projector.matrix), 1.0)
+        with pytest.raises(LinalgError):
+            projector_observable(4, 2)
+
+    def test_diagonal_observable(self):
+        observable = diagonal_observable([1.0, -1.0, 0.5, 0.0])
+        assert observable.dim == 4
+        assert observable.is_bounded()

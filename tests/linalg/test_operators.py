@@ -1,0 +1,96 @@
+"""Unit tests for repro.linalg.operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg import operators
+from repro.linalg.gates import HADAMARD, PAULI_X, PAULI_Y, PAULI_Z
+from repro.linalg.states import bell_state, pure_density
+
+
+class TestPredicates:
+    def test_dagger(self):
+        matrix = np.array([[1, 1j], [0, 2]])
+        assert np.allclose(operators.dagger(matrix), np.array([[1, 0], [-1j, 2]]))
+
+    def test_paulis_are_hermitian_and_unitary(self):
+        for sigma in (PAULI_X, PAULI_Y, PAULI_Z, HADAMARD):
+            assert operators.is_hermitian(sigma)
+            assert operators.is_unitary(sigma)
+
+    def test_non_square_is_not_hermitian(self):
+        assert not operators.is_hermitian(np.ones((2, 3)))
+
+    def test_is_unitary_rejects_projector(self):
+        assert not operators.is_unitary(np.diag([1.0, 0.0]))
+
+    def test_positive_semidefinite(self):
+        assert operators.is_positive_semidefinite(np.diag([0.0, 1.0]))
+        assert not operators.is_positive_semidefinite(np.diag([1.0, -0.2]))
+        assert not operators.is_positive_semidefinite(np.array([[0, 1], [0, 0]]))
+
+    def test_loewner_order(self):
+        assert operators.loewner_leq(np.zeros((2, 2)), np.eye(2))
+        assert not operators.loewner_leq(np.eye(2), np.zeros((2, 2)))
+        with pytest.raises(DimensionMismatchError):
+            operators.loewner_leq(np.eye(2), np.eye(4))
+
+
+class TestAlgebra:
+    def test_pauli_commutator(self):
+        assert np.allclose(operators.commutator(PAULI_X, PAULI_Y), 2j * PAULI_Z)
+
+    def test_pauli_anticommutator_vanishes(self):
+        assert np.allclose(operators.anticommutator(PAULI_X, PAULI_Y), np.zeros((2, 2)))
+
+    def test_operator_norm_of_pauli(self):
+        assert np.isclose(operators.operator_norm(PAULI_Z), 1.0)
+
+    def test_frobenius_inner(self):
+        assert np.isclose(operators.frobenius_inner(PAULI_X, PAULI_X), 2.0)
+        with pytest.raises(DimensionMismatchError):
+            operators.frobenius_inner(PAULI_X, np.eye(4))
+
+    def test_kron_all_empty_is_identity(self):
+        assert np.allclose(operators.kron_all([]), np.eye(1))
+
+    def test_kron_all_matches_numpy(self):
+        assert np.allclose(
+            operators.kron_all([PAULI_X, PAULI_Z]), np.kron(PAULI_X, PAULI_Z)
+        )
+
+
+class TestPartialTrace:
+    def test_product_state_partial_trace(self):
+        rho = np.kron(pure_density([1, 0]), pure_density([0, 1]))
+        reduced = operators.partial_trace(rho, keep=[0], dims=[2, 2])
+        assert np.allclose(reduced, pure_density([1, 0]))
+
+    def test_bell_state_reduces_to_maximally_mixed(self):
+        rho = pure_density(bell_state())
+        reduced = operators.partial_trace(rho, keep=[1], dims=[2, 2])
+        assert np.allclose(reduced, np.eye(2) / 2)
+
+    def test_keep_order_permutes_factors(self):
+        a = pure_density([1, 0])
+        b = pure_density([0, 1])
+        rho = np.kron(a, b)
+        swapped = operators.partial_trace(rho, keep=[1, 0], dims=[2, 2])
+        assert np.allclose(swapped, np.kron(b, a))
+
+    def test_partial_trace_validates_inputs(self):
+        with pytest.raises(DimensionMismatchError):
+            operators.partial_trace(np.eye(3), keep=[0], dims=[2, 2])
+        with pytest.raises(LinalgError):
+            operators.partial_trace(np.eye(4), keep=[2], dims=[2, 2])
+        with pytest.raises(LinalgError):
+            operators.partial_trace(np.eye(4), keep=[0, 0], dims=[2, 2])
+
+    def test_trace_preservation(self):
+        rng = np.random.default_rng(7)
+        raw = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        rho = raw @ raw.conj().T
+        rho = rho / np.trace(rho)
+        reduced = operators.partial_trace(rho, keep=[0, 2], dims=[2, 2, 2])
+        assert np.isclose(np.trace(reduced), 1.0)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.linalg.states."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg import states
+
+
+class TestKetBra:
+    def test_ket_normalizes(self):
+        psi = states.ket([3.0, 4.0])
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+
+    def test_ket_rejects_zero_vector(self):
+        with pytest.raises(LinalgError):
+            states.ket([0.0, 0.0])
+
+    def test_bra_is_conjugate(self):
+        psi = states.ket([1.0, 1.0j])
+        assert np.allclose(states.bra(psi), np.conj(psi))
+
+    def test_basis_state(self):
+        assert np.allclose(states.basis_state(2, 4), [0, 0, 1, 0])
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(LinalgError):
+            states.basis_state(4, 4)
+
+    def test_computational_basis_is_orthonormal(self):
+        basis = states.computational_basis(2)
+        gram = np.array([[np.vdot(a, b) for b in basis] for a in basis])
+        assert np.allclose(gram, np.eye(4))
+
+
+class TestNamedStates:
+    def test_zero_one_orthogonal(self):
+        assert np.isclose(np.vdot(states.zero(), states.one()), 0.0)
+
+    def test_plus_minus_orthogonal(self):
+        assert np.isclose(np.vdot(states.plus(), states.minus()), 0.0)
+
+    def test_plus_is_hadamard_of_zero(self):
+        expected = np.array([1, 1]) / np.sqrt(2)
+        assert np.allclose(states.plus(), expected)
+
+    def test_bell_states_are_orthonormal(self):
+        bells = [states.bell_state(k) for k in range(4)]
+        gram = np.array([[np.vdot(a, b) for b in bells] for a in bells])
+        assert np.allclose(gram, np.eye(4))
+
+    def test_bell_state_rejects_bad_index(self):
+        with pytest.raises(LinalgError):
+            states.bell_state(5)
+
+
+class TestDensityOperators:
+    def test_pure_density_has_unit_trace(self):
+        rho = states.pure_density(states.plus())
+        assert np.isclose(np.trace(rho), 1.0)
+        assert states.is_density_operator(rho)
+
+    def test_mixed_density_from_ensemble(self):
+        rho = states.mixed_density([(0.5, states.zero()), (0.5, states.one())])
+        assert np.allclose(rho, np.eye(2) / 2)
+
+    def test_mixed_density_rejects_negative_probability(self):
+        with pytest.raises(LinalgError):
+            states.mixed_density([(-0.1, states.zero()), (1.1, states.one())])
+
+    def test_mixed_density_rejects_overweight_ensemble(self):
+        with pytest.raises(LinalgError):
+            states.mixed_density([(0.8, states.zero()), (0.8, states.one())])
+
+    def test_mixed_density_requires_matching_dimensions(self):
+        with pytest.raises(DimensionMismatchError):
+            states.mixed_density([(0.5, states.zero()), (0.5, states.bell_state())])
+
+    def test_density_coerces_vectors(self):
+        rho = states.density(states.one())
+        assert np.allclose(rho, [[0, 0], [0, 1]])
+
+    def test_density_validates_matrices(self):
+        with pytest.raises(LinalgError):
+            states.density(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_partial_density_accepts_subnormalized(self):
+        rho = 0.25 * states.pure_density(states.zero())
+        assert states.is_partial_density_operator(rho)
+        assert not states.is_density_operator(rho)
+
+    def test_is_density_rejects_non_hermitian(self):
+        assert not states.is_density_operator(np.array([[0.5, 1.0], [0.0, 0.5]]))
+
+    def test_is_density_rejects_negative_eigenvalues(self):
+        assert not states.is_density_operator(np.array([[1.5, 0], [0, -0.5]]))
+
+
+class TestDistances:
+    def test_purity_of_pure_state(self):
+        assert np.isclose(states.purity(states.pure_density(states.plus())), 1.0)
+
+    def test_purity_of_maximally_mixed(self):
+        assert np.isclose(states.purity(np.eye(2) / 2), 0.5)
+
+    def test_fidelity_identical_states(self):
+        rho = states.pure_density(states.plus())
+        assert np.isclose(states.fidelity(rho, rho), 1.0)
+
+    def test_fidelity_orthogonal_states(self):
+        rho = states.pure_density(states.zero())
+        sigma = states.pure_density(states.one())
+        assert np.isclose(states.fidelity(rho, sigma), 0.0, atol=1e-9)
+
+    def test_trace_distance_extremes(self):
+        rho = states.pure_density(states.zero())
+        sigma = states.pure_density(states.one())
+        assert np.isclose(states.trace_distance(rho, sigma), 1.0)
+        assert np.isclose(states.trace_distance(rho, rho), 0.0)
+
+    def test_trace_distance_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            states.trace_distance(np.eye(2) / 2, np.eye(4) / 4)
+
+
+class TestRandomStates:
+    def test_random_pure_state_is_normalized(self):
+        rng = np.random.default_rng(0)
+        psi = states.random_pure_state(3, rng)
+        assert np.isclose(np.linalg.norm(psi), 1.0)
+        assert psi.shape == (8,)
+
+    def test_random_density_operator_is_valid(self):
+        rng = np.random.default_rng(0)
+        rho = states.random_density_operator(2, rng=rng)
+        assert states.is_density_operator(rho)
+
+    def test_random_density_operator_rank_bound(self):
+        with pytest.raises(LinalgError):
+            states.random_density_operator(1, rank=3)

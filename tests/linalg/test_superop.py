@@ -1,0 +1,145 @@
+"""Unit tests for repro.linalg.superop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.gates import HADAMARD, PAULI_X, PAULI_Z
+from repro.linalg.states import pure_density, zero, one, plus
+from repro.linalg.superop import (
+    Superoperator,
+    identity_channel,
+    initialization_channel,
+    measurement_branch_channel,
+    superoperator_sum,
+    unitary_channel,
+    zero_channel,
+)
+
+
+class TestConstruction:
+    def test_requires_at_least_one_kraus(self):
+        with pytest.raises(LinalgError):
+            Superoperator(())
+
+    def test_requires_matching_shapes(self):
+        with pytest.raises(DimensionMismatchError):
+            Superoperator((np.eye(2), np.eye(4)))
+
+    def test_dims(self):
+        channel = unitary_channel(HADAMARD)
+        assert channel.input_dim == 2
+        assert channel.output_dim == 2
+
+
+class TestApplication:
+    def test_unitary_channel_action(self):
+        channel = unitary_channel(PAULI_X)
+        assert np.allclose(channel(pure_density(zero())), pure_density(one()))
+
+    def test_zero_channel(self):
+        assert np.allclose(zero_channel(2)(pure_density(plus())), np.zeros((2, 2)))
+
+    def test_identity_channel(self):
+        rho = pure_density(plus())
+        assert np.allclose(identity_channel(2)(rho), rho)
+
+    def test_initialization_channel_resets(self):
+        rho = pure_density(plus())
+        assert np.allclose(initialization_channel(2)(rho), pure_density(zero()))
+
+    def test_initialization_channel_is_trace_preserving(self):
+        assert initialization_channel(4).is_trace_preserving()
+
+    def test_measurement_branch_is_trace_decreasing(self):
+        projector = np.diag([1.0, 0.0])
+        branch = measurement_branch_channel(projector)
+        rho = pure_density(plus())
+        assert np.isclose(np.trace(branch(rho)), 0.5)
+        assert branch.is_trace_nonincreasing()
+        assert not branch.is_trace_preserving()
+
+    def test_apply_validates_dimension(self):
+        with pytest.raises(DimensionMismatchError):
+            unitary_channel(PAULI_X)(np.eye(4) / 4)
+
+
+class TestAlgebra:
+    def test_composition_order(self):
+        # X then Z equals the channel of the product ZX.
+        composed = unitary_channel(PAULI_X).then(unitary_channel(PAULI_Z))
+        direct = unitary_channel(PAULI_Z @ PAULI_X)
+        assert composed == direct
+
+    def test_compose_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            unitary_channel(PAULI_X).compose(unitary_channel(np.eye(4)))
+
+    def test_add_forms_kraus_union(self):
+        half_x = unitary_channel(PAULI_X).scale(0.5)
+        half_i = identity_channel(2).scale(0.5)
+        mixed = half_x.add(half_i)
+        rho = pure_density(zero())
+        assert np.allclose(mixed(rho), 0.5 * pure_density(one()) + 0.5 * pure_density(zero()))
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(LinalgError):
+            identity_channel(2).scale(-1.0)
+
+    def test_tensor_product(self):
+        channel = unitary_channel(PAULI_X).tensor(identity_channel(2))
+        rho = np.kron(pure_density(zero()), pure_density(one()))
+        expected = np.kron(pure_density(one()), pure_density(one()))
+        assert np.allclose(channel(rho), expected)
+
+    def test_superoperator_sum_helper(self):
+        with pytest.raises(LinalgError):
+            superoperator_sum([])
+        total = superoperator_sum([identity_channel(2).scale(0.3), identity_channel(2).scale(0.7)])
+        rho = pure_density(plus())
+        assert np.allclose(total(rho), rho)
+
+
+class TestDuality:
+    def test_dual_satisfies_trace_identity(self):
+        rng = np.random.default_rng(3)
+        kraus = [rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2)) for _ in range(2)]
+        channel = Superoperator(tuple(k * 0.5 for k in kraus))
+        rho = pure_density(plus())
+        observable = PAULI_Z
+        lhs = np.trace(observable @ channel(rho))
+        rhs = np.trace(channel.apply_dual(observable) @ rho)
+        assert np.isclose(lhs, rhs)
+
+    def test_dual_of_unitary_channel(self):
+        channel = unitary_channel(HADAMARD)
+        observable = PAULI_Z
+        assert np.allclose(channel.apply_dual(observable), HADAMARD.conj().T @ observable @ HADAMARD)
+
+    def test_dual_dimension_check(self):
+        with pytest.raises(DimensionMismatchError):
+            unitary_channel(PAULI_X).apply_dual(np.eye(4))
+
+
+class TestValidation:
+    def test_unitary_channel_is_cptp(self):
+        channel = unitary_channel(HADAMARD)
+        assert channel.is_trace_preserving()
+        assert channel.is_completely_positive()
+
+    def test_choi_matrix_of_identity(self):
+        choi = identity_channel(2).choi_matrix()
+        # The Choi matrix of the identity is the (unnormalized) maximally entangled projector.
+        bell = np.array([1, 0, 0, 1], dtype=complex)
+        assert np.allclose(choi, np.outer(bell, bell))
+
+    def test_matrix_representation_reproduces_action(self):
+        channel = unitary_channel(HADAMARD)
+        rho = pure_density(zero())
+        vec = rho.reshape(-1, order="F")
+        out = channel.matrix_representation() @ vec
+        assert np.allclose(out.reshape(2, 2, order="F"), channel(rho))
+
+    def test_equality_ignores_kraus_decomposition(self):
+        phase = np.exp(1j * 0.3)
+        assert unitary_channel(PAULI_X) == unitary_channel(phase * PAULI_X)

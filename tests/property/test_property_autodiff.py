@@ -1,0 +1,76 @@
+"""Property-based tests of the differentiation pipeline on random programs.
+
+The headline property is Theorem 6.2: for a randomly generated program, the
+transformed program's ancilla readout equals the numerical derivative of the
+observable semantics — for random observables, input states, and parameter
+points.  Proposition 7.2 (the resource bound) and the structural invariants
+of the transformation are checked alongside.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.resources import derivative_program_count, occurrence_count
+from repro.autodiff.execution import differentiate_and_compile
+from repro.autodiff.logic import check_derivation, derive
+from repro.autodiff.transform import ancilla_name_for, differentiate
+from repro.baselines.finite_diff import finite_difference_derivative
+
+from tests.conftest import (
+    THETA,
+    binding_strategy,
+    input_state_strategy,
+    observable_strategy,
+    program_strategy,
+)
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(program=program_strategy(allow_sum=False))
+@settings(**_SETTINGS)
+def test_transformation_adds_exactly_one_ancilla(program):
+    ancilla = ancilla_name_for(program, THETA)
+    derivative = differentiate(program, THETA, ancilla=ancilla)
+    assert derivative.qvars() <= program.qvars() | {ancilla}
+
+
+@given(program=program_strategy(allow_sum=False))
+@settings(**_SETTINGS)
+def test_proposition_7_2_resource_bound(program):
+    assert derivative_program_count(program, THETA) <= occurrence_count(program, THETA)
+
+
+@given(program=program_strategy(allow_sum=False))
+@settings(**_SETTINGS)
+def test_compiled_derivatives_are_normal_programs(program):
+    program_set = differentiate_and_compile(program, THETA)
+    for compiled in program_set.programs:
+        assert not compiled.is_additive()
+
+
+@given(program=program_strategy(allow_sum=True))
+@settings(**_SETTINGS)
+def test_canonical_derivation_checks(program):
+    ancilla = ancilla_name_for(program, THETA)
+    derivation = derive(program, THETA, ancilla=ancilla)
+    assert check_derivation(derivation, ancilla=ancilla, variables=sorted(program.qvars()))
+
+
+@given(
+    program=program_strategy(allow_sum=False, max_depth=2),
+    observable=observable_strategy(),
+    state=input_state_strategy(),
+    binding=binding_strategy(),
+)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_theorem_6_2_soundness_numerically(program, observable, state, binding):
+    program_set = differentiate_and_compile(program, THETA)
+    value = program_set.evaluate(observable, state, binding)
+    reference = finite_difference_derivative(program, THETA, observable, state, binding)
+    assert value == pytest.approx(reference, abs=5e-5)

@@ -1,0 +1,57 @@
+"""Property-based tests of the language front-end (printer/parser, traversals)."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang.parser import parse_program
+from repro.lang.pretty import line_count, pretty_print
+from repro.lang.traversal import (
+    contains_while,
+    fully_unfold_whiles,
+    program_size,
+    reassociate,
+)
+from repro.lang.wellformed import check_well_formed
+
+from tests.conftest import program_strategy
+
+_SETTINGS = dict(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(program=program_strategy(allow_sum=True))
+@settings(**_SETTINGS)
+def test_pretty_parse_roundtrip(program):
+    """parse(pretty(P)) recovers P up to the (associative) nesting of ; and +."""
+    assert parse_program(pretty_print(program)) == reassociate(program)
+
+
+@given(program=program_strategy(allow_sum=True))
+@settings(**_SETTINGS)
+def test_reassociation_is_idempotent_and_stable_under_reparsing(program):
+    canonical = reassociate(program)
+    assert reassociate(canonical) == canonical
+    assert parse_program(pretty_print(canonical)) == canonical
+
+
+@given(program=program_strategy(allow_sum=True))
+@settings(**_SETTINGS)
+def test_line_count_matches_rendered_lines(program):
+    rendered = [line for line in pretty_print(program).splitlines() if line.strip()]
+    assert line_count(program) == len(rendered)
+
+
+@given(program=program_strategy(allow_sum=True))
+@settings(**_SETTINGS)
+def test_generated_programs_are_well_formed(program):
+    check_well_formed(program)
+
+
+@given(program=program_strategy(allow_sum=False))
+@settings(**_SETTINGS)
+def test_unfolding_removes_whiles_and_does_not_shrink(program):
+    unfolded = fully_unfold_whiles(program)
+    assert not contains_while(unfolded)
+    assert program_size(unfolded) >= program_size(program)

@@ -1,0 +1,93 @@
+"""Property-based tests of the linear-algebra substrate."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.gates import (
+    controlled_coupling_matrix,
+    controlled_rotation_matrix,
+    coupling_matrix,
+    rotation_matrix,
+)
+from repro.linalg.observables import Observable
+from repro.linalg.operators import is_unitary
+from repro.linalg.states import is_density_operator, random_density_operator
+from repro.linalg.superop import Superoperator, unitary_channel
+
+_SETTINGS = dict(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+axes = st.sampled_from(["X", "Y", "Z"])
+coupling_axes = st.sampled_from(["XX", "YY", "ZZ"])
+
+
+@given(axis=axes, theta=angles)
+@settings(**_SETTINGS)
+def test_rotations_are_unitary_and_compose_additively(axis, theta):
+    assert is_unitary(rotation_matrix(axis, theta))
+    composed = rotation_matrix(axis, theta) @ rotation_matrix(axis, 0.7)
+    assert np.allclose(composed, rotation_matrix(axis, theta + 0.7))
+
+
+@given(axis=coupling_axes, theta=angles)
+@settings(**_SETTINGS)
+def test_couplings_are_unitary_and_periodic(axis, theta):
+    assert is_unitary(coupling_matrix(axis, theta))
+    assert np.allclose(coupling_matrix(axis, theta + 4 * np.pi), coupling_matrix(axis, theta))
+
+
+@given(axis=axes, theta=angles)
+@settings(**_SETTINGS)
+def test_controlled_rotation_is_unitary_and_block_diagonal(axis, theta):
+    gate = controlled_rotation_matrix(axis, theta)
+    assert is_unitary(gate)
+    assert np.allclose(gate[:2, 2:], 0.0)
+    assert np.allclose(gate[2:, :2], 0.0)
+
+
+@given(axis=coupling_axes, theta=angles)
+@settings(**_SETTINGS)
+def test_controlled_coupling_is_unitary(axis, theta):
+    assert is_unitary(controlled_coupling_matrix(axis, theta))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000), axis=axes, theta=angles)
+@settings(**_SETTINGS)
+def test_unitary_channels_preserve_density_operators(seed, axis, theta):
+    rng = np.random.default_rng(seed)
+    rho = random_density_operator(1, rng=rng)
+    output = unitary_channel(rotation_matrix(axis, theta))(rho)
+    assert is_density_operator(output, atol=1e-7)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_dual_trace_identity_for_random_channels(seed):
+    rng = np.random.default_rng(seed)
+    kraus = [
+        0.4 * (rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))) for _ in range(3)
+    ]
+    channel = Superoperator(tuple(kraus))
+    rho = random_density_operator(1, rng=rng)
+    observable = Observable(np.array([[0.3, 0.1 - 0.2j], [0.1 + 0.2j, -0.7]]))
+    lhs = np.trace(observable.matrix @ channel(rho))
+    rhs = np.trace(channel.apply_dual(observable.matrix) @ rho)
+    assert np.isclose(lhs, rhs)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(**_SETTINGS)
+def test_spectral_measurement_recovers_expectation(seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+    observable = Observable((raw + raw.conj().T) / 8)
+    rho = random_density_operator(2, rng=rng)
+    measurement, values = observable.spectral_measurement()
+    probabilities = measurement.probabilities(rho)
+    recovered = sum(values[m] * probabilities[m] for m in probabilities)
+    assert np.isclose(recovered, observable.expectation(rho), atol=1e-8)

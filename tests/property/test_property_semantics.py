@@ -1,0 +1,77 @@
+"""Property-based tests of the semantics on randomly generated programs.
+
+Hypothesis generates well-formed programs over a two-qubit register; the
+properties checked are the paper's structural results:
+
+* the denotational semantics is trace-non-increasing and completely positive
+  in effect (outputs remain partial density operators);
+* Proposition 3.1 — operational and denotational semantics agree for normal
+  programs;
+* Proposition 4.2 — the compiled multiset of an additive program reproduces
+  its nondeterministic semantics.
+"""
+
+import numpy as np
+from hypothesis import given, settings, HealthCheck
+
+from repro.linalg.states import is_partial_density_operator
+from repro.semantics.denotational import denote
+from repro.semantics.operational import operational_denotation
+from repro.additive.semantics import check_compilation_consistency
+
+from tests.conftest import binding_strategy, input_state_strategy, program_strategy
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(
+    program=program_strategy(allow_sum=False),
+    state=input_state_strategy(),
+    binding=binding_strategy(),
+)
+@settings(**_SETTINGS)
+def test_denotation_outputs_partial_density_operators(program, state, binding):
+    output = denote(program, state, binding)
+    assert is_partial_density_operator(output.matrix, atol=1e-6)
+    assert output.trace() <= 1.0 + 1e-7
+
+
+@given(
+    program=program_strategy(allow_sum=False),
+    state=input_state_strategy(),
+    binding=binding_strategy(),
+)
+@settings(**_SETTINGS)
+def test_proposition_3_1_operational_denotational_agreement(program, state, binding):
+    assert np.allclose(
+        operational_denotation(program, state, binding).matrix,
+        denote(program, state, binding).matrix,
+        atol=1e-8,
+    )
+
+
+@given(
+    program=program_strategy(allow_sum=True),
+    state=input_state_strategy(),
+    binding=binding_strategy(),
+)
+@settings(**_SETTINGS)
+def test_proposition_4_2_compilation_consistency(program, state, binding):
+    assert check_compilation_consistency(program, state, binding)
+
+
+@given(
+    program=program_strategy(allow_sum=False),
+    state=input_state_strategy(),
+    binding=binding_strategy(),
+)
+@settings(**_SETTINGS)
+def test_denotation_is_monotone_in_the_state(program, state, binding):
+    """Scaling the input scales the output (linearity on the PSD cone)."""
+    half_output = denote(program, state.scaled(0.5), binding)
+    output = denote(program, state, binding)
+    assert np.allclose(half_output.matrix, 0.5 * output.matrix, atol=1e-8)

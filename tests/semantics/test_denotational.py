@@ -1,0 +1,141 @@
+"""Unit tests for the denotational semantics (Figure 1b)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Abort, Init, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, seq
+from repro.lang.gates import hadamard, pauli_x
+from repro.lang.ast import UnitaryApp
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.gates import PAULI_Z
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.denotational import denote, denote_matrix
+
+THETA = Parameter("theta")
+LAYOUT = RegisterLayout(["q1", "q2"])
+
+
+def _zero():
+    return DensityState.zero_state(LAYOUT)
+
+
+class TestAtomic:
+    def test_abort_maps_to_zero(self):
+        assert denote(Abort(["q1"]), _zero()).is_null()
+
+    def test_skip_is_identity(self):
+        state = _zero()
+        assert denote(Skip(["q1"]), state) == state
+
+    def test_init_resets(self):
+        plus = _zero().apply_unitary(hadamard().matrix(), ["q1"])
+        reset = denote(Init("q1"), plus)
+        assert np.isclose(reset.expectation(PAULI_Z, ["q1"]), 1.0)
+
+    def test_unitary_application(self):
+        out = denote(UnitaryApp(pauli_x(), ("q2",)), _zero())
+        assert np.isclose(out.matrix[0b01, 0b01], 1.0)
+
+    def test_parameterized_unitary_needs_binding_value(self):
+        binding = ParameterBinding({THETA: np.pi})
+        out = denote(rx(THETA, "q1"), _zero(), binding)
+        # RX(π)|0⟩ = −i|1⟩, so q1 is flipped.
+        assert np.isclose(out.matrix[0b10, 0b10], 1.0)
+
+    def test_missing_variable_is_an_error(self):
+        with pytest.raises(SemanticsError):
+            denote(Skip(["q7"]), _zero())
+
+    def test_sum_is_rejected(self):
+        with pytest.raises(SemanticsError):
+            denote(Sum(Skip(["q1"]), Skip(["q1"])), _zero())
+
+
+class TestComposite:
+    def test_sequence_composes(self):
+        program = seq([UnitaryApp(pauli_x(), ("q1",)), UnitaryApp(pauli_x(), ("q2",))])
+        out = denote(program, _zero())
+        assert np.isclose(out.matrix[0b11, 0b11], 1.0)
+
+    def test_case_splits_on_measurement(self):
+        # Prepare |+⟩ on q1 and flip q2 only in the 1-branch.
+        program = seq(
+            [
+                UnitaryApp(hadamard(), ("q1",)),
+                case_on_qubit("q1", {0: Skip(["q1"]), 1: UnitaryApp(pauli_x(), ("q2",))}),
+            ]
+        )
+        out = denote(program, _zero())
+        assert np.isclose(out.trace(), 1.0)
+        assert np.isclose(out.matrix[0b00, 0b00], 0.5)
+        assert np.isclose(out.matrix[0b11, 0b11], 0.5)
+        # The measurement destroys the off-diagonal coherence.
+        assert np.isclose(out.matrix[0b00, 0b11], 0.0)
+
+    def test_case_with_abort_branch_loses_mass(self):
+        program = seq(
+            [
+                UnitaryApp(hadamard(), ("q1",)),
+                case_on_qubit("q1", {0: Skip(["q1"]), 1: Abort(["q1"])}),
+            ]
+        )
+        out = denote(program, _zero())
+        assert np.isclose(out.trace(), 0.5)
+
+    def test_while_terminates_immediately_on_zero_guard(self):
+        loop = bounded_while_on_qubit("q1", UnitaryApp(pauli_x(), ("q2",)), 3)
+        out = denote(loop, _zero())
+        assert out == _zero()
+
+    def test_while_runs_body_until_guard_flips(self):
+        # Guard starts at 1; the body flips the guard to 0, so exactly one iteration runs.
+        start = DensityState.basis_state(LAYOUT, {"q1": 1})
+        body = seq([UnitaryApp(pauli_x(), ("q1",)), UnitaryApp(pauli_x(), ("q2",))])
+        loop = bounded_while_on_qubit("q1", body, 5)
+        out = denote(loop, start)
+        assert np.isclose(out.trace(), 1.0)
+        assert np.isclose(out.matrix[0b01, 0b01], 1.0)
+
+    def test_while_aborts_when_bound_exhausted(self):
+        # Guard stays 1 forever: after T iterations the remaining mass is dropped.
+        start = DensityState.basis_state(LAYOUT, {"q1": 1})
+        loop = bounded_while_on_qubit("q1", Skip(["q1"]), 4)
+        out = denote(loop, start)
+        assert out.is_null()
+
+    def test_bound_one_while_equals_paper_macro(self):
+        start = DensityState.basis_state(LAYOUT, {"q1": 1})
+        body = UnitaryApp(pauli_x(), ("q2",))
+        loop = bounded_while_on_qubit("q1", body, 1)
+        # while(1) ≡ case M = 0 → skip, 1 → body; abort — the guard is 1, so
+        # the body runs and then everything aborts.
+        assert denote(loop, start).is_null()
+
+    def test_denote_matrix_wrapper(self):
+        assert np.allclose(denote_matrix(Skip(["q1"]), _zero()), _zero().matrix)
+
+
+class TestLinearity:
+    def test_denotation_is_linear_in_the_state(self):
+        binding = ParameterBinding({THETA: 0.7})
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: ry(0.2, "q2"), 1: Abort(["q1"])})])
+        a = DensityState.basis_state(LAYOUT, {"q1": 0})
+        b = DensityState.basis_state(LAYOUT, {"q1": 1})
+        mixed = a.scaled(0.3).add(b.scaled(0.7))
+        direct = denote(program, mixed, binding)
+        split = denote(program, a, binding).scaled(0.3).add(denote(program, b, binding).scaled(0.7))
+        assert np.allclose(direct.matrix, split.matrix)
+
+    def test_denotation_is_trace_nonincreasing(self):
+        binding = ParameterBinding({THETA: 1.1})
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                bounded_while_on_qubit("q1", ry(0.4, "q2"), 2),
+            ]
+        )
+        out = denote(program, _zero(), binding)
+        assert out.trace() <= 1.0 + 1e-9

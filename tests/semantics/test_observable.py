@@ -1,0 +1,133 @@
+"""Unit tests for the observable and differential semantics (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Abort, Skip, Sum
+from repro.lang.builder import case_on_qubit, rx, ry, rxx, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.gates import PAULI_Z
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.observable import (
+    additive_observable_semantics,
+    additive_observable_semantics_with_ancilla,
+    differential_semantics,
+    observable_semantics,
+    observable_semantics_with_ancilla,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+BINDING = ParameterBinding({THETA: 0.41, PHI: -0.9})
+ZZ = pauli_observable("ZZ")
+
+
+def _state(q1=0, q2=0):
+    return DensityState.basis_state(LAYOUT, {"q1": q1, "q2": q2})
+
+
+class TestObservableSemantics:
+    def test_identity_program(self):
+        assert observable_semantics(Skip(["q1"]), ZZ, _state(0, 0)) == pytest.approx(1.0)
+        assert observable_semantics(Skip(["q1"]), ZZ, _state(0, 1)) == pytest.approx(-1.0)
+
+    def test_abort_gives_zero(self):
+        assert observable_semantics(Abort(["q1"]), ZZ, _state()) == pytest.approx(0.0)
+
+    def test_rotation_dependence_on_parameter(self):
+        program = rx(THETA, "q1")
+        value = observable_semantics(program, ZZ, _state(), BINDING)
+        assert value == pytest.approx(np.cos(0.41))
+
+    def test_accepts_raw_matrices(self):
+        value = observable_semantics(Skip(["q1"]), np.kron(PAULI_Z, PAULI_Z), _state())
+        assert value == pytest.approx(1.0)
+
+    def test_is_a_function_of_theta(self):
+        program = seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2")])
+        values = [
+            observable_semantics(program, ZZ, _state(), BINDING.with_value(THETA, t))
+            for t in (0.0, 0.5, 1.0)
+        ]
+        assert values[0] != values[1] != values[2]
+
+
+class TestAncillaSemantics:
+    def test_fresh_ancilla_required(self):
+        with pytest.raises(SemanticsError):
+            observable_semantics_with_ancilla(Skip(["q1"]), ZZ, _state(), ancilla="q1")
+
+    def test_observable_must_live_on_original_register(self):
+        too_big = np.kron(np.kron(PAULI_Z, PAULI_Z), PAULI_Z)
+        with pytest.raises(SemanticsError):
+            observable_semantics_with_ancilla(Skip(["q1"]), too_big, _state(), ancilla="a")
+
+    def test_identity_program_with_untouched_ancilla(self):
+        """With the ancilla left in |0⟩, Z_A reads +1 and the value reduces to tr(Oρ)."""
+        value = observable_semantics_with_ancilla(Skip(["q1"]), ZZ, _state(0, 1), ancilla="a")
+        assert value == pytest.approx(-1.0)
+
+    def test_flipping_the_ancilla_negates_the_readout(self):
+        from repro.lang.gates import pauli_x
+        from repro.lang.ast import UnitaryApp
+
+        program = UnitaryApp(pauli_x(), ("a",))
+        value = observable_semantics_with_ancilla(program, ZZ, _state(0, 0), ancilla="a")
+        assert value == pytest.approx(-1.0)
+
+    def test_custom_ancilla_observable(self):
+        value = observable_semantics_with_ancilla(
+            Skip(["q1"]), ZZ, _state(), ancilla="a", ancilla_observable=np.eye(2)
+        )
+        assert value == pytest.approx(1.0)
+
+
+class TestAdditiveSemantics:
+    def test_sum_adds_observable_semantics(self):
+        """Eq. (5.4): the additive observable semantics sums over the compilation."""
+        program = Sum(Skip(["q1"]), Skip(["q1"]))
+        assert additive_observable_semantics(program, ZZ, _state()) == pytest.approx(2.0)
+
+    def test_aborting_summand_contributes_nothing(self):
+        program = Sum(Skip(["q1"]), Abort(["q1"]))
+        assert additive_observable_semantics(program, ZZ, _state()) == pytest.approx(1.0)
+
+    def test_additive_with_ancilla(self):
+        program = Sum(Skip(["q1"]), Skip(["q1"]))
+        value = additive_observable_semantics_with_ancilla(program, ZZ, _state(), ancilla="a")
+        assert value == pytest.approx(2.0)
+
+    def test_normal_program_reduces_to_plain_semantics(self):
+        program = seq([rx(THETA, "q1")])
+        assert additive_observable_semantics(program, ZZ, _state(), BINDING) == pytest.approx(
+            observable_semantics(program, ZZ, _state(), BINDING)
+        )
+
+
+class TestDifferentialSemantics:
+    def test_single_rotation_has_analytic_derivative(self):
+        """∂/∂θ ⟨Z⟩ after RX(θ) on |0⟩ is −sin θ."""
+        program = rx(THETA, "q1")
+        derivative = differential_semantics(program, THETA, ZZ, _state(), BINDING)
+        assert derivative == pytest.approx(-np.sin(0.41), abs=1e-6)
+
+    def test_independent_parameter_has_zero_derivative(self):
+        program = rx(THETA, "q1")
+        derivative = differential_semantics(program, PHI, ZZ, _state(), BINDING)
+        assert derivative == pytest.approx(0.0, abs=1e-8)
+
+    def test_branching_program_derivative_is_smooth(self):
+        program = seq(
+            [rx(THETA, "q1"), case_on_qubit("q1", {0: ry(THETA, "q2"), 1: Skip(["q1"])})]
+        )
+        value = differential_semantics(program, THETA, ZZ, _state(), BINDING)
+        assert np.isfinite(value)
+
+    def test_additive_program_differential(self):
+        program = Sum(rx(THETA, "q1"), rx(THETA, "q1"))
+        derivative = differential_semantics(program, THETA, ZZ, _state(), BINDING)
+        assert derivative == pytest.approx(-2 * np.sin(0.41), abs=1e-6)

@@ -1,0 +1,89 @@
+"""Unit tests for programs as explicit superoperators and their duals (Lemma D.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Abort, Skip
+from repro.lang.builder import case_on_qubit, rx, ry, seq
+from repro.lang.gates import hadamard
+from repro.lang.ast import UnitaryApp
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.gates import HADAMARD, PAULI_Z
+from repro.linalg.states import random_density_operator
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics.denotational import denote
+from repro.semantics.superoperators import (
+    apply_program_dual,
+    program_superoperator,
+    program_transfer_matrix,
+)
+
+THETA = Parameter("theta")
+LAYOUT = RegisterLayout(["q1"])
+TWO_LAYOUT = RegisterLayout(["q1", "q2"])
+BINDING = ParameterBinding({THETA: 0.83})
+
+
+class TestTransferMatrix:
+    def test_identity_program(self):
+        transfer = program_transfer_matrix(Skip(["q1"]), LAYOUT)
+        assert np.allclose(transfer, np.eye(4))
+
+    def test_abort_program(self):
+        transfer = program_transfer_matrix(Abort(["q1"]), LAYOUT)
+        assert np.allclose(transfer, np.zeros((4, 4)))
+
+    def test_unitary_program_matches_conjugation(self):
+        transfer = program_transfer_matrix(UnitaryApp(hadamard(), ("q1",)), LAYOUT)
+        expected = np.kron(np.conj(HADAMARD), HADAMARD)
+        assert np.allclose(transfer, expected)
+
+    def test_transfer_reproduces_action_on_random_states(self):
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: Skip(["q1"]), 1: ry(0.4, "q2")})])
+        transfer = program_transfer_matrix(program, TWO_LAYOUT, BINDING)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            rho = random_density_operator(2, rng=rng)
+            direct = denote(program, DensityState(TWO_LAYOUT, rho), BINDING).matrix
+            via_matrix = (transfer @ rho.reshape(-1, order="F")).reshape(4, 4, order="F")
+            assert np.allclose(direct, via_matrix)
+
+    def test_missing_variable_rejected(self):
+        with pytest.raises(SemanticsError):
+            program_transfer_matrix(Skip(["q9"]), LAYOUT)
+
+    def test_alias(self):
+        assert np.allclose(
+            program_superoperator(Skip(["q1"]), LAYOUT),
+            program_transfer_matrix(Skip(["q1"]), LAYOUT),
+        )
+
+
+class TestDual:
+    def test_dual_trace_identity(self):
+        """tr(O · [[P]](ρ)) = tr([[P]]*(O) · ρ) for random states."""
+        program = seq([rx(THETA, "q1"), case_on_qubit("q1", {0: ry(0.9, "q2"), 1: Abort(["q1"])})])
+        observable = np.kron(PAULI_Z, PAULI_Z)
+        dual_observable = apply_program_dual(program, TWO_LAYOUT, observable, BINDING)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            rho = random_density_operator(2, rng=rng)
+            lhs = np.trace(observable @ denote(program, DensityState(TWO_LAYOUT, rho), BINDING).matrix)
+            rhs = np.trace(dual_observable @ rho)
+            assert np.isclose(lhs, rhs)
+
+    def test_dual_of_unitary_is_heisenberg_conjugation(self):
+        program = UnitaryApp(hadamard(), ("q1",))
+        dual = apply_program_dual(program, LAYOUT, PAULI_Z)
+        assert np.allclose(dual, HADAMARD.conj().T @ PAULI_Z @ HADAMARD)
+
+    def test_dual_preserves_hermiticity(self):
+        program = seq([rx(THETA, "q1"), ry(0.4, "q1")])
+        dual = apply_program_dual(program, LAYOUT, PAULI_Z, BINDING)
+        assert np.allclose(dual, dual.conj().T)
+
+    def test_dual_dimension_check(self):
+        with pytest.raises(SemanticsError):
+            apply_program_dual(Skip(["q1"]), LAYOUT, np.eye(4))

@@ -1,0 +1,143 @@
+"""Unit tests for the density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.gates import CNOT, HADAMARD, PAULI_X, PAULI_Z
+from repro.linalg.measurement import computational_measurement
+from repro.linalg.superop import initialization_channel
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+
+
+@pytest.fixture
+def layout():
+    return RegisterLayout(["q1", "q2"])
+
+
+class TestConstruction:
+    def test_zero_state(self, layout):
+        state = DensityState.zero_state(layout)
+        assert np.isclose(state.trace(), 1.0)
+        assert np.isclose(state.matrix[0, 0], 1.0)
+
+    def test_basis_state(self, layout):
+        state = DensityState.basis_state(layout, {"q1": 1})
+        assert np.isclose(state.matrix[0b10, 0b10], 1.0)
+
+    def test_from_pure(self, layout):
+        vec = np.zeros(4)
+        vec[3] = 1.0
+        state = DensityState.from_pure(layout, vec)
+        assert np.isclose(state.matrix[3, 3], 1.0)
+
+    def test_from_pure_dimension_check(self, layout):
+        with pytest.raises(DimensionMismatchError):
+            DensityState.from_pure(layout, np.ones(3))
+
+    def test_null_state(self, layout):
+        state = DensityState.null_state(layout)
+        assert state.is_null()
+        assert state.trace() == 0.0
+
+    def test_shape_validation(self, layout):
+        with pytest.raises(DimensionMismatchError):
+            DensityState(layout, np.eye(3))
+
+
+class TestEvolution:
+    def test_apply_unitary_single_qubit(self, layout):
+        state = DensityState.zero_state(layout).apply_unitary(PAULI_X, ["q2"])
+        assert np.isclose(state.matrix[0b01, 0b01], 1.0)
+
+    def test_apply_unitary_entangles(self, layout):
+        state = (
+            DensityState.zero_state(layout)
+            .apply_unitary(HADAMARD, ["q1"])
+            .apply_unitary(CNOT, ["q1", "q2"])
+        )
+        # Bell state: ρ[00,00] = ρ[11,11] = ρ[00,11] = 1/2.
+        assert np.isclose(state.matrix[0, 0], 0.5)
+        assert np.isclose(state.matrix[3, 3], 0.5)
+        assert np.isclose(state.matrix[0, 3], 0.5)
+
+    def test_apply_kraus(self, layout):
+        state = DensityState.zero_state(layout).apply_unitary(HADAMARD, ["q1"])
+        reset = state.apply_kraus(initialization_channel(2).kraus_operators, ["q1"])
+        assert np.isclose(reset.matrix[0, 0], 1.0)
+
+    def test_initialize_resets_and_decorrelates(self, layout):
+        bell = (
+            DensityState.zero_state(layout)
+            .apply_unitary(HADAMARD, ["q1"])
+            .apply_unitary(CNOT, ["q1", "q2"])
+        )
+        reset = bell.initialize("q1")
+        # q1 back to |0⟩, q2 left maximally mixed.
+        expected = np.kron(np.diag([1.0, 0.0]), np.eye(2) / 2)
+        assert np.allclose(reset.matrix, expected)
+
+    def test_scaled_and_add(self, layout):
+        a = DensityState.basis_state(layout, {"q1": 0})
+        b = DensityState.basis_state(layout, {"q1": 1})
+        mixture = a.scaled(0.25).add(b.scaled(0.75))
+        assert np.isclose(mixture.trace(), 1.0)
+        assert np.isclose(mixture.matrix[0b10, 0b10], 0.75)
+
+    def test_scaled_rejects_negative(self, layout):
+        with pytest.raises(LinalgError):
+            DensityState.zero_state(layout).scaled(-0.5)
+
+    def test_add_layout_mismatch(self, layout):
+        other = DensityState.zero_state(RegisterLayout(["a"]))
+        with pytest.raises(DimensionMismatchError):
+            DensityState.zero_state(layout).add(other)
+
+
+class TestMeasurement:
+    def test_branch_states_sum_to_identity_action(self, layout):
+        state = DensityState.zero_state(layout).apply_unitary(HADAMARD, ["q1"])
+        measurement = computational_measurement(1)
+        branch0 = state.measurement_branch(measurement, ["q1"], 0)
+        branch1 = state.measurement_branch(measurement, ["q1"], 1)
+        assert np.isclose(branch0.trace(), 0.5)
+        assert np.isclose(branch1.trace(), 0.5)
+        assert np.allclose(branch0.matrix + branch1.matrix, np.diag([0.5, 0, 0.5, 0]))
+
+    def test_measurement_probabilities(self, layout):
+        state = DensityState.zero_state(layout).apply_unitary(HADAMARD, ["q2"])
+        probabilities = state.measurement_probabilities(computational_measurement(1), ["q2"])
+        assert np.isclose(probabilities[0], 0.5)
+        assert np.isclose(probabilities[1], 0.5)
+
+
+class TestObservables:
+    def test_expectation_full_register(self, layout):
+        state = DensityState.basis_state(layout, {"q1": 1, "q2": 0})
+        observable = np.kron(PAULI_Z, PAULI_Z)
+        assert np.isclose(state.expectation(observable), -1.0)
+
+    def test_expectation_on_targets(self, layout):
+        state = DensityState.basis_state(layout, {"q1": 1})
+        assert np.isclose(state.expectation(PAULI_Z, ["q1"]), -1.0)
+        assert np.isclose(state.expectation(PAULI_Z, ["q2"]), 1.0)
+
+    def test_expectation_dimension_check(self, layout):
+        with pytest.raises(DimensionMismatchError):
+            DensityState.zero_state(layout).expectation(PAULI_Z)
+
+    def test_extended_adds_ancilla_in_front(self, layout):
+        state = DensityState.basis_state(layout, {"q1": 1}).extended("anc", front=True)
+        assert state.layout.names == ("anc", "q1", "q2")
+        assert np.isclose(state.trace(), 1.0)
+        # The ancilla is |0⟩: expectation of Z on it is +1.
+        assert np.isclose(state.expectation(PAULI_Z, ["anc"]), 1.0)
+        # q1 is still |1⟩.
+        assert np.isclose(state.expectation(PAULI_Z, ["q1"]), -1.0)
+
+    def test_copy_is_independent(self, layout):
+        state = DensityState.zero_state(layout)
+        copy = state.copy()
+        assert copy == state
+        assert copy.matrix is not state.matrix

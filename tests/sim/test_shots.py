@@ -1,0 +1,106 @@
+"""Unit tests for the Chernoff-bounded shot estimation (Section 7 execution model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LinalgError
+from repro.linalg.observables import Observable, pauli_observable
+from repro.linalg.states import plus, pure_density, zero
+from repro.sim.shots import (
+    chernoff_shot_count,
+    estimate_expectation,
+    estimate_expectation_from_samples,
+    estimate_program_sum,
+    program_sum_shot_count,
+    sample_observable_outcomes,
+)
+
+
+class TestShotCounts:
+    def test_scaling_with_precision(self):
+        """The count scales as O(1/δ²)."""
+        n1 = chernoff_shot_count(0.1)
+        n2 = chernoff_shot_count(0.05)
+        assert 3.5 <= n2 / n1 <= 4.5
+
+    def test_scaling_with_confidence(self):
+        assert chernoff_shot_count(0.1, confidence=0.99) > chernoff_shot_count(0.1, confidence=0.9)
+
+    def test_explicit_value(self):
+        expected = math.ceil(4 * math.log(2 / 0.05) / (2 * 0.01))
+        assert chernoff_shot_count(0.1, confidence=0.95) == expected
+
+    def test_invalid_arguments(self):
+        with pytest.raises(LinalgError):
+            chernoff_shot_count(0.0)
+        with pytest.raises(LinalgError):
+            chernoff_shot_count(0.1, confidence=1.5)
+
+    def test_program_sum_scales_quadratically_in_m(self):
+        """Estimating a sum of m programs costs O(m²/δ²) shots (Section 7)."""
+        single = program_sum_shot_count(1, 0.1)
+        triple = program_sum_shot_count(3, 0.1)
+        assert 8.0 <= triple / single <= 10.0
+        with pytest.raises(LinalgError):
+            program_sum_shot_count(0, 0.1)
+
+
+class TestSampling:
+    def test_sample_outcomes_are_eigenvalues(self):
+        rng = np.random.default_rng(0)
+        samples = sample_observable_outcomes(
+            pauli_observable("Z"), pure_density(plus()), 100, rng=rng
+        )
+        assert set(np.unique(samples)) <= {-1.0, 1.0}
+
+    def test_sample_requires_positive_shots(self):
+        with pytest.raises(LinalgError):
+            sample_observable_outcomes(pauli_observable("Z"), pure_density(zero()), 0)
+
+    def test_estimate_expectation_converges(self):
+        rng = np.random.default_rng(1)
+        estimate = estimate_expectation(
+            pauli_observable("Z"), pure_density(plus()), shots=4000, rng=rng
+        )
+        assert abs(estimate) < 0.08
+
+    def test_estimate_expectation_with_precision(self):
+        rng = np.random.default_rng(2)
+        estimate = estimate_expectation(
+            pauli_observable("Z"), pure_density(zero()), precision=0.1, rng=rng
+        )
+        assert abs(estimate - 1.0) < 0.1
+
+    def test_partial_state_contributes_zero_mass(self):
+        """Aborted runs (missing trace) read out 0, matching the observable semantics."""
+        rng = np.random.default_rng(3)
+        partial = 0.5 * pure_density(zero())
+        estimate = estimate_expectation(pauli_observable("Z"), partial, shots=4000, rng=rng)
+        assert abs(estimate - 0.5) < 0.08
+
+    def test_estimate_from_samples(self):
+        assert estimate_expectation_from_samples([1.0, -1.0, 1.0, 1.0]) == pytest.approx(0.5)
+        with pytest.raises(LinalgError):
+            estimate_expectation_from_samples([])
+
+
+class TestProgramSum:
+    def test_empty_sum_is_zero(self):
+        assert estimate_program_sum([]) == 0.0
+
+    def test_sum_of_two_expectations(self):
+        rng = np.random.default_rng(4)
+        z = pauli_observable("Z")
+        pairs = [(z, pure_density(zero())), (z, pure_density(zero()))]
+        estimate = estimate_program_sum(pairs, precision=0.2, rng=rng)
+        assert abs(estimate - 2.0) < 0.2
+
+    def test_sum_with_cancelling_terms(self):
+        rng = np.random.default_rng(5)
+        z = pauli_observable("Z")
+        one_state = np.array([[0, 0], [0, 1]], dtype=complex)
+        pairs = [(z, pure_density(zero())), (z, one_state)]
+        estimate = estimate_program_sum(pairs, precision=0.2, rng=rng)
+        assert abs(estimate) < 0.2

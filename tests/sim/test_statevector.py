@@ -1,0 +1,101 @@
+"""Unit tests for the statevector (trajectory) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, LinalgError
+from repro.linalg.gates import CNOT, HADAMARD, PAULI_X, PAULI_Z
+from repro.linalg.measurement import computational_measurement
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.statevector import StateVector
+
+
+@pytest.fixture
+def layout():
+    return RegisterLayout(["q1", "q2"])
+
+
+class TestBasics:
+    def test_default_is_all_zero(self, layout):
+        state = StateVector(layout)
+        assert np.isclose(state.probability_of({"q1": 0, "q2": 0}), 1.0)
+
+    def test_basis_state(self, layout):
+        state = StateVector.basis_state(layout, {"q1": 1})
+        assert np.isclose(state.probability_of({"q1": 1, "q2": 0}), 1.0)
+
+    def test_dimension_check(self, layout):
+        with pytest.raises(DimensionMismatchError):
+            StateVector(layout, np.ones(3))
+
+    def test_density_matrix(self, layout):
+        state = StateVector(layout)
+        rho = state.density_matrix()
+        assert np.isclose(np.trace(rho), 1.0)
+        assert np.isclose(rho[0, 0], 1.0)
+
+    def test_copy_is_independent(self, layout):
+        state = StateVector(layout)
+        copy = state.copy()
+        copy.apply_unitary(PAULI_X, ["q1"])
+        assert np.isclose(state.probability_of({"q1": 0, "q2": 0}), 1.0)
+
+
+class TestEvolution:
+    def test_apply_unitary(self, layout):
+        state = StateVector(layout).apply_unitary(PAULI_X, ["q2"])
+        assert np.isclose(state.probability_of({"q2": 1}), 1.0)
+
+    def test_expectation(self, layout):
+        state = StateVector(layout).apply_unitary(HADAMARD, ["q1"])
+        assert np.isclose(state.expectation(PAULI_Z, ["q1"]), 0.0)
+        assert np.isclose(state.expectation(PAULI_X, ["q1"]), 1.0)
+
+    def test_expectation_dimension_check(self, layout):
+        with pytest.raises(DimensionMismatchError):
+            StateVector(layout).expectation(PAULI_Z)
+
+    def test_bell_state_norm(self, layout):
+        state = StateVector(layout).apply_unitary(HADAMARD, ["q1"]).apply_unitary(CNOT, ["q1", "q2"])
+        assert np.isclose(state.norm(), 1.0)
+        assert np.isclose(state.probability_of({"q1": 0, "q2": 0}), 0.5)
+        assert np.isclose(state.probability_of({"q1": 1, "q2": 1}), 0.5)
+
+
+class TestMeasurement:
+    def test_measurement_collapses(self, layout):
+        rng = np.random.default_rng(0)
+        state = StateVector(layout).apply_unitary(HADAMARD, ["q1"])
+        outcome = state.measure(computational_measurement(1), ["q1"], rng=rng)
+        assert outcome in (0, 1)
+        assert np.isclose(state.probability_of({"q1": outcome}), 1.0)
+
+    def test_measurement_statistics(self, layout):
+        rng = np.random.default_rng(5)
+        outcomes = []
+        for _ in range(300):
+            state = StateVector(layout).apply_unitary(HADAMARD, ["q1"])
+            outcomes.append(state.measure(computational_measurement(1), ["q1"], rng=rng))
+        assert 0.4 < np.mean(outcomes) < 0.6
+
+    def test_measure_zero_state_fails(self, layout):
+        state = StateVector(layout, np.zeros(4))
+        with pytest.raises(LinalgError):
+            state.measure(computational_measurement(1), ["q1"])
+
+    def test_initialize_resets_variable(self, layout):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            state = StateVector(layout).apply_unitary(HADAMARD, ["q1"])
+            state.initialize("q1", rng=rng)
+            assert np.isclose(state.probability_of({"q1": 0}), 1.0, atol=1e-9)
+
+    def test_initialize_matches_density_semantics_in_expectation(self, layout):
+        """Averaged over trajectories, the reset matches the reset channel."""
+        rng = np.random.default_rng(9)
+        samples = []
+        for _ in range(200):
+            state = StateVector(layout).apply_unitary(HADAMARD, ["q2"])
+            state.initialize("q2", rng=rng)
+            samples.append(state.expectation(PAULI_Z, ["q2"]))
+        assert np.isclose(np.mean(samples), 1.0)

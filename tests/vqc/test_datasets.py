@@ -1,0 +1,62 @@
+"""Unit tests for the boolean datasets of the case study."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.vqc.datasets import (
+    all_bitstrings,
+    boolean_dataset,
+    majority_label_function,
+    paper_dataset,
+    paper_label_function,
+    parity_label_function,
+)
+
+
+class TestLabelFunctions:
+    def test_paper_label_truth_table(self):
+        """f(z) = ¬(z1 ⊕ z4)."""
+        assert paper_label_function((0, 0, 0, 0)) == 1
+        assert paper_label_function((1, 0, 0, 1)) == 1
+        assert paper_label_function((1, 0, 0, 0)) == 0
+        assert paper_label_function((0, 1, 1, 1)) == 0
+
+    def test_paper_label_ignores_middle_bits(self):
+        assert paper_label_function((1, 0, 0, 1)) == paper_label_function((1, 1, 1, 1))
+
+    def test_paper_label_requires_four_bits(self):
+        with pytest.raises(TrainingError):
+            paper_label_function((0, 1))
+
+    def test_parity(self):
+        assert parity_label_function((1, 1, 0)) == 0
+        assert parity_label_function((1, 0, 0)) == 1
+
+    def test_majority(self):
+        assert majority_label_function((1, 1, 0)) == 1
+        assert majority_label_function((1, 0, 0, 0)) == 0
+
+
+class TestDatasets:
+    def test_all_bitstrings(self):
+        assert len(all_bitstrings(3)) == 8
+        assert all_bitstrings(1) == [(0,), (1,)]
+        with pytest.raises(TrainingError):
+            all_bitstrings(0)
+
+    def test_paper_dataset_covers_all_inputs(self):
+        dataset = paper_dataset()
+        assert len(dataset) == 16
+        assert sum(label for _, label in dataset) == 8  # the label is balanced
+
+    def test_boolean_dataset_with_selected_inputs(self):
+        dataset = boolean_dataset(parity_label_function, inputs=[(0, 1), (1, 1)])
+        assert dataset == [((0, 1), 1), ((1, 1), 0)]
+
+    def test_boolean_dataset_validates_bits(self):
+        with pytest.raises(TrainingError):
+            boolean_dataset(parity_label_function, inputs=[(0, 2)])
+
+    def test_boolean_dataset_validates_labels(self):
+        with pytest.raises(TrainingError):
+            boolean_dataset(lambda bits: 7, num_bits=2)

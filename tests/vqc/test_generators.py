@@ -1,0 +1,134 @@
+"""Unit tests for the benchmark VQC generators (Appendix F.2 instances)."""
+
+import pytest
+
+from repro.errors import TrainingError
+from repro.lang.traversal import contains_case, contains_while, is_circuit
+from repro.lang.wellformed import check_well_formed
+from repro.analysis.resources import (
+    derivative_program_count,
+    gate_count,
+    occurrence_count,
+    qubit_count,
+)
+from repro.vqc.generators import (
+    SHARED_PARAMETER,
+    VQCInstance,
+    build_instance,
+    table2_suite,
+    table3_suite,
+)
+
+
+class TestBuildInstance:
+    def test_unknown_family_scale_variant(self):
+        with pytest.raises(TrainingError):
+            build_instance("QFT", "S", "b")
+        with pytest.raises(TrainingError):
+            build_instance("QNN", "XL", "b")
+        with pytest.raises(TrainingError):
+            build_instance("QNN", "S", "z")
+
+    def test_labels(self):
+        instance = build_instance("QNN", "M", "i")
+        assert instance.label == "QNN_M,i"
+        assert isinstance(instance, VQCInstance)
+
+    def test_generators_are_deterministic(self):
+        first = build_instance("VQE", "M", "w")
+        second = build_instance("VQE", "M", "w")
+        assert first.program == second.program
+
+    def test_programs_are_well_formed(self):
+        for family in ("QNN", "VQE", "QAOA"):
+            for variant in ("b", "s", "i", "w"):
+                instance = build_instance(family, "S", variant)
+                check_well_formed(instance.program, allow_additive=False)
+
+    def test_basic_variant_has_single_occurrence(self):
+        for family in ("QNN", "VQE", "QAOA"):
+            instance = build_instance(family, "S", "b")
+            assert occurrence_count(instance.program, SHARED_PARAMETER) == 1
+            assert is_circuit(instance.program)
+
+    def test_shared_variant_has_multiple_occurrences(self):
+        for family in ("QNN", "VQE", "QAOA"):
+            instance = build_instance(family, "S", "s")
+            assert occurrence_count(instance.program, SHARED_PARAMETER) > 1
+
+    def test_if_variant_contains_case_but_no_while(self):
+        instance = build_instance("QAOA", "M", "i")
+        assert contains_case(instance.program)
+        assert not contains_while(instance.program)
+
+    def test_while_variant_contains_while(self):
+        instance = build_instance("QAOA", "M", "w")
+        assert contains_while(instance.program)
+
+    def test_qubit_counts_match_paper(self):
+        expected = {
+            ("QNN", "S"): 4, ("QNN", "M"): 18, ("QNN", "L"): 36,
+            ("VQE", "S"): 2, ("VQE", "M"): 12, ("VQE", "L"): 40,
+            ("QAOA", "S"): 3, ("QAOA", "M"): 18, ("QAOA", "L"): 36,
+        }
+        for (family, scale), qubits in expected.items():
+            instance = build_instance(family, scale, "i")
+            assert instance.num_qubits == qubits
+            assert qubit_count(instance.program) == qubits
+
+
+class TestPaperRowValues:
+    """Exact reproduction of the Table 2 rows this construction matches."""
+
+    PAPER_ROWS = {
+        # label: (OC, |#∂θ1|, #gates)
+        "QNN_M,i": (24, 24, 165),
+        "QNN_M,w": (56, 24, 231),
+        "QNN_L,i": (48, 48, 363),
+        "QNN_L,w": (504, 48, 2079),
+        "VQE_L,i": (40, 40, 576),
+        "VQE_L,w": (248, 40, 1984),
+        "QAOA_M,i": (18, 18, 120),
+        "QAOA_M,w": (42, 18, 168),
+        "QAOA_L,i": (36, 36, 264),
+        "QAOA_L,w": (378, 36, 1512),
+    }
+
+    @pytest.mark.parametrize("label", sorted(PAPER_ROWS))
+    def test_row_matches_paper(self, label):
+        family, rest = label.split("_")
+        scale, variant = rest.split(",")
+        instance = build_instance(family, scale, variant)
+        expected_oc, expected_count, expected_gates = self.PAPER_ROWS[label]
+        assert occurrence_count(instance.program, SHARED_PARAMETER) == expected_oc
+        assert gate_count(instance.program) == expected_gates
+        assert derivative_program_count(instance.program, SHARED_PARAMETER) == expected_count
+
+    def test_while_variants_strictly_improve_on_occurrence_count(self):
+        """|#∂θ1| < OC for every while variant (essentially aborting unrollings pruned)."""
+        for family in ("QNN", "VQE", "QAOA"):
+            instance = build_instance(family, "M", "w")
+            oc = occurrence_count(instance.program, SHARED_PARAMETER)
+            count = derivative_program_count(instance.program, SHARED_PARAMETER)
+            assert count < oc
+
+    def test_if_variants_match_occurrence_count(self):
+        for family in ("QNN", "VQE", "QAOA"):
+            instance = build_instance(family, "M", "i")
+            oc = occurrence_count(instance.program, SHARED_PARAMETER)
+            count = derivative_program_count(instance.program, SHARED_PARAMETER)
+            assert count == oc
+
+
+class TestSuites:
+    def test_table2_suite_has_twelve_instances(self):
+        suite = table2_suite()
+        assert len(suite) == 12
+        assert all(instance.scale in ("M", "L") for instance in suite)
+        assert all(instance.variant in ("i", "w") for instance in suite)
+
+    def test_table3_suite_has_twenty_four_instances(self):
+        suite = table3_suite()
+        assert len(suite) == 24
+        labels = [instance.label for instance in suite]
+        assert len(set(labels)) == 24

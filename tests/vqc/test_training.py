@@ -1,0 +1,130 @@
+"""Unit tests for losses and the gradient-descent trainer (short runs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.lang.parameters import ParameterBinding
+from repro.vqc.classifier import build_p1, build_p2
+from repro.vqc.datasets import paper_dataset
+from repro.vqc.training import (
+    GradientDescentTrainer,
+    TrainingConfig,
+    TrainingResult,
+    negative_log_likelihood,
+    negative_log_likelihood_gradient_weight,
+    squared_loss,
+    squared_loss_gradient_weight,
+)
+
+
+class TestLosses:
+    def test_squared_loss_value(self):
+        assert squared_loss([1.0, 0.0], [1, 0]) == pytest.approx(0.0)
+        assert squared_loss([0.5, 0.5], [1, 0]) == pytest.approx(0.25)
+
+    def test_squared_loss_length_check(self):
+        with pytest.raises(TrainingError):
+            squared_loss([0.5], [1, 0])
+
+    def test_squared_loss_gradient_weight(self):
+        assert squared_loss_gradient_weight(0.7, 1) == pytest.approx(-0.3)
+
+    def test_nll_value(self):
+        assert negative_log_likelihood([1.0, 0.0], [1, 0]) == pytest.approx(0.0, abs=1e-6)
+        assert negative_log_likelihood([0.5, 0.5], [1, 0]) == pytest.approx(np.log(2), abs=1e-6)
+
+    def test_nll_clamps_extreme_predictions(self):
+        assert np.isfinite(negative_log_likelihood([0.0], [1]))
+
+    def test_nll_gradient_weight_sign(self):
+        assert negative_log_likelihood_gradient_weight(0.4, 1, count=4) < 0
+        assert negative_log_likelihood_gradient_weight(0.6, 0, count=4) > 0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            TrainingConfig(loss="hinge")
+
+    def test_defaults(self):
+        config = TrainingConfig()
+        assert config.loss == "squared"
+        assert config.epochs > 0
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return paper_dataset()
+
+    def test_training_reduces_loss_for_p2(self, dataset):
+        classifier = build_p2()
+        trainer = GradientDescentTrainer(
+            classifier, TrainingConfig(epochs=3, learning_rate=0.5, record_accuracy=False)
+        )
+        result = trainer.train(dataset)
+        assert isinstance(result, TrainingResult)
+        assert len(result.losses) == 4  # initial + after each epoch
+        assert result.final_loss < result.losses[0]
+        assert result.final_binding is not None
+
+    def test_training_records_accuracy_when_asked(self, dataset):
+        classifier = build_p1()
+        trainer = GradientDescentTrainer(
+            classifier, TrainingConfig(epochs=1, learning_rate=0.3, record_accuracy=True)
+        )
+        result = trainer.train(dataset)
+        assert len(result.accuracies) == len(result.losses)
+        assert all(0.0 <= a <= 1.0 for a in result.accuracies)
+
+    def test_loss_gradient_matches_finite_differences(self, dataset):
+        classifier = build_p1()
+        trainer = GradientDescentTrainer(classifier, TrainingConfig(epochs=1))
+        binding = classifier.initial_binding(seed=2, spread=0.4)
+        small_dataset = dataset[:4]
+        gradient = trainer.loss_gradient(small_dataset, binding)
+        # Finite-difference check on two representative parameters.
+        for index in (0, 13):
+            parameter = classifier.parameters[index]
+            eps = 1e-5
+            upper = trainer.loss(small_dataset, binding.shifted(parameter, +eps))
+            lower = trainer.loss(small_dataset, binding.shifted(parameter, -eps))
+            assert gradient[index] == pytest.approx((upper - lower) / (2 * eps), abs=1e-5)
+
+    def test_nll_loss_gradient_matches_finite_differences(self, dataset):
+        classifier = build_p1()
+        trainer = GradientDescentTrainer(classifier, TrainingConfig(epochs=1, loss="nll"))
+        binding = classifier.initial_binding(seed=4, spread=0.4)
+        small_dataset = dataset[:3]
+        gradient = trainer.loss_gradient(small_dataset, binding)
+        parameter = classifier.parameters[5]
+        eps = 1e-5
+        upper = trainer.loss(small_dataset, binding.shifted(parameter, +eps))
+        lower = trainer.loss(small_dataset, binding.shifted(parameter, -eps))
+        assert gradient[5] == pytest.approx((upper - lower) / (2 * eps), abs=1e-5)
+
+    def test_empty_dataset_rejected(self):
+        trainer = GradientDescentTrainer(build_p1(), TrainingConfig(epochs=1))
+        with pytest.raises(TrainingError):
+            trainer.train([])
+
+    def test_result_accessors_require_history(self):
+        result = TrainingResult(classifier_name="empty")
+        with pytest.raises(TrainingError):
+            result.final_loss
+        with pytest.raises(TrainingError):
+            result.best_loss
+
+    def test_custom_initial_binding_is_used(self, dataset):
+        classifier = build_p1()
+        trainer = GradientDescentTrainer(
+            classifier, TrainingConfig(epochs=1, record_accuracy=False)
+        )
+        binding = ParameterBinding.zeros(classifier.parameters)
+        result = trainer.train(dataset[:2], initial_binding=binding)
+        assert len(result.losses) == 2

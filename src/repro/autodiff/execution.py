@@ -27,8 +27,9 @@ from repro.errors import SemanticsError
 from repro.lang.ast import Program
 from repro.lang.parameters import Parameter, ParameterBinding
 from repro.linalg.observables import Observable
+from repro.sim import kernels
 from repro.sim.density import DensityState
-from repro.sim.shots import estimate_program_sum
+from repro.sim.shots import estimate_distribution_sum, normalized_distribution
 from repro.semantics.denotational import denote
 from repro.semantics.observable import observable_semantics
 from repro.additive.compile import compile_additive
@@ -75,17 +76,39 @@ class DerivativeProgramSet:
         observable: Observable | np.ndarray,
         state: DensityState,
         binding: ParameterBinding,
+        *,
+        targets: Sequence[str] | None = None,
     ) -> float:
-        """Exactly evaluate the derivative readout ``Σ_i tr((Z_A⊗O)[[P'_i]](|0⟩⟨0|⊗ρ))``."""
+        """Exactly evaluate the derivative readout ``Σ_i tr((Z_A⊗O)[[P'_i]](|0⟩⟨0|⊗ρ))``.
+
+        With ``targets`` the observable acts only on those variables of the
+        input register, so ``Z_A ⊗ O`` stays a small (1+k)-local operator
+        that the contraction kernels read out in ``O(4^n)``.  Without
+        ``targets`` the observable covers the whole original register and the
+        readout contracts ``Z_A`` blockwise against the output state — the
+        full-space Kronecker product ``Z_A ⊗ O`` is never materialized
+        either way.
+        """
         matrix = observable.matrix if isinstance(observable, Observable) else np.asarray(observable)
+        extended = state.extended(self.ancilla, dim=2, front=True)
+        total = 0.0
+        if targets is not None:
+            expected = int(np.prod([state.layout.dim_of(name) for name in targets]))
+            if matrix.shape != (expected, expected):
+                raise SemanticsError("observable dimension does not match the target variables")
+            combined = np.kron(ANCILLA_OBSERVABLE, matrix)
+            combined_targets = (self.ancilla,) + tuple(targets)
+            for program in self.nonaborting_programs():
+                output = denote(program, extended, binding)
+                total += output.expectation(combined, combined_targets)
+            return total
         if matrix.shape != (state.layout.total_dim, state.layout.total_dim):
             raise SemanticsError("observable dimension does not match the input state register")
-        total = 0.0
-        combined = np.kron(ANCILLA_OBSERVABLE, matrix)
         for program in self.nonaborting_programs():
-            extended = state.extended(self.ancilla, dim=2, front=True)
             output = denote(program, extended, binding)
-            total += output.expectation(combined)
+            total += kernels.two_factor_expectation_density(
+                output.matrix, 2, ANCILLA_OBSERVABLE, matrix
+            )
         return total
 
     def evaluate_sampled(
@@ -103,16 +126,38 @@ class DerivativeProgramSet:
         Each compiled program is simulated exactly to obtain its output
         state, and the readout of ``Z_A ⊗ O`` is then *sampled* with the
         Chernoff-bounded repetition count for a sum of ``m`` programs.
+
+        The combined observable is never formed: ``Z_A ⊗ O`` is measured by
+        jointly reading the ancilla in the computational basis (eigenbasis of
+        ``Z_A``) and the original register in the eigenbasis of ``O``, so the
+        spectral decomposition happens once on the ``2^n``-dimensional ``O``
+        instead of per program on the doubled space, and the per-outcome
+        Born-rule weights come from the ancilla blocks of the output state.
         """
         matrix = observable.matrix if isinstance(observable, Observable) else np.asarray(observable)
-        combined = Observable(np.kron(ANCILLA_OBSERVABLE, matrix), name="ZA⊗O")
-        pairs = []
+        if matrix.shape != (state.layout.total_dim, state.layout.total_dim):
+            raise SemanticsError("observable dimension does not match the input state register")
+        spectral = (
+            observable if isinstance(observable, Observable) else Observable(matrix)
+        ).spectral_measurement()
+        measurement, eigenvalues = spectral
+        ancilla_signs = np.real(np.diag(ANCILLA_OBSERVABLE))
+        extended = state.extended(self.ancilla, dim=2, front=True)
+        dim = state.layout.total_dim
+        distributions = []
         for program in self.nonaborting_programs():
-            extended = state.extended(self.ancilla, dim=2, front=True)
             output = denote(program, extended, binding)
-            pairs.append((combined, output.matrix))
-        return estimate_program_sum(
-            pairs, precision=precision, confidence=confidence, rng=rng
+            blocks = output.matrix.reshape(2, dim, 2, dim)
+            values = []
+            weights = []
+            for sign_index, sign in enumerate(ancilla_signs):
+                block = blocks[sign_index, :, sign_index, :]
+                for projector, eigenvalue in zip(measurement.operators, eigenvalues):
+                    values.append(sign * eigenvalue)
+                    weights.append(float(np.real(np.einsum("ij,ji->", projector, block))))
+            distributions.append(normalized_distribution(values, weights))
+        return estimate_distribution_sum(
+            distributions, precision=precision, confidence=confidence, rng=rng
         )
 
 
@@ -170,18 +215,22 @@ def gradient(
     binding: ParameterBinding,
     *,
     program_sets: Sequence[DerivativeProgramSet] | None = None,
+    targets: Sequence[str] | None = None,
 ) -> np.ndarray:
     """Full gradient of the observable semantics with respect to several parameters.
 
     ``program_sets`` may carry pre-built :class:`DerivativeProgramSet`
     objects (one per parameter, in order) so that training loops pay the
-    transformation/compilation cost only once.
+    transformation/compilation cost only once.  ``targets`` restricts the
+    observable to a subset of the register exactly as in
+    :meth:`DerivativeProgramSet.evaluate`.
     """
     if program_sets is None:
         program_sets = [differentiate_and_compile(program, parameter) for parameter in parameters]
     if len(program_sets) != len(parameters):
         raise SemanticsError("one derivative program set per parameter is required")
     values = [
-        program_set.evaluate(observable, state, binding) for program_set in program_sets
+        program_set.evaluate(observable, state, binding, targets=targets)
+        for program_set in program_sets
     ]
     return np.array(values, dtype=float)

@@ -13,6 +13,7 @@ Arbitrary fixed (non-parameterized) unitaries are supported as
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Union
 
 import numpy as np
@@ -57,6 +58,34 @@ def _angle_text(angle: Angle) -> str:
     # repr() is the shortest representation that round-trips exactly, which the
     # pretty-print → parse round-trip property relies on.
     return repr(float(angle))
+
+
+@lru_cache(maxsize=1024)
+def _bound_matrix_cached(gate: "Gate", values: tuple[float, ...]) -> np.ndarray:
+    binding = (
+        ParameterBinding(dict(zip(gate.parameters(), values))) if values else None
+    )
+    matrix = gate.matrix(binding)
+    # Cached arrays are shared across calls; freeze them.
+    matrix.setflags(write=False)
+    return matrix
+
+
+def bound_gate_matrix(gate: "Gate", binding: "ParameterBinding | None" = None) -> np.ndarray:
+    """Return ``gate.matrix(binding)`` through a bounded LRU cache.
+
+    Simulation applies the same handful of gates at the same parameter point
+    thousands of times per epoch; re-running ``gate.matrix(binding)`` each
+    time rebuilds trigonometric matrix entries from scratch.  The cache key
+    is the (hashable) gate together with the concrete values its parameters
+    take under ``binding`` — never the whole binding, so one entry serves
+    every binding that agrees on the gate's own angles.  Gates that are not
+    hashable fall back to an uncached evaluation.
+    """
+    try:
+        return _bound_matrix_cached(gate, tuple(binding[p] for p in gate.parameters()))
+    except TypeError:
+        return gate.matrix(binding)
 
 
 class Gate:

@@ -35,6 +35,7 @@ from repro.lang.ast import (
     UnitaryApp,
     While,
 )
+from repro.lang.gates import bound_gate_matrix
 from repro.lang.parameters import ParameterBinding
 from repro.sim.density import DensityState
 
@@ -61,7 +62,7 @@ def _denote(program: Program, state: DensityState, binding: ParameterBinding | N
     if isinstance(program, Init):
         return state.initialize(program.qubit)
     if isinstance(program, UnitaryApp):
-        return state.apply_unitary(program.gate.matrix(binding), program.qubits)
+        return state.apply_unitary(bound_gate_matrix(program.gate, binding), program.qubits)
     if isinstance(program, Seq):
         return _denote(program.second, _denote(program.first, state, binding), binding)
     if isinstance(program, Case):

@@ -26,6 +26,7 @@ from repro.lang.ast import (
     UnitaryApp,
     While,
 )
+from repro.lang.gates import bound_gate_matrix
 from repro.lang.parameters import ParameterBinding
 from repro.sim.density import DensityState
 
@@ -68,7 +69,7 @@ def step(config: Configuration, binding: ParameterBinding | None = None) -> list
     if isinstance(program, Init):
         return [Configuration(None, state.initialize(program.qubit))]
     if isinstance(program, UnitaryApp):
-        evolved = state.apply_unitary(program.gate.matrix(binding), program.qubits)
+        evolved = state.apply_unitary(bound_gate_matrix(program.gate, binding), program.qubits)
         return [Configuration(None, evolved)]
     if isinstance(program, Seq):
         successors = []

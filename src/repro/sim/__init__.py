@@ -10,6 +10,12 @@ this package is that simulator.  It provides
   execution substrate used by the denotational and observable semantics;
 * :mod:`repro.sim.statevector` — a pure-state simulator with trajectory
   sampling, used for shot-based estimation;
+* :mod:`repro.sim.kernels` — local tensor-contraction kernels that apply
+  k-local operators directly to the target axes of the state tensor, the
+  hot path of every simulator above (``embed_operator`` remains as the
+  cross-checked reference);
+* :mod:`repro.sim.rng` — the shared default random generator threaded
+  through every sampling call;
 * :mod:`repro.sim.shots` — Chernoff-bound shot counts and sampling
   estimators of observable expectations (Section 7).
 """
@@ -17,6 +23,7 @@ this package is that simulator.  It provides
 from repro.sim.hilbert import RegisterLayout
 from repro.sim.density import DensityState
 from repro.sim.statevector import StateVector
+from repro.sim.rng import seed as seed_default_rng
 from repro.sim.shots import (
     chernoff_shot_count,
     estimate_expectation,
@@ -30,4 +37,5 @@ __all__ = [
     "chernoff_shot_count",
     "estimate_expectation",
     "estimate_expectation_from_samples",
+    "seed_default_rng",
 ]

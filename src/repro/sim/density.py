@@ -13,6 +13,12 @@ transformers required by the denotational semantics of Figure 1b:
 States are *partial* density operators — the trace may drop below one when a
 program aborts on some branches — which is precisely the convention the
 paper uses to encode branch probabilities into the output state.
+
+Every transformer dispatches to the local tensor-contraction kernels of
+:mod:`repro.sim.kernels`: a k-local gate costs ``O(2^k · 4^n)`` and a
+k-local readout ``O(4^n)``, instead of the ``O(8^n)`` full-space matrix
+products of the embedding path (which survives as the reference
+implementation in :meth:`repro.sim.hilbert.RegisterLayout.embed_operator`).
 """
 
 from __future__ import annotations
@@ -25,12 +31,18 @@ import numpy as np
 from repro.errors import DimensionMismatchError, LinalgError
 from repro.linalg.measurement import Measurement
 from repro.linalg.superop import Superoperator, initialization_channel
+from repro.sim import kernels
 from repro.sim.hilbert import RegisterLayout
 
 
 @dataclass(frozen=True, eq=False)
 class DensityState:
-    """A partial density operator over the variables of a register layout."""
+    """A partial density operator over the variables of a register layout.
+
+    Equality is numerical (``np.allclose`` on the matrices); since such
+    "equal" states would not hash alike, the class is explicitly unhashable —
+    use ``id()``-keyed containers or the matrix itself when indexing.
+    """
 
     layout: RegisterLayout
     matrix: np.ndarray
@@ -40,8 +52,7 @@ class DensityState:
             return NotImplemented
         return self.layout == other.layout and bool(np.allclose(self.matrix, other.matrix))
 
-    def __hash__(self) -> int:
-        return hash((self.layout, self.matrix.shape))
+    __hash__ = None  # numerically-equal states cannot hash consistently
 
     def __init__(self, layout: RegisterLayout, matrix: np.ndarray):
         matrix = np.asarray(matrix, dtype=complex)
@@ -96,17 +107,16 @@ class DensityState:
     # -- state transformers -------------------------------------------------------
 
     def apply_unitary(self, unitary: np.ndarray, targets: Sequence[str]) -> "DensityState":
-        """Return ``UρU†`` where ``U`` acts on the target variables."""
-        full = self.layout.embed_operator(unitary, targets)
-        return DensityState(self.layout, full @ self.matrix @ full.conj().T)
+        """Return ``UρU†`` where ``U`` acts on the target variables (contraction kernel)."""
+        axes = self.layout.axes_of(targets)
+        matrix = kernels.conjugate_operator_density(self.matrix, self.layout.dims, axes, unitary)
+        return DensityState(self.layout, matrix)
 
     def apply_kraus(self, kraus_operators: Sequence[np.ndarray], targets: Sequence[str]) -> "DensityState":
         """Apply a Kraus-form superoperator acting on the target variables."""
-        result = np.zeros_like(self.matrix)
-        for op in kraus_operators:
-            full = self.layout.embed_operator(op, targets)
-            result += full @ self.matrix @ full.conj().T
-        return DensityState(self.layout, result)
+        axes = self.layout.axes_of(targets)
+        matrix = kernels.apply_kraus_density(self.matrix, self.layout.dims, axes, kraus_operators)
+        return DensityState(self.layout, matrix)
 
     def apply_superoperator(self, channel: Superoperator, targets: Sequence[str]) -> "DensityState":
         """Apply a :class:`Superoperator` acting on the target variables."""
@@ -124,15 +134,21 @@ class DensityState:
     def measurement_branch(self, measurement: Measurement, targets: Sequence[str], outcome: int) -> "DensityState":
         """Return the sub-normalized branch state ``M_m ρ M_m†`` of one outcome."""
         operator = measurement.operator(outcome)
-        full = self.layout.embed_operator(operator, targets)
-        return DensityState(self.layout, full @ self.matrix @ full.conj().T)
+        axes = self.layout.axes_of(targets)
+        matrix = kernels.conjugate_operator_density(self.matrix, self.layout.dims, axes, operator)
+        return DensityState(self.layout, matrix)
 
     def measurement_probabilities(self, measurement: Measurement, targets: Sequence[str]) -> dict[int, float]:
-        """Return the Born-rule outcome distribution of measuring the targets."""
-        result = {}
-        for outcome in measurement.outcomes:
-            result[outcome] = self.measurement_branch(measurement, targets, outcome).trace()
-        return result
+        """Return the Born-rule outcome distribution of measuring the targets.
+
+        The state is partial-traced onto the targets once; the per-outcome
+        probabilities never touch the full space.
+        """
+        axes = self.layout.axes_of(targets)
+        probabilities = kernels.branch_probabilities_density(
+            self.matrix, self.layout.dims, axes, measurement.operators
+        )
+        return dict(zip(measurement.outcomes, probabilities))
 
     def scaled(self, factor: float) -> "DensityState":
         """Scale the partial density operator by a non-negative factor."""
@@ -158,10 +174,10 @@ class DensityState:
         if targets is None:
             if observable.shape != self.matrix.shape:
                 raise DimensionMismatchError("observable dimension does not match register")
-            full = observable
-        else:
-            full = self.layout.embed_operator(observable, targets)
-        return float(np.real(np.trace(full @ self.matrix)))
+            # tr(Oρ) as an element-wise contraction: O(4^n), no O(8^n) matmul.
+            return float(np.real(np.einsum("ij,ji->", observable, self.matrix)))
+        axes = self.layout.axes_of(targets)
+        return kernels.expectation_density(self.matrix, self.layout.dims, axes, observable)
 
     def extended(self, variable: str, dim: int = 2, *, front: bool = True) -> "DensityState":
         """Return the state ``|0⟩⟨0|_new ⊗ ρ`` on a layout extended with an ancilla."""

@@ -2,9 +2,13 @@
 
 The language of Section 3 manipulates named quantum variables (``q1``,
 ``q2``, ...).  The simulator fixes an ordering of those variables once — a
-:class:`RegisterLayout` — and every operator that acts on a subset of the
-variables is embedded into the full space by tensoring with identities and
-permuting tensor factors.
+:class:`RegisterLayout`.  An operator acting on a subset of the variables
+can be embedded into the full space by tensoring with identities and
+permuting tensor factors (:meth:`RegisterLayout.embed_operator`); since the
+contraction kernels of :mod:`repro.sim.kernels` landed, that embedding is
+the *reference* path used for cross-checking and for callers that genuinely
+need the full-space matrix, while the simulators apply local operators
+directly to the target axes (:meth:`RegisterLayout.axes_of`).
 
 All variables are qubits (``type(q) = Bool``) by default, matching the VQC
 programs of the evaluation; bounded-integer variables of a given dimension
@@ -14,16 +18,24 @@ defined for them.
 
 from __future__ import annotations
 
+import math
+from collections import OrderedDict
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import DimensionMismatchError, LinalgError
 
-#: Memo for embedded operators; keyed by (layout, targets, shape, matrix bytes).
-_EMBED_CACHE: dict = {}
+#: LRU memo for embedded operators; keyed by (layout, targets, shape, matrix bytes).
+_EMBED_CACHE: OrderedDict = OrderedDict()
 _EMBED_CACHE_LIMIT = 4096
+#: Operators with more elements than this bypass the cache entirely: building
+#: their key would hash (and copy) the full matrix bytes per lookup, which for
+#: large matrices costs more than it saves — and the contraction kernels of
+#: :mod:`repro.sim.kernels` keep large embeds off the hot path anyway.
+_EMBED_CACHE_MAX_OPERATOR_ELEMENTS = 256
 
 
 @dataclass(frozen=True)
@@ -56,6 +68,8 @@ class RegisterLayout:
                 raise LinalgError(f"variable dimension must be at least 2, got {dim}")
         object.__setattr__(self, "names", names)
         object.__setattr__(self, "dims", resolved)
+        # Cached eagerly: the simulators read this on every state construction.
+        object.__setattr__(self, "_total_dim", math.prod(resolved))
 
     # -- basic queries ------------------------------------------------------
 
@@ -67,7 +81,7 @@ class RegisterLayout:
     @property
     def total_dim(self) -> int:
         """Dimension of the full Hilbert space."""
-        return int(np.prod(self.dims))
+        return self._total_dim
 
     def index(self, name: str) -> int:
         """Position of a variable in the tensor order."""
@@ -105,6 +119,16 @@ class RegisterLayout:
             raise LinalgError(f"variables {sorted(missing)} are not part of this layout")
         return RegisterLayout(tuple(kept), tuple(self.dim_of(name) for name in kept))
 
+    def axes_of(self, targets: Sequence[str]) -> tuple[int, ...]:
+        """Return the tensor-axis positions of the target variables.
+
+        Validates that the targets are distinct members of the layout; the
+        result is what the contraction kernels of :mod:`repro.sim.kernels`
+        consume.  Memoized — the hot loop resolves the same handful of
+        target tuples millions of times.
+        """
+        return _axes_of(self, tuple(targets))
+
     # -- operator embedding ---------------------------------------------------
 
     def embed_operator(self, operator: np.ndarray, targets: Sequence[str]) -> np.ndarray:
@@ -112,18 +136,26 @@ class RegisterLayout:
 
         ``operator`` must act on the tensor product of the target variables in
         the order given by ``targets``; the result acts on the full register.
-        Results are memoized (keyed by the operator's bytes and the target
-        names) because simulation applies the same handful of gate matrices
-        over and over.
+
+        This is the *reference* path: the simulators apply local operators
+        via :mod:`repro.sim.kernels` without ever materializing the embedded
+        matrix, and the kernel tests cross-check against this method.  Small
+        operators are memoized with LRU eviction (keyed by the operator's
+        bytes and the target names); operators above
+        ``_EMBED_CACHE_MAX_OPERATOR_ELEMENTS`` elements bypass the cache so
+        that no full large-matrix byte string is ever hashed as a key.
         """
         operator = np.asarray(operator, dtype=complex)
+        if operator.size > _EMBED_CACHE_MAX_OPERATOR_ELEMENTS:
+            return self._embed_operator_uncached(operator, targets)
         cache_key = (self, tuple(targets), operator.shape, operator.tobytes())
         cached = _EMBED_CACHE.get(cache_key)
         if cached is not None:
+            _EMBED_CACHE.move_to_end(cache_key)
             return cached
         embedded = self._embed_operator_uncached(operator, targets)
-        if len(_EMBED_CACHE) >= _EMBED_CACHE_LIMIT:
-            _EMBED_CACHE.clear()
+        while len(_EMBED_CACHE) >= _EMBED_CACHE_LIMIT:
+            _EMBED_CACHE.popitem(last=False)
         _EMBED_CACHE[cache_key] = embedded
         return embedded
 
@@ -184,6 +216,11 @@ class RegisterLayout:
             big = np.kron(big, piece)
         return self._permute_operator(big, list(targets) + remaining)
 
+    def _resolve_axes(self, targets: tuple[str, ...]) -> tuple[int, ...]:
+        if len(set(targets)) != len(targets):
+            raise LinalgError(f"target variables must be distinct, got {list(targets)}")
+        return tuple(self.index(name) for name in targets)
+
     def basis_product_state(self, assignment: Mapping[str, int]) -> np.ndarray:
         """Return the basis pure-state *vector* assigning each variable a basis index.
 
@@ -198,3 +235,8 @@ class RegisterLayout:
             local[value] = 1.0
             vector = np.kron(vector, local)
         return vector
+
+
+@lru_cache(maxsize=4096)
+def _axes_of(layout: RegisterLayout, targets: tuple[str, ...]) -> tuple[int, ...]:
+    return layout._resolve_axes(targets)

@@ -1,0 +1,47 @@
+"""Shared default random generator for the simulation substrate.
+
+The trajectory sampler and the shot-based estimators repeat tiny sampling
+steps millions of times; constructing a fresh ``np.random.default_rng()``
+inside each call (as the seed implementation did) pays the generator
+setup — entropy gathering plus bit-generator allocation — per shot, and
+makes a whole run impossible to seed from one place.
+
+Every sampling entry point now threads an optional ``rng`` argument through
+to :func:`resolve`, which falls back to the single module-level generator.
+Call :func:`seed` once to make an entire shot loop reproducible.
+
+The shared default is process-global state: forked workers inherit the same
+generator position (identical "random" streams) and numpy generators are
+not thread-safe.  Parallel callers should pass an explicit per-worker
+``rng`` — e.g. from ``np.random.default_rng().spawn(n)`` — or call
+:func:`seed` per worker; the shared default is for the common
+single-process shot loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The process-wide default generator used when a call site passes ``rng=None``.
+_DEFAULT_RNG: np.random.Generator = np.random.default_rng()
+
+
+def default_generator() -> np.random.Generator:
+    """Return the module-level default generator."""
+    return _DEFAULT_RNG
+
+
+def resolve(rng: np.random.Generator | None) -> np.random.Generator:
+    """Return ``rng`` unchanged, or the shared default when ``rng`` is None."""
+    return rng if rng is not None else _DEFAULT_RNG
+
+
+def seed(value: int | None = None) -> np.random.Generator:
+    """Re-seed the shared default generator and return it.
+
+    ``seed(None)`` re-randomizes from OS entropy; an integer makes every
+    subsequent un-seeded sampling call deterministic.
+    """
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = np.random.default_rng(value)
+    return _DEFAULT_RNG

@@ -18,6 +18,10 @@ import numpy as np
 
 from repro.errors import LinalgError
 from repro.linalg.observables import Observable
+from repro.sim import rng as sim_rng
+
+#: An outcome distribution: (eigenvalue readouts, matching probabilities).
+Distribution = tuple[np.ndarray, np.ndarray]
 
 
 def chernoff_shot_count(
@@ -61,6 +65,38 @@ def program_sum_shot_count(
     return chernoff_shot_count(precision / num_programs, confidence=confidence)
 
 
+def normalized_distribution(values: Sequence[float], weights: Sequence[float]) -> Distribution:
+    """Turn raw Born-rule weights into a sampleable distribution.
+
+    Negative weights are clipped to zero; missing probability mass (partial
+    density operators — aborted branches) is assigned to an extra outcome
+    with a zero readout, matching the convention that aborted runs contribute
+    nothing to the observable semantics.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.clip(np.asarray(weights, dtype=float), 0.0, None)
+    total = float(weights.sum())
+    if total > 1.0 + 1e-9:
+        weights = weights / total
+        total = 1.0
+    values = np.append(values, 0.0)
+    weights = np.append(weights, max(0.0, 1.0 - total))
+    return values, weights / weights.sum()
+
+
+def outcome_distribution(observable: Observable, rho: np.ndarray) -> Distribution:
+    """Return the eigenvalue-readout distribution of measuring ``observable`` on ρ.
+
+    The spectral decomposition and the Born-rule probabilities are computed
+    once; sampling from the returned ``(values, weights)`` pair is then a
+    cheap table lookup per shot.
+    """
+    measurement, eigenvalues = observable.spectral_measurement()
+    probabilities = measurement.probabilities(np.asarray(rho, dtype=complex))
+    # probabilities is keyed in operator order, which matches eigenvalues.
+    return normalized_distribution(list(eigenvalues), list(probabilities.values()))
+
+
 def sample_observable_outcomes(
     observable: Observable,
     rho: np.ndarray,
@@ -71,28 +107,12 @@ def sample_observable_outcomes(
 
     The observable is spectrally decomposed into a projective measurement
     (Eq. 5.1); each shot samples an outcome with the Born-rule probability
-    and records the corresponding eigenvalue.  Partial density operators are
-    handled by assigning the missing probability mass a zero readout, which
-    matches the convention that aborted runs contribute nothing to the
-    observable semantics.
+    and records the corresponding eigenvalue.
     """
     if shots < 1:
         raise LinalgError("the number of shots must be at least one")
-    rng = rng if rng is not None else np.random.default_rng()
-    measurement, eigenvalues = observable.spectral_measurement()
-    probabilities = measurement.probabilities(np.asarray(rho, dtype=complex))
-    outcomes = list(probabilities)
-    weights = np.clip(np.array([probabilities[m] for m in outcomes]), 0.0, None)
-    total = float(weights.sum())
-    values = np.array([eigenvalues[outcomes.index(m)] for m in outcomes])
-    if total > 1.0 + 1e-9:
-        weights = weights / total
-        total = 1.0
-    # Append an "aborted" outcome with zero readout for the missing mass.
-    abort_probability = max(0.0, 1.0 - total)
-    weights = np.append(weights, abort_probability)
-    values = np.append(values, 0.0)
-    weights = weights / weights.sum()
+    rng = sim_rng.resolve(rng)
+    values, weights = outcome_distribution(observable, rho)
     indices = rng.choice(len(values), size=shots, p=weights)
     return values[indices]
 
@@ -117,6 +137,36 @@ def estimate_expectation(
     return float(np.mean(samples))
 
 
+def estimate_distribution_sum(
+    distributions: Sequence[Distribution],
+    *,
+    precision: float = 0.1,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Estimate ``Σ_i E[d_i]`` from pre-computed outcome distributions.
+
+    The uniform-mixture trick of Section 7: each shot draws a program index
+    uniformly and then one readout from that program's distribution; the
+    mean is rescaled by the program count.  Because the distributions are
+    tabulated up front, per-shot work is a single table lookup (the seed
+    implementation re-derived the spectral decomposition *per shot*).
+    """
+    if not distributions:
+        return 0.0
+    rng = sim_rng.resolve(rng)
+    num_programs = len(distributions)
+    shots = program_sum_shot_count(num_programs, precision, confidence=confidence)
+    choices = rng.integers(0, num_programs, size=shots)
+    readouts = np.empty(shots, dtype=float)
+    for index, (values, weights) in enumerate(distributions):
+        mask = choices == index
+        count = int(mask.sum())
+        if count:
+            readouts[mask] = values[rng.choice(len(values), size=count, p=weights)]
+    return float(num_programs * readouts.mean())
+
+
 def estimate_expectation_from_samples(samples: Sequence[float]) -> float:
     """Average a sequence of eigenvalue readouts into an expectation estimate."""
     samples = np.asarray(list(samples), dtype=float)
@@ -137,16 +187,12 @@ def estimate_program_sum(
     Each shot first draws ``i`` uniformly, then measures ``O_i`` on ``ρ_i``;
     the average is rescaled by the number of programs.  This is exactly the
     execution scheme the paper proposes for the multiset of compiled
-    derivative programs.
+    derivative programs.  Every per-program distribution is tabulated once
+    before sampling begins.
     """
-    if not observables_and_states:
-        return 0.0
-    rng = rng if rng is not None else np.random.default_rng()
-    num_programs = len(observables_and_states)
-    shots = program_sum_shot_count(num_programs, precision, confidence=confidence)
-    readouts = np.empty(shots, dtype=float)
-    choices = rng.integers(0, num_programs, size=shots)
-    for shot_index, program_index in enumerate(choices):
-        observable, rho = observables_and_states[program_index]
-        readouts[shot_index] = sample_observable_outcomes(observable, rho, 1, rng=rng)[0]
-    return float(num_programs * readouts.mean())
+    distributions = [
+        outcome_distribution(observable, rho) for observable, rho in observables_and_states
+    ]
+    return estimate_distribution_sum(
+        distributions, precision=precision, confidence=confidence, rng=rng
+    )

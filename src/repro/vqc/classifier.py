@@ -28,7 +28,7 @@ from repro.lang.builder import case_on_qubit, rx, ry, rz, seq
 from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
 from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
-from repro.semantics.observable import observable_semantics
+from repro.semantics.denotational import denote
 from repro.autodiff.execution import DerivativeProgramSet, differentiate_and_compile
 
 DATA_QUBITS = ("q1", "q2", "q3", "q4")
@@ -118,8 +118,17 @@ class BooleanClassifier:
         return RegisterLayout(self.data_qubits + extra)
 
     def readout_observable(self) -> np.ndarray:
-        """The observable ``|1⟩⟨1|`` on the readout qubit, embedded in the full register."""
+        """The observable ``|1⟩⟨1|`` on the readout qubit, embedded in the full register.
+
+        Reference form; the simulation paths use
+        :meth:`readout_local_observable` so the readout stays a 1-local
+        contraction instead of a full-space matrix.
+        """
         return self.layout().embed_operator(_PROJECTOR_ONE, [self.readout_qubit])
+
+    def readout_local_observable(self) -> tuple[np.ndarray, tuple[str, ...]]:
+        """The readout observable in local form: ``(|1⟩⟨1|, (readout_qubit,))``."""
+        return _PROJECTOR_ONE, (self.readout_qubit,)
 
     def input_state(self, bits: Sequence[int]) -> DensityState:
         """Encode a bitstring as the computational basis state of the data qubits."""
@@ -132,9 +141,9 @@ class BooleanClassifier:
 
     def predict_probability(self, bits: Sequence[int], binding: ParameterBinding) -> float:
         """Return ``l_θ(z)``: the probability of reading 1 on the readout qubit."""
-        return observable_semantics(
-            self.program, self.readout_observable(), self.input_state(bits), binding
-        )
+        observable, targets = self.readout_local_observable()
+        output = denote(self.program, self.input_state(bits), binding)
+        return output.expectation(observable, targets)
 
     def predict_label(self, bits: Sequence[int], binding: ParameterBinding) -> int:
         """Threshold the probability at ½ into a hard 0/1 label."""

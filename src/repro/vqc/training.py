@@ -152,8 +152,10 @@ class GradientDescentTrainer:
 
         Chain rule: ``∂loss/∂α = Σ_z (∂loss/∂l)(z) · ∂l_θ(z)/∂α`` where the
         inner derivative is computed by the paper's differentiation pipeline.
+        The readout observable is passed in its 1-local form so every inner
+        evaluation stays on the contraction-kernel path.
         """
-        observable = self.classifier.readout_observable()
+        observable, targets = self.classifier.readout_local_observable()
         gradient = np.zeros(len(self.classifier.parameters), dtype=float)
         count = len(dataset)
         for bits, label in dataset:
@@ -166,7 +168,9 @@ class GradientDescentTrainer:
             if abs(weight) < 1e-15:
                 continue
             for index, program_set in enumerate(self.program_sets):
-                gradient[index] += weight * program_set.evaluate(observable, state, binding)
+                gradient[index] += weight * program_set.evaluate(
+                    observable, state, binding, targets=targets
+                )
         return gradient
 
     # -- the training loop ----------------------------------------------------------

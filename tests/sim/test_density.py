@@ -141,3 +141,18 @@ class TestObservables:
         copy = state.copy()
         assert copy == state
         assert copy.matrix is not state.matrix
+
+
+class TestHashability:
+    def test_density_states_are_unhashable(self, layout):
+        state = DensityState.zero_state(layout)
+        with pytest.raises(TypeError):
+            hash(state)
+        with pytest.raises(TypeError):
+            {state}
+
+    def test_equality_is_still_numerical(self, layout):
+        a = DensityState.zero_state(layout)
+        b = DensityState.zero_state(layout)
+        assert a == b
+        assert a != DensityState.basis_state(layout, {"q1": 1})

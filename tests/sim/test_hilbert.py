@@ -141,3 +141,51 @@ class TestStates:
         full = layout.embed_state(rho_b, ["b"])
         expected = np.kron(np.array([[1, 0], [0, 0]]), rho_b)
         assert np.allclose(full, expected)
+
+
+class TestEmbedCacheEviction:
+    def test_lru_evicts_oldest_entry_not_everything(self):
+        from repro.sim import hilbert
+
+        layout = RegisterLayout(["a", "b"])
+        original_limit = hilbert._EMBED_CACHE_LIMIT
+        hilbert._EMBED_CACHE.clear()
+        hilbert._EMBED_CACHE_LIMIT = 3
+        try:
+            matrices = [np.eye(2, dtype=complex) * (i + 1) for i in range(4)]
+            for matrix in matrices[:3]:
+                layout.embed_operator(matrix, ["a"])
+            assert len(hilbert._EMBED_CACHE) == 3
+            # Touch the first entry so it becomes most-recently used.
+            layout.embed_operator(matrices[0], ["a"])
+            # Inserting a fourth evicts exactly one entry: the oldest (matrices[1]).
+            layout.embed_operator(matrices[3], ["a"])
+            assert len(hilbert._EMBED_CACHE) == 3
+            keys = list(hilbert._EMBED_CACHE)
+            assert not any(key[3] == matrices[1].astype(complex).tobytes() for key in keys)
+            assert any(key[3] == matrices[0].astype(complex).tobytes() for key in keys)
+        finally:
+            hilbert._EMBED_CACHE_LIMIT = original_limit
+            hilbert._EMBED_CACHE.clear()
+
+    def test_large_operators_bypass_the_cache(self):
+        from repro.sim import hilbert
+
+        names = [f"q{i}" for i in range(6)]
+        layout = RegisterLayout(names)
+        big = np.eye(2 ** 5, dtype=complex)  # 1024 elements > bypass threshold
+        assert big.size > hilbert._EMBED_CACHE_MAX_OPERATOR_ELEMENTS
+        hilbert._EMBED_CACHE.clear()
+        first = layout.embed_operator(big, names[:5])
+        second = layout.embed_operator(big, names[:5])
+        assert len(hilbert._EMBED_CACHE) == 0
+        assert first is not second
+        assert np.allclose(first, second)
+
+    def test_axes_of_positions_and_validation(self):
+        layout = RegisterLayout(["a", "b", "c"])
+        assert layout.axes_of(["c", "a"]) == (2, 0)
+        with pytest.raises(LinalgError):
+            layout.axes_of(["a", "a"])
+        with pytest.raises(LinalgError):
+            layout.axes_of(["nope"])

@@ -99,3 +99,31 @@ class TestMeasurement:
             state.initialize("q2", rng=rng)
             samples.append(state.expectation(PAULI_Z, ["q2"]))
         assert np.isclose(np.mean(samples), 1.0)
+
+
+class TestDefaultGenerator:
+    def test_seeded_default_rng_makes_unseeded_calls_deterministic(self, layout):
+        from repro.sim import rng as sim_rng
+
+        def trajectory():
+            outcomes = []
+            for _ in range(20):
+                state = StateVector(layout).apply_unitary(HADAMARD, ["q1"])
+                outcomes.append(state.measure(computational_measurement(1), ["q1"]))
+            return outcomes
+
+        try:
+            sim_rng.seed(1234)
+            first = trajectory()
+            sim_rng.seed(1234)
+            second = trajectory()
+        finally:
+            sim_rng.seed(None)
+        assert first == second
+
+    def test_resolve_prefers_explicit_generator(self):
+        from repro.sim import rng as sim_rng
+
+        explicit = np.random.default_rng(0)
+        assert sim_rng.resolve(explicit) is explicit
+        assert sim_rng.resolve(None) is sim_rng.default_generator()

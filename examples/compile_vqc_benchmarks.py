@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.api import Estimator
 from repro.analysis.resources import analyze_program
 from repro.vqc.generators import table2_suite, table3_suite
 
@@ -51,14 +52,22 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for instance in instances:
+        # The estimator is the compile-time entry point: program_set() runs
+        # transform (Figure 4) + compile (Figure 3) exactly once and caches
+        # the multiset; the timing below is that compile-time cost.
+        estimator = Estimator(instance.program, parameters=[instance.shared_parameter])
         start = time.perf_counter()
+        program_set = estimator.program_set(instance.shared_parameter)
+        elapsed = time.perf_counter() - start
+        # The static metrics reuse the estimator's measured multiset count so
+        # the transform + compile runs exactly once per instance.
         report = analyze_program(
             instance.program,
             instance.shared_parameter,
             name=instance.label,
             layer_count=instance.declared_layers,
+            measured_derivative_count=program_set.nonaborting_count,
         )
-        elapsed = time.perf_counter() - start
         paper_oc, paper_count, paper_gates = PAPER[instance.label]
         print(
             f"{instance.label:10s} {report.occurrence_count:5d} {paper_oc:5d} "

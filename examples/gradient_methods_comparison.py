@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api import Estimator, ShotSamplingBackend
 from repro.lang import Parameter, ParameterBinding
 from repro.lang.builder import case_on_qubit, rx, rxx, ry, rz, seq
 from repro.linalg.observables import pauli_observable
 from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
-from repro.autodiff.execution import differentiate_and_compile
-from repro.baselines.comparison import scheme_costs
+from repro.baselines.comparison import estimator_scheme_costs
 from repro.baselines.finite_diff import finite_difference_derivative
 from repro.baselines.phase_shift import phase_shift_derivative
 from repro.errors import TransformError
@@ -34,8 +34,8 @@ from repro.errors import TransformError
 
 def report(program, parameter, observable, state, binding, *, title):
     print(f"\n=== {title} ===")
-    program_set = differentiate_and_compile(program, parameter)
-    exact = program_set.evaluate(observable, state, binding)
+    estimator = Estimator(program, observable, parameters=[parameter])
+    exact = estimator.gradient(state, binding)[0]
     numeric = finite_difference_derivative(program, parameter, observable, state, binding)
     print(f"  gadget pipeline (exact)   : {exact:+.6f}")
     print(f"  finite differences        : {numeric:+.6f}")
@@ -45,7 +45,7 @@ def report(program, parameter, observable, state, binding, *, title):
     except TransformError as error:
         print(f"  phase-shift rule          : not applicable ({error})")
 
-    costs = scheme_costs(program, parameter)
+    costs = estimator_scheme_costs(estimator)[parameter]
     gadget, shift = costs["gadget"], costs["phase_shift"]
     shift_text = (
         f"{shift.programs_per_parameter} circuits" if shift.applicable else "not applicable"
@@ -58,9 +58,12 @@ def report(program, parameter, observable, state, binding, *, title):
     rng = np.random.default_rng(1)
     print("  shot-based estimates (Section 7 execution scheme):")
     for precision in (0.2, 0.1, 0.05):
-        estimate = program_set.evaluate_sampled(
-            observable, state, binding, precision=precision, rng=rng
+        # Same estimator, sampled backend: the compiled multiset and every
+        # simulated output state are reused; only the readout is re-sampled.
+        sampled = estimator.with_backend(
+            ShotSamplingBackend(precision=precision, rng=rng)
         )
+        estimate = sampled.gradient(state, binding)[0]
         print(f"    δ = {precision:4.2f} → {estimate:+.6f}   (|error| = {abs(estimate - exact):.4f})")
 
 

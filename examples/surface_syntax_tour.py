@@ -21,11 +21,11 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Estimator
 from repro.lang import Parameter, parse_program, pretty_print
 from repro.lang.wellformed import check_well_formed
 from repro.lang.traversal import reassociate
 from repro.analysis.resources import analyze_program
-from repro.autodiff.execution import differentiate_and_compile
 
 SOURCE = """
 q1 := |0>;
@@ -64,7 +64,10 @@ def main() -> None:
     print(f"  #lines                     : {report.line_count}")
     print(f"  #qubits                    : {report.qubit_count}")
 
-    program_set = differentiate_and_compile(program, theta)
+    # The estimator owns the compile-time pipeline; asking for the program
+    # set runs transform (Figure 4) + compile (Figure 3) once and caches it.
+    estimator = Estimator(program, parameters=[theta])
+    program_set = estimator.program_set(theta)
     print(f"\nAdditive derivative program ∂P/∂theta (ancilla {program_set.ancilla}):")
     print(pretty_print(program_set.additive))
 

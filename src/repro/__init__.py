@@ -18,9 +18,13 @@ The package implements the paper end to end:
 * :mod:`repro.vqc` — the benchmark VQC program families and the
   controlled-classifier training case study.
 
+* :mod:`repro.api` — the unified :class:`~repro.api.Estimator` facade with
+  pluggable execution backends (exact density / shot sampling), a denotation
+  cache and lazily-cached compile artifacts — the recommended entry point.
+
 Quick start::
 
-    from repro import autodiff
+    from repro.api import Estimator
     from repro.lang import Parameter, ParameterBinding
     from repro.lang.builder import rx, ry, seq
     from repro.linalg.observables import pauli_observable
@@ -32,19 +36,31 @@ Quick start::
     layout = RegisterLayout(["q1"])
     state = DensityState.zero_state(layout)
     binding = ParameterBinding({theta: 0.7})
-    grad = autodiff.derivative_expectation(
-        program, theta, pauli_observable("Z"), state, binding
-    )
+
+    estimator = Estimator(program, pauli_observable("Z"), layout)
+    value, grad = estimator.value_and_grad(state, binding)
 """
 
-from repro import additive, analysis, autodiff, baselines, lang, linalg, semantics, sim, vqc
+from repro import (
+    additive,
+    analysis,
+    api,
+    autodiff,
+    baselines,
+    lang,
+    linalg,
+    semantics,
+    sim,
+    vqc,
+)
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "additive",
     "analysis",
+    "api",
     "autodiff",
     "baselines",
     "lang",

@@ -176,16 +176,24 @@ def analyze_program(
     *,
     name: str = "P",
     layer_count: int | None = None,
+    measured_derivative_count: int | None = None,
 ) -> ResourceReport:
     """Compute the full resource report of a program for one parameter.
 
     ``layer_count`` lets callers (the VQC generators) report their declared
     layer structure; when omitted, the circuit-depth proxy is used.
+    ``measured_derivative_count`` lets callers that already hold the compiled
+    multiset (e.g. an :class:`repro.api.Estimator`'s program set) supply
+    ``|#∂P/∂θ_j|`` instead of paying the transform + compile a second time.
     """
     return ResourceReport(
         name=name,
         occurrence_count=occurrence_count(program, parameter),
-        derivative_program_count=derivative_program_count(program, parameter),
+        derivative_program_count=(
+            measured_derivative_count
+            if measured_derivative_count is not None
+            else derivative_program_count(program, parameter)
+        ),
         gate_count=gate_count(program),
         line_count=line_count(program),
         layer_count=layer_count if layer_count is not None else circuit_depth(program),

@@ -1,0 +1,45 @@
+"""``repro.api`` — the unified estimation facade with pluggable backends.
+
+One object replaces the loose free functions of the transform → compile →
+execute pipeline (Section 7)::
+
+    from repro.api import Estimator, ShotSamplingBackend
+
+    estimator = Estimator(program, observable, layout)
+    value = estimator.value(state, binding)            # tr(O [[P(θ*)]] ρ)
+    grad = estimator.gradient(state, binding)          # the paper's gadget scheme
+    value, grad = estimator.value_and_grad(state, binding)
+    all_values = estimator.values([(state_a, binding), (state_b, binding)])
+
+    sampled = estimator.with_backend(ShotSamplingBackend(precision=0.05))
+    noisy_grad = sampled.gradient(state, binding)      # O(m²/δ²) shots, same cache
+
+The estimator owns the compile-time artifacts (derivative program multisets,
+built lazily, once per parameter) and a denotation cache keyed on
+``(compiled program, binding, input state)``; backends implement only the
+readout scheme.  The historical free functions
+(:func:`repro.semantics.observable.observable_semantics`,
+:meth:`repro.autodiff.execution.DerivativeProgramSet.evaluate`,
+:func:`repro.autodiff.execution.gradient`, …) remain available as thin shims
+over this facade.
+"""
+
+from repro.api.backends import (
+    Backend,
+    ExactDensityBackend,
+    ObservableSpec,
+    ShotSamplingBackend,
+)
+from repro.api.cache import CacheStats, DenotationCache
+from repro.api.estimator import Estimator, ordered_parameters
+
+__all__ = [
+    "Backend",
+    "CacheStats",
+    "DenotationCache",
+    "Estimator",
+    "ExactDensityBackend",
+    "ObservableSpec",
+    "ShotSamplingBackend",
+    "ordered_parameters",
+]

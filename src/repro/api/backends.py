@@ -1,0 +1,392 @@
+"""Pluggable execution backends for the :class:`~repro.api.Estimator`.
+
+The paper separates *what* is estimated — the observable semantics
+``tr(O[[P(θ*)]]ρ)`` and its derivative readouts ``Σ_i tr((Z_A ⊗ O)
+[[P'_i(θ*)]](|0⟩⟨0| ⊗ ρ))`` — from *how* the readout is executed
+(Section 7): exactly on the density-matrix simulator, or with the
+Chernoff-bounded sampling scheme.  A :class:`Backend` implements exactly
+that execution half; the :class:`~repro.api.Estimator` owns the
+compile-time artifacts and the denotation cache and hands every backend the
+same cached ``denote`` callable, so switching backends never re-simulates.
+
+Two backends ship today:
+
+* :class:`ExactDensityBackend` — the exact readout (the historical
+  ``DerivativeProgramSet.evaluate`` path);
+* :class:`ShotSamplingBackend` — the ``O(m²/δ²)`` sampling scheme (the
+  historical ``evaluate_sampled`` path), now also supporting *local*
+  observables by spectrally decomposing the small target operator.
+
+The protocol is deliberately small and batch-aware: a statevector backend
+for measurement-free programs only needs to override :meth:`Backend.value`
+with a cheaper simulation, and a parallel executor only needs to override
+the ``*_batch`` hooks to fan requests out to workers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Program
+from repro.lang.parameters import ParameterBinding
+from repro.linalg.observables import Observable
+from repro.sim import kernels
+from repro.sim.density import DensityState
+from repro.sim.shots import (
+    estimate_distribution_sum,
+    normalized_distribution,
+)
+from repro.autodiff.gadgets import ANCILLA_OBSERVABLE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.autodiff.execution import DerivativeProgramSet
+
+#: The cached denotation callable the estimator hands to every backend.
+DenoteFn = Callable[[Program, DensityState, "ParameterBinding | None"], DensityState]
+
+
+@dataclass(frozen=True, eq=False)
+class ObservableSpec:
+    """An observable together with the register variables it acts on.
+
+    ``targets=None`` means the matrix covers the state's whole register in
+    layout order; otherwise the matrix is a small operator on exactly the
+    named variables, which keeps every readout on the local contraction
+    kernels.
+
+    (``eq=False``: a generated ``__eq__``/``__hash__`` would choke on the
+    ndarray field — compare :class:`~repro.linalg.observables.Observable`.)
+    """
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ObservableSpec):
+            return NotImplemented
+        return (
+            self.targets == other.targets
+            and self.matrix.shape == other.matrix.shape
+            and bool(np.allclose(self.matrix, other.matrix))
+        )
+
+    __hash__ = None  # numerically-equal specs cannot hash consistently
+
+    matrix: np.ndarray
+    targets: tuple[str, ...] | None = None
+    name: str = "O"
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        targets: Sequence[str] | None = None,
+        name: str = "O",
+    ):
+        object.__setattr__(self, "matrix", np.asarray(matrix, dtype=complex))
+        object.__setattr__(
+            self, "targets", tuple(targets) if targets is not None else None
+        )
+        object.__setattr__(self, "name", name)
+
+    @classmethod
+    def coerce(
+        cls,
+        observable: "ObservableSpec | Observable | np.ndarray",
+        targets: Sequence[str] | None = None,
+    ) -> "ObservableSpec":
+        """Build a spec from any of the observable spellings the API accepts."""
+        if isinstance(observable, ObservableSpec):
+            if targets is not None:
+                return cls(observable.matrix, targets, observable.name)
+            return observable
+        if isinstance(observable, Observable):
+            return cls(observable.matrix, targets, observable.name)
+        return cls(np.asarray(observable), targets)
+
+    def validate_against(self, state: DensityState) -> None:
+        """Check the matrix dimension against the state's register/targets."""
+        if self.targets is None:
+            expected = state.layout.total_dim
+            if self.matrix.shape != (expected, expected):
+                raise SemanticsError(
+                    "observable dimension does not match the input state register"
+                )
+            return
+        expected = int(np.prod([state.layout.dim_of(name) for name in self.targets]))
+        if self.matrix.shape != (expected, expected):
+            raise SemanticsError("observable dimension does not match the target variables")
+
+
+def _plain_denote(program: Program, state: DensityState, binding: ParameterBinding | None) -> DensityState:
+    """Uncached fallback used when a backend is called outside an estimator."""
+    from repro.semantics import denotational
+
+    return denotational.denote(program, state, binding)
+
+
+class Backend(abc.ABC):
+    """The execution half of the pipeline: turn denoted states into numbers.
+
+    Every method receives ``denote``, the estimator's cached denotation
+    callable; backends must obtain *all* simulated output states through it
+    so that the m-program multisets shared across parameters and data points
+    are each simulated at most once per ``(binding, state)`` point.
+    """
+
+    #: Human-readable backend identifier (used in reports and reprs).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def value(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        """Estimate ``tr(O[[P(θ*)]]ρ)`` (Definition 5.1)."""
+
+    @abc.abstractmethod
+    def derivative(
+        self,
+        program_set: "DerivativeProgramSet",
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        """Estimate the derivative readout of one compiled multiset (Section 7)."""
+
+    # -- batching seam -----------------------------------------------------
+    #
+    # The default implementations are sequential; a parallel executor
+    # overrides these to fan the independent simulations out to workers
+    # without touching the Estimator or the exact/sampled readout logic.
+
+    def value_batch(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        inputs: Sequence[tuple[DensityState, ParameterBinding | None]],
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> list[float]:
+        """Evaluate :meth:`value` for a batch of ``(state, binding)`` points."""
+        return [
+            self.value(program, observable, state, binding, denote=denote)
+            for state, binding in inputs
+        ]
+
+    def derivative_batch(
+        self,
+        program_sets: Sequence["DerivativeProgramSet"],
+        observable: ObservableSpec,
+        inputs: Sequence[tuple[DensityState, ParameterBinding | None]],
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> list[list[float]]:
+        """Evaluate every multiset's readout at every point: one gradient row per input."""
+        return [
+            [
+                self.derivative(program_set, observable, state, binding, denote=denote)
+                for program_set in program_sets
+            ]
+            for state, binding in inputs
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}()"
+
+
+class ExactDensityBackend(Backend):
+    """Exact readouts on the density-matrix simulator.
+
+    ``value`` is ``tr(Oρ_out)`` computed by contraction; ``derivative`` is
+    the sum ``Σ_i tr((Z_A ⊗ O)[[P'_i]](|0⟩⟨0| ⊗ ρ))`` with the Kronecker
+    product never materialized (local-target path or blockwise ancilla
+    contraction).
+    """
+
+    name = "exact-density"
+
+    def value(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        output = denote(program, state, binding)
+        if observable.targets is None:
+            return output.expectation(observable.matrix)
+        return output.expectation(observable.matrix, observable.targets)
+
+    def derivative(
+        self,
+        program_set: "DerivativeProgramSet",
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        observable.validate_against(state)
+        extended = state.extended(program_set.ancilla, dim=2, front=True)
+        total = 0.0
+        if observable.targets is not None:
+            combined = np.kron(ANCILLA_OBSERVABLE, observable.matrix)
+            combined_targets = (program_set.ancilla,) + observable.targets
+            for program in program_set.nonaborting_programs():
+                output = denote(program, extended, binding)
+                total += output.expectation(combined, combined_targets)
+            return total
+        for program in program_set.nonaborting_programs():
+            output = denote(program, extended, binding)
+            total += kernels.two_factor_expectation_density(
+                output.matrix, 2, ANCILLA_OBSERVABLE, observable.matrix
+            )
+        return total
+
+
+class ShotSamplingBackend(Backend):
+    """The Chernoff-bounded sampling scheme of Section 7.
+
+    Every compiled program is still simulated exactly (through the shared
+    cached ``denote``), but the readout is *sampled*: the observable is
+    spectrally decomposed once, the per-program outcome distributions are
+    tabulated, and the sum over the ``m``-program multiset is estimated with
+    the uniform-mixture trick at the ``O(m²/δ²)`` repetition count.
+
+    Local observables (``targets``) are supported by decomposing the small
+    target operator and reading Born-rule weights off the reduced density
+    matrix of the ancilla + target factors — the full-space observable is
+    never formed.
+    """
+
+    name = "shot-sampling"
+
+    def __init__(
+        self,
+        precision: float = 0.1,
+        confidence: float = 0.95,
+        rng: np.random.Generator | None = None,
+    ):
+        if precision <= 0:
+            raise SemanticsError("the sampling precision must be positive")
+        if not 0 < confidence < 1:
+            raise SemanticsError("the sampling confidence must lie strictly in (0, 1)")
+        self.precision = float(precision)
+        self.confidence = float(confidence)
+        self.rng = rng
+        #: id(matrix) -> (pinned matrix, measurement, eigenvalues)
+        self._spectral_memo: dict[int, tuple] = {}
+
+    #: Bound on memoized spectral decompositions (a backend normally serves
+    #: one or two observables; the bound is a leak backstop).
+    _SPECTRAL_MEMO_LIMIT = 16
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"ShotSamplingBackend(precision={self.precision}, "
+            f"confidence={self.confidence})"
+        )
+
+    def _spectral(self, matrix: np.ndarray):
+        """Spectrally decompose the observable once per matrix object.
+
+        The estimator passes the same :class:`ObservableSpec` (hence the
+        same matrix object) for every point and parameter, so the ``O(8^n)``
+        eigendecomposition is memoized by identity — entries pin their
+        matrix so an ``id`` can never be recycled while its key is live.
+        """
+        entry = self._spectral_memo.get(id(matrix))
+        if entry is not None and entry[0] is matrix:
+            return entry[1], entry[2]
+        measurement, eigenvalues = Observable(np.asarray(matrix)).spectral_measurement()
+        while len(self._spectral_memo) >= self._SPECTRAL_MEMO_LIMIT:
+            self._spectral_memo.pop(next(iter(self._spectral_memo)))
+        self._spectral_memo[id(matrix)] = (matrix, measurement, eigenvalues)
+        return measurement, eigenvalues
+
+    def value(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        observable.validate_against(state)
+        output = denote(program, state, binding)
+        if observable.targets is None:
+            rho = output.matrix
+        else:
+            # Reduce once onto the target factors; the local observable is
+            # then sampled on the small reduced density matrix.
+            axes = output.layout.axes_of(observable.targets)
+            rho = kernels.reduced_density(output.matrix, output.layout.dims, axes)
+        measurement, eigenvalues = self._spectral(observable.matrix)
+        probabilities = measurement.probabilities(rho)
+        distribution = normalized_distribution(
+            list(eigenvalues), list(probabilities.values())
+        )
+        # A one-element sum: exactly the single-observable Chernoff estimate
+        # of repro.sim.shots.estimate_expectation, with the decomposition
+        # memoized instead of redone per call.
+        return estimate_distribution_sum(
+            [distribution],
+            precision=self.precision,
+            confidence=self.confidence,
+            rng=self.rng,
+        )
+
+    def derivative(
+        self,
+        program_set: "DerivativeProgramSet",
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        observable.validate_against(state)
+        measurement, eigenvalues = self._spectral(observable.matrix)
+        ancilla_signs = np.real(np.diag(ANCILLA_OBSERVABLE))
+        extended = state.extended(program_set.ancilla, dim=2, front=True)
+        distributions = []
+        for program in program_set.nonaborting_programs():
+            output = denote(program, extended, binding)
+            if observable.targets is None:
+                dim = state.layout.total_dim
+                blocks = output.matrix.reshape(2, dim, 2, dim)
+            else:
+                axes = output.layout.axes_of(
+                    (program_set.ancilla,) + observable.targets
+                )
+                reduced = kernels.reduced_density(
+                    output.matrix, output.layout.dims, axes
+                )
+                dim = reduced.shape[0] // 2
+                blocks = reduced.reshape(2, dim, 2, dim)
+            values = []
+            weights = []
+            for sign_index, sign in enumerate(ancilla_signs):
+                block = blocks[sign_index, :, sign_index, :]
+                for projector, eigenvalue in zip(measurement.operators, eigenvalues):
+                    values.append(sign * eigenvalue)
+                    weights.append(float(np.real(np.einsum("ij,ji->", projector, block))))
+            distributions.append(normalized_distribution(values, weights))
+        return estimate_distribution_sum(
+            distributions,
+            precision=self.precision,
+            confidence=self.confidence,
+            rng=self.rng,
+        )

@@ -1,0 +1,134 @@
+"""Denotation cache: memoize ``[[P(θ*)]]ρ`` per ``(program, binding, state)``.
+
+The execution pipeline of Section 7 simulates every compiled program of
+every derivative multiset against every data point, and the training loop
+of Section 8.1 additionally re-evaluates the forward program for the loss,
+the accuracy and the gradient weights of the same epoch.  All of those
+denotations are pure functions of ``(program, θ*, ρ)`` — this cache makes
+each of them happen at most once per point.
+
+Keys are value-based so that callers may freely rebuild equal bindings and
+states (the classifier constructs a fresh :class:`DensityState` per data
+point): the binding contributes its sorted ``(name, value)`` pairs, the
+state its layout and raw matrix bytes.  Programs are keyed by identity —
+structural hashing would walk the whole AST per lookup — and every cache
+entry pins its program object so an ``id`` can never be recycled while a
+key that mentions it is still live.
+
+Eviction is LRU with a bounded entry count; an epoch of the Figure 6
+training loop needs one entry per (program, data point), so the default
+bound comfortably holds a full epoch's working set while keeping the worst
+case memory at ``max_entries`` output matrices.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Hashable
+
+from repro.lang.ast import Program
+from repro.lang.parameters import ParameterBinding
+from repro.sim.density import DensityState
+
+#: Default LRU bound: one Figure-6 epoch (36 parameters × 16 points plus the
+#: forward pass) fits with room to spare.
+DEFAULT_MAX_ENTRIES = 1024
+
+#: States with more matrix elements than this bypass the cache entirely: the
+#: key would copy-and-hash the full matrix bytes per lookup and each entry
+#: would pin an equally large output, so beyond ~8 density qubits the cache
+#: costs more memory than the re-simulation it saves (the same reasoning as
+#: the large-operator bypass of ``repro.sim.hilbert._EMBED_CACHE``).
+DEFAULT_MAX_STATE_ELEMENTS = 65536
+
+
+@dataclass
+class CacheStats:
+    """Running counters of cache behaviour.
+
+    ``misses`` equals the number of times the underlying denotation was
+    actually computed — the quantity the Figure 6 benchmark counts.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (the stored entries are untouched)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+def binding_key(binding: ParameterBinding | None) -> Hashable:
+    """Value key of a parameter binding: its sorted ``(name, value)`` pairs."""
+    if binding is None:
+        return None
+    return tuple(sorted((parameter.name, value) for parameter, value in binding.items()))
+
+
+def state_key(state: DensityState) -> Hashable:
+    """Value key of a density state: layout names/dims plus the matrix bytes."""
+    return (state.layout.names, state.layout.dims, state.matrix.tobytes())
+
+
+@dataclass
+class DenotationCache:
+    """An LRU map from ``(program, binding, state)`` to the denoted output state."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    max_state_elements: int = DEFAULT_MAX_STATE_ELEMENTS
+    stats: CacheStats = field(default_factory=CacheStats)
+    #: key -> (pinned program, output state); insertion order tracks recency.
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(
+        self,
+        program: Program,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        compute: Callable[[], DensityState],
+    ) -> DensityState:
+        """Return the cached denotation, computing (and storing) it on a miss.
+
+        Oversized states (``> max_state_elements`` matrix elements) bypass
+        the cache — no key bytes are copied, nothing is stored.  The returned
+        :class:`DensityState` is shared between callers and must be treated
+        as immutable — which every state transformer already does.
+        """
+        if state.matrix.size > self.max_state_elements:
+            self.stats.misses += 1
+            return compute()
+        key = (id(program), binding_key(binding), state_key(state))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.stats.misses += 1
+        output = compute()
+        if self.max_entries > 0:
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = (program, output)
+        return output
+
+    def clear(self) -> None:
+        """Drop every entry (the statistics keep accumulating)."""
+        self._entries.clear()

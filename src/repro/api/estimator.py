@@ -1,0 +1,305 @@
+"""The :class:`Estimator` facade: one object, the whole pipeline.
+
+The paper's pipeline — transform (Figure 4), compile (Figure 3), execute
+(Section 7) — was historically exposed as loose free functions, so every
+caller re-threaded ``(program, observable, state, binding)`` and hard-coded
+the execution scheme into which function it called.  The estimator is the
+single stable entry point that separates *what to estimate* from *how it is
+executed*:
+
+* it is constructed once from ``(program, observable, layout)``;
+* it owns the compile-time artifacts — every parameter's
+  :class:`~repro.autodiff.execution.DerivativeProgramSet`, built lazily and
+  cached, so transformation/compilation happens at most once per parameter;
+* it owns a :class:`~repro.api.cache.DenotationCache`, so each compiled
+  program is simulated at most once per ``(binding, input state)`` point no
+  matter how many times values, gradients and accuracies are requested;
+* it delegates every readout to a pluggable
+  :class:`~repro.api.backends.Backend` — exact or shot-sampled today, a
+  statevector or parallel executor tomorrow — all sharing the same cache.
+
+This is the frontend/device split the paper contrasts with PennyLane in
+Section 8, and the seam every scaling direction of the roadmap (sharding,
+batching, async, multi-backend) plugs into.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Program, UnitaryApp
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import Observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics import denotational
+from repro.api.backends import Backend, ExactDensityBackend, ObservableSpec
+from repro.api.cache import DEFAULT_MAX_ENTRIES, CacheStats, DenotationCache
+
+#: A batched input point: the state ρ and the parameter point θ*.
+EstimatorInput = tuple[DensityState, "ParameterBinding | None"]
+
+
+def ordered_parameters(program: Program) -> tuple[Parameter, ...]:
+    """Every symbolic parameter of the program, in first-occurrence order.
+
+    ``Program.parameters()`` returns an (unordered) frozenset; gradients need
+    a stable axis, so the estimator walks the AST in program order instead.
+    """
+    seen: dict[Parameter, None] = {}
+
+    def walk(node: Program) -> None:
+        if isinstance(node, UnitaryApp):
+            for parameter in node.gate.parameters():
+                seen.setdefault(parameter, None)
+        for child in node.children():
+            walk(child)
+
+    walk(program)
+    return tuple(seen)
+
+
+class Estimator:
+    """Estimate ``tr(O[[P(θ)]]ρ)`` and its gradient through a pluggable backend.
+
+    Parameters
+    ----------
+    program:
+        The parameterized program ``P(θ)``.
+    observable:
+        The observable ``O`` — an :class:`~repro.linalg.observables.Observable`,
+        a raw Hermitian matrix, or an :class:`~repro.api.backends.ObservableSpec`.
+        May be omitted for compile-time-only use (``program_set``), in which
+        case ``value``/``gradient`` raise until one is supplied.
+    layout:
+        Optional :class:`~repro.sim.hilbert.RegisterLayout`; when given, the
+        program's variables and the observable's dimension are validated
+        against it eagerly instead of at the first evaluation.
+    targets:
+        Restricts the observable to the named register variables (local
+        form) — the readout then stays on the contraction kernels.
+    parameters:
+        The gradient axis.  Defaults to the program's parameters in
+        first-occurrence order.
+    backend:
+        The execution scheme; defaults to
+        :class:`~repro.api.backends.ExactDensityBackend`.
+    cache_size:
+        LRU bound of the denotation cache (``0`` disables caching).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        observable: "ObservableSpec | Observable | np.ndarray | None" = None,
+        layout: RegisterLayout | None = None,
+        *,
+        targets: Sequence[str] | None = None,
+        parameters: Sequence[Parameter] | None = None,
+        backend: Backend | None = None,
+        cache_size: int = DEFAULT_MAX_ENTRIES,
+        program_sets: "Mapping[Parameter, object] | None" = None,
+        cache: DenotationCache | None = None,
+    ):
+        self.program = program
+        self.observable = (
+            ObservableSpec.coerce(observable, targets) if observable is not None else None
+        )
+        self.layout = layout
+        self.backend = backend if backend is not None else ExactDensityBackend()
+        self._parameters = tuple(parameters) if parameters is not None else None
+        self._program_sets: dict[Parameter, object] = (
+            dict(program_sets) if program_sets is not None else {}
+        )
+        for parameter, program_set in self._program_sets.items():
+            if program_set.parameter != parameter:
+                raise SemanticsError(
+                    f"the derivative program set supplied for parameter "
+                    f"{parameter.name!r} was built for "
+                    f"{program_set.parameter.name!r}; a mismatched seeding would "
+                    "silently compute the wrong gradient"
+                )
+        self._cache = cache if cache is not None else DenotationCache(cache_size)
+        if layout is not None:
+            missing = program.qvars() - set(layout.names)
+            if missing:
+                raise SemanticsError(
+                    f"the layout does not carry variables {sorted(missing)} used by the program"
+                )
+            if self.observable is not None:
+                if self.observable.targets is None:
+                    expected = layout.total_dim
+                else:
+                    expected = int(
+                        np.prod([layout.dim_of(n) for n in self.observable.targets])
+                    )
+                if self.observable.matrix.shape != (expected, expected):
+                    raise SemanticsError(
+                        "observable dimension does not match the layout register"
+                    )
+
+    # -- compile-time artifacts -------------------------------------------
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """The gradient axis (discovered lazily from the program when not given)."""
+        if self._parameters is None:
+            self._parameters = ordered_parameters(self.program)
+        return self._parameters
+
+    def program_set(self, parameter: Parameter):
+        """The compiled derivative multiset for one parameter (built once, cached)."""
+        program_set = self._program_sets.get(parameter)
+        if program_set is None:
+            from repro.autodiff.execution import differentiate_and_compile
+
+            program_set = differentiate_and_compile(self.program, parameter)
+            self._program_sets[parameter] = program_set
+        return program_set
+
+    def compile_all(self) -> None:
+        """Eagerly build every parameter's derivative program set."""
+        for parameter in self.parameters:
+            self.program_set(parameter)
+
+    # -- execution ---------------------------------------------------------
+
+    def _spec(self) -> ObservableSpec:
+        if self.observable is None:
+            raise SemanticsError(
+                "this estimator was built without an observable; pass one at "
+                "construction to evaluate values or gradients"
+            )
+        return self.observable
+
+    def _denote(
+        self, program: Program, state: DensityState, binding: ParameterBinding | None
+    ) -> DensityState:
+        return self._cache.get_or_compute(
+            program, state, binding, lambda: denotational.denote(program, state, binding)
+        )
+
+    def value(self, state: DensityState, binding: ParameterBinding | None = None) -> float:
+        """``tr(O[[P(θ*)]]ρ)`` (Definition 5.1) through the configured backend."""
+        return self.backend.value(
+            self.program, self._spec(), state, binding, denote=self._denote
+        )
+
+    def derivative(
+        self,
+        parameter: Parameter,
+        state: DensityState,
+        binding: ParameterBinding | None = None,
+    ) -> float:
+        """One gradient entry: the derivative readout for a single parameter."""
+        return self.backend.derivative(
+            self.program_set(parameter), self._spec(), state, binding, denote=self._denote
+        )
+
+    def gradient(
+        self,
+        state: DensityState,
+        binding: ParameterBinding | None = None,
+        parameters: Sequence[Parameter] | None = None,
+    ) -> np.ndarray:
+        """The gradient of the observable semantics along ``parameters``.
+
+        ``parameters`` defaults to the estimator's full gradient axis; a
+        subset computes (and compiles) only the requested entries.
+        """
+        parameters = self.parameters if parameters is None else tuple(parameters)
+        spec = self._spec()
+        values = [
+            self.backend.derivative(
+                self.program_set(parameter), spec, state, binding, denote=self._denote
+            )
+            for parameter in parameters
+        ]
+        return np.array(values, dtype=float)
+
+    def value_and_grad(
+        self,
+        state: DensityState,
+        binding: ParameterBinding | None = None,
+        parameters: Sequence[Parameter] | None = None,
+    ) -> tuple[float, np.ndarray]:
+        """The value and the gradient at one point, sharing every simulation."""
+        return (
+            self.value(state, binding),
+            self.gradient(state, binding, parameters),
+        )
+
+    def values(self, inputs: Iterable[EstimatorInput]) -> np.ndarray:
+        """Batched :meth:`value` over ``(state, binding)`` points."""
+        batch = [self._coerce_input(point) for point in inputs]
+        results = self.backend.value_batch(
+            self.program, self._spec(), batch, denote=self._denote
+        )
+        return np.array(results, dtype=float)
+
+    def gradients(
+        self,
+        inputs: Iterable[EstimatorInput],
+        parameters: Sequence[Parameter] | None = None,
+    ) -> np.ndarray:
+        """Batched :meth:`gradient`: one row per input point."""
+        parameters = self.parameters if parameters is None else tuple(parameters)
+        batch = [self._coerce_input(point) for point in inputs]
+        program_sets = [self.program_set(parameter) for parameter in parameters]
+        rows = self.backend.derivative_batch(
+            program_sets, self._spec(), batch, denote=self._denote
+        )
+        return np.array(rows, dtype=float).reshape(len(batch), len(parameters))
+
+    @staticmethod
+    def _coerce_input(point: "EstimatorInput | DensityState") -> EstimatorInput:
+        if isinstance(point, DensityState):
+            return (point, None)
+        state, binding = point
+        return (state, binding)
+
+    # -- backend / cache management ----------------------------------------
+
+    def with_backend(self, backend: Backend) -> "Estimator":
+        """A sibling estimator on another backend, sharing compiles and cache.
+
+        Denotations are backend-independent (both shipped backends simulate
+        exactly and differ only in the readout), so the sibling reuses this
+        estimator's derivative program sets *and* its denotation cache.
+        """
+        sibling = Estimator(
+            self.program,
+            self.observable,
+            self.layout,
+            parameters=self._parameters,
+            backend=backend,
+            cache=self._cache,
+        )
+        # Share the lazily-grown compile cache itself, not a snapshot, so
+        # multisets compiled through either estimator serve both.
+        sibling._program_sets = self._program_sets
+        return sibling
+
+    @property
+    def cache(self) -> DenotationCache:
+        """The denotation cache (inspect ``cache.stats`` for hit counts)."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Shortcut for ``estimator.cache.stats``."""
+        return self._cache.stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached denotation (compile-time artifacts are kept)."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        observable = self.observable.name if self.observable is not None else "∅"
+        return (
+            f"Estimator(backend={self.backend.name!r}, observable={observable!r}, "
+            f"parameters={len(self.parameters)}, compiled={len(self._program_sets)})"
+        )

@@ -12,13 +12,22 @@ The pipeline for one parameter θ_j:
    with the density-matrix simulator, or with the Chernoff-bounded sampling
    scheme the paper describes (``O(m²/δ²)`` shots for ``m`` programs).
 
-:func:`gradient` repeats the pipeline for every parameter of interest, which
-is what the training loop of the Section 8.1 case study consumes.
+The execution half now lives in :mod:`repro.api`: an
+:class:`~repro.api.Estimator` owns the compile-time artifacts and a
+denotation cache and delegates readouts to pluggable backends
+(:class:`~repro.api.ExactDensityBackend`,
+:class:`~repro.api.ShotSamplingBackend`).  Everything below — the
+per-parameter :class:`DerivativeProgramSet` and the historical free
+functions — is kept as a thin, stable shim over that facade, so existing
+callers and the papers' pseudo-code-shaped entry points keep working.  The
+shims build a fresh single-purpose estimator per call and therefore share
+no denotation cache between calls; long-running loops should hold an
+:class:`~repro.api.Estimator` instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -27,15 +36,41 @@ from repro.errors import SemanticsError
 from repro.lang.ast import Program
 from repro.lang.parameters import Parameter, ParameterBinding
 from repro.linalg.observables import Observable
-from repro.sim import kernels
 from repro.sim.density import DensityState
-from repro.sim.shots import estimate_distribution_sum, normalized_distribution
-from repro.semantics.denotational import denote
-from repro.semantics.observable import observable_semantics
 from repro.additive.compile import compile_additive
 from repro.additive.essential_abort import essentially_aborts
-from repro.autodiff.gadgets import ANCILLA_OBSERVABLE
 from repro.autodiff.transform import ancilla_name_for, differentiate
+
+
+def _estimator_for(
+    program: Program,
+    observable: Observable | np.ndarray,
+    *,
+    targets: Sequence[str] | None = None,
+    parameters: Sequence[Parameter] = (),
+    program_sets: "Sequence[DerivativeProgramSet] | None" = None,
+    backend=None,
+):
+    """Build the transient single-call estimator backing the legacy shims.
+
+    The denotation cache is disabled: a single-call estimator evaluates each
+    ``(program, binding, state)`` triple exactly once, so a cache could never
+    hit but would pin every simulated output state until the shim returns.
+    """
+    from repro.api import Estimator
+
+    seeded = (
+        dict(zip(parameters, program_sets)) if program_sets is not None else None
+    )
+    return Estimator(
+        program,
+        observable,
+        targets=targets,
+        parameters=parameters,
+        backend=backend,
+        program_sets=seeded,
+        cache_size=0,
+    )
 
 
 @dataclass(frozen=True)
@@ -88,28 +123,18 @@ class DerivativeProgramSet:
         readout contracts ``Z_A`` blockwise against the output state — the
         full-space Kronecker product ``Z_A ⊗ O`` is never materialized
         either way.
+
+        (Shim: delegates to :class:`repro.api.ExactDensityBackend` through a
+        per-call estimator.)
         """
-        matrix = observable.matrix if isinstance(observable, Observable) else np.asarray(observable)
-        extended = state.extended(self.ancilla, dim=2, front=True)
-        total = 0.0
-        if targets is not None:
-            expected = int(np.prod([state.layout.dim_of(name) for name in targets]))
-            if matrix.shape != (expected, expected):
-                raise SemanticsError("observable dimension does not match the target variables")
-            combined = np.kron(ANCILLA_OBSERVABLE, matrix)
-            combined_targets = (self.ancilla,) + tuple(targets)
-            for program in self.nonaborting_programs():
-                output = denote(program, extended, binding)
-                total += output.expectation(combined, combined_targets)
-            return total
-        if matrix.shape != (state.layout.total_dim, state.layout.total_dim):
-            raise SemanticsError("observable dimension does not match the input state register")
-        for program in self.nonaborting_programs():
-            output = denote(program, extended, binding)
-            total += kernels.two_factor_expectation_density(
-                output.matrix, 2, ANCILLA_OBSERVABLE, matrix
-            )
-        return total
+        estimator = _estimator_for(
+            self.original,
+            observable,
+            targets=targets,
+            parameters=(self.parameter,),
+            program_sets=(self,),
+        )
+        return float(estimator.derivative(self.parameter, state, binding))
 
     def evaluate_sampled(
         self,
@@ -117,6 +142,7 @@ class DerivativeProgramSet:
         state: DensityState,
         binding: ParameterBinding,
         *,
+        targets: Sequence[str] | None = None,
         precision: float = 0.1,
         confidence: float = 0.95,
         rng: np.random.Generator | None = None,
@@ -129,36 +155,26 @@ class DerivativeProgramSet:
 
         The combined observable is never formed: ``Z_A ⊗ O`` is measured by
         jointly reading the ancilla in the computational basis (eigenbasis of
-        ``Z_A``) and the original register in the eigenbasis of ``O``, so the
-        spectral decomposition happens once on the ``2^n``-dimensional ``O``
-        instead of per program on the doubled space, and the per-outcome
-        Born-rule weights come from the ancilla blocks of the output state.
+        ``Z_A``) and the original register in the eigenbasis of ``O``.  With
+        ``targets`` the observable is a small local operator; its spectral
+        decomposition happens on the ``2^k``-dimensional target space and the
+        Born-rule weights come off the reduced density matrix of the
+        ancilla + target factors, matching :meth:`evaluate`.
+
+        (Shim: delegates to :class:`repro.api.ShotSamplingBackend` through a
+        per-call estimator.)
         """
-        matrix = observable.matrix if isinstance(observable, Observable) else np.asarray(observable)
-        if matrix.shape != (state.layout.total_dim, state.layout.total_dim):
-            raise SemanticsError("observable dimension does not match the input state register")
-        spectral = (
-            observable if isinstance(observable, Observable) else Observable(matrix)
-        ).spectral_measurement()
-        measurement, eigenvalues = spectral
-        ancilla_signs = np.real(np.diag(ANCILLA_OBSERVABLE))
-        extended = state.extended(self.ancilla, dim=2, front=True)
-        dim = state.layout.total_dim
-        distributions = []
-        for program in self.nonaborting_programs():
-            output = denote(program, extended, binding)
-            blocks = output.matrix.reshape(2, dim, 2, dim)
-            values = []
-            weights = []
-            for sign_index, sign in enumerate(ancilla_signs):
-                block = blocks[sign_index, :, sign_index, :]
-                for projector, eigenvalue in zip(measurement.operators, eigenvalues):
-                    values.append(sign * eigenvalue)
-                    weights.append(float(np.real(np.einsum("ij,ji->", projector, block))))
-            distributions.append(normalized_distribution(values, weights))
-        return estimate_distribution_sum(
-            distributions, precision=precision, confidence=confidence, rng=rng
+        from repro.api import ShotSamplingBackend
+
+        estimator = _estimator_for(
+            self.original,
+            observable,
+            targets=targets,
+            parameters=(self.parameter,),
+            program_sets=(self,),
+            backend=ShotSamplingBackend(precision=precision, confidence=confidence, rng=rng),
         )
+        return float(estimator.derivative(self.parameter, state, binding))
 
 
 def differentiate_and_compile(program: Program, parameter: Parameter) -> DerivativeProgramSet:
@@ -176,7 +192,7 @@ def expectation(
     binding: ParameterBinding,
 ) -> float:
     """The (undifferentiated) observable semantics ``tr(O[[P(θ*)]]ρ)``."""
-    return observable_semantics(program, observable, state, binding)
+    return _estimator_for(program, observable).value(state, binding)
 
 
 def derivative_expectation(
@@ -187,7 +203,8 @@ def derivative_expectation(
     binding: ParameterBinding,
 ) -> float:
     """Exactly compute ``∂/∂θ_j tr(O[[P(θ)]]ρ)`` at θ* via the full pipeline."""
-    return differentiate_and_compile(program, parameter).evaluate(observable, state, binding)
+    estimator = _estimator_for(program, observable, parameters=(parameter,))
+    return float(estimator.derivative(parameter, state, binding))
 
 
 def estimate_derivative_expectation(
@@ -202,9 +219,15 @@ def estimate_derivative_expectation(
     rng: np.random.Generator | None = None,
 ) -> float:
     """Shot-based estimate of ``∂/∂θ_j tr(O[[P(θ)]]ρ)`` (Section 7 execution scheme)."""
-    return differentiate_and_compile(program, parameter).evaluate_sampled(
-        observable, state, binding, precision=precision, confidence=confidence, rng=rng
+    from repro.api import ShotSamplingBackend
+
+    estimator = _estimator_for(
+        program,
+        observable,
+        parameters=(parameter,),
+        backend=ShotSamplingBackend(precision=precision, confidence=confidence, rng=rng),
     )
+    return float(estimator.derivative(parameter, state, binding))
 
 
 def gradient(
@@ -221,16 +244,30 @@ def gradient(
 
     ``program_sets`` may carry pre-built :class:`DerivativeProgramSet`
     objects (one per parameter, in order) so that training loops pay the
-    transformation/compilation cost only once.  ``targets`` restricts the
-    observable to a subset of the register exactly as in
+    transformation/compilation cost only once; each set must have been built
+    for the parameter at the same position, otherwise a
+    :class:`~repro.errors.SemanticsError` is raised (a silently reordered or
+    mismatched list would compute the wrong gradient).  ``targets`` restricts
+    the observable to a subset of the register exactly as in
     :meth:`DerivativeProgramSet.evaluate`.
     """
-    if program_sets is None:
-        program_sets = [differentiate_and_compile(program, parameter) for parameter in parameters]
-    if len(program_sets) != len(parameters):
-        raise SemanticsError("one derivative program set per parameter is required")
-    values = [
-        program_set.evaluate(observable, state, binding, targets=targets)
-        for program_set in program_sets
-    ]
-    return np.array(values, dtype=float)
+    parameters = tuple(parameters)
+    if program_sets is not None:
+        program_sets = tuple(program_sets)
+        if len(program_sets) != len(parameters):
+            raise SemanticsError("one derivative program set per parameter is required")
+        for index, (program_set, parameter) in enumerate(zip(program_sets, parameters)):
+            if program_set.parameter != parameter:
+                raise SemanticsError(
+                    f"derivative program set at position {index} was built for parameter "
+                    f"{program_set.parameter.name!r}, not {parameter.name!r}; the "
+                    "program_sets list must match the parameters list element-wise"
+                )
+    estimator = _estimator_for(
+        program,
+        observable,
+        targets=targets,
+        parameters=parameters,
+        program_sets=program_sets,
+    )
+    return estimator.gradient(state, binding)

@@ -16,6 +16,7 @@ from repro.baselines.finite_diff import finite_difference_derivative, finite_dif
 from repro.baselines.comparison import (
     SchemeCost,
     scheme_costs,
+    estimator_scheme_costs,
     phase_shift_circuit_count,
     gadget_program_count,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "finite_difference_gradient",
     "SchemeCost",
     "scheme_costs",
+    "estimator_scheme_costs",
     "phase_shift_circuit_count",
     "gadget_program_count",
 ]

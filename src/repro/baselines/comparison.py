@@ -10,11 +10,15 @@ that comparison concrete for any given program.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.lang.ast import Program
 from repro.lang.parameters import Parameter
 from repro.lang.traversal import is_circuit
 from repro.analysis.resources import derivative_program_count, occurrence_count
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Estimator
 
 
 def phase_shift_circuit_count(program: Program, parameter: Parameter) -> int | None:
@@ -48,19 +52,48 @@ class SchemeCost:
         return self.programs_per_parameter is not None
 
 
-def scheme_costs(program: Program, parameter: Parameter) -> dict[str, SchemeCost]:
-    """Compare the paper's gadget scheme with the phase-shift baseline on one program."""
-    gadget = SchemeCost(
+def _gadget_cost(programs_per_parameter: int) -> SchemeCost:
+    """The gadget scheme's cost profile for a known program count."""
+    return SchemeCost(
         scheme="single-ancilla gadget (this paper)",
-        programs_per_parameter=gadget_program_count(program, parameter),
+        programs_per_parameter=programs_per_parameter,
         extra_ancillas=1,
         supports_controls=True,
     )
-    shift_count = phase_shift_circuit_count(program, parameter)
-    phase_shift = SchemeCost(
+
+
+def _phase_shift_cost(program: Program, parameter: Parameter) -> SchemeCost:
+    """The phase-shift baseline's cost profile (``None`` count when inapplicable)."""
+    return SchemeCost(
         scheme="phase-shift rule (Schuld et al. / PennyLane)",
-        programs_per_parameter=shift_count,
+        programs_per_parameter=phase_shift_circuit_count(program, parameter),
         extra_ancillas=0,
         supports_controls=False,
     )
-    return {"gadget": gadget, "phase_shift": phase_shift}
+
+
+def scheme_costs(program: Program, parameter: Parameter) -> dict[str, SchemeCost]:
+    """Compare the paper's gadget scheme with the phase-shift baseline on one program."""
+    return {
+        "gadget": _gadget_cost(gadget_program_count(program, parameter)),
+        "phase_shift": _phase_shift_cost(program, parameter),
+    }
+
+
+def estimator_scheme_costs(estimator: "Estimator") -> dict[Parameter, dict[str, SchemeCost]]:
+    """Per-parameter scheme comparison for a whole :class:`~repro.api.Estimator`.
+
+    Unlike :func:`scheme_costs`, the gadget column reports the *measured*
+    count of compiled non-aborting programs taken from the estimator's
+    compile cache (``|#∂P/∂θ_j|`` after abort pruning), not the static
+    recomputation — so the comparison reflects exactly what the estimator's
+    backend will execute, and compiling here warms the estimator for the
+    subsequent gradient evaluations.
+    """
+    comparison: dict[Parameter, dict[str, SchemeCost]] = {}
+    for parameter in estimator.parameters:
+        comparison[parameter] = {
+            "gadget": _gadget_cost(estimator.program_set(parameter).nonaborting_count),
+            "phase_shift": _phase_shift_cost(estimator.program, parameter),
+        }
+    return comparison

@@ -37,10 +37,14 @@ def observable_semantics(
     """Evaluate ``[[(O, ρ) → P(θ)]](θ*) = tr(O · [[P(θ*)]]ρ)`` (Definition 5.1).
 
     ``observable`` must act on the state's full register (in layout order).
+
+    (Shim: delegates to a per-call :class:`repro.api.Estimator` on the exact
+    density backend; loops should hold an estimator to share its caches.
+    The cache is disabled — a single-call estimator can never hit it.)
     """
-    matrix = observable.matrix if isinstance(observable, Observable) else np.asarray(observable)
-    output = denote(program, state, binding)
-    return output.expectation(matrix)
+    from repro.api import Estimator
+
+    return Estimator(program, observable, parameters=(), cache_size=0).value(state, binding)
 
 
 def observable_semantics_with_ancilla(

@@ -18,6 +18,7 @@ when measuring the fourth qubit, i.e. the observable ``|1⟩⟨1|`` on ``q4``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
@@ -28,8 +29,8 @@ from repro.lang.builder import case_on_qubit, rx, ry, rz, seq
 from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
 from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
-from repro.semantics.denotational import denote
-from repro.autodiff.execution import DerivativeProgramSet, differentiate_and_compile
+from repro.api import Backend, Estimator
+from repro.autodiff.execution import DerivativeProgramSet
 
 DATA_QUBITS = ("q1", "q2", "q3", "q4")
 READOUT_QUBIT = "q4"
@@ -139,15 +140,44 @@ class BooleanClassifier:
         assignment = {q: int(b) for q, b in zip(self.data_qubits, bits)}
         return DensityState.basis_state(self.layout(), assignment)
 
+    @cached_property
+    def _estimator(self) -> Estimator:
+        """The classifier's shared exact estimator (built once, lazily)."""
+        observable, targets = self.readout_local_observable()
+        return Estimator(
+            self.program,
+            observable,
+            self.layout(),
+            targets=targets,
+            parameters=self.parameters,
+        )
+
+    def estimator(self, backend: Backend | None = None) -> Estimator:
+        """An :class:`~repro.api.Estimator` of the readout on this classifier.
+
+        With ``backend=None`` the classifier's own shared exact estimator is
+        returned; :meth:`predict_probability`, :meth:`accuracy` and the
+        trainer all go through it, so its denotation cache makes repeated
+        evaluations at the same ``(binding, input)`` point free.  A
+        non-default backend yields a sibling estimator that reuses the same
+        compiled derivative program sets and denotation cache.
+        """
+        if backend is None:
+            return self._estimator
+        return self._estimator.with_backend(backend)
+
     def predict_probability(self, bits: Sequence[int], binding: ParameterBinding) -> float:
         """Return ``l_θ(z)``: the probability of reading 1 on the readout qubit."""
-        observable, targets = self.readout_local_observable()
-        output = denote(self.program, self.input_state(bits), binding)
-        return output.expectation(observable, targets)
+        return self._estimator.value(self.input_state(bits), binding)
+
+    @staticmethod
+    def label_from_probability(probability: float) -> int:
+        """Threshold a readout probability at ½ into a hard 0/1 label."""
+        return 1 if probability >= 0.5 else 0
 
     def predict_label(self, bits: Sequence[int], binding: ParameterBinding) -> int:
-        """Threshold the probability at ½ into a hard 0/1 label."""
-        return 1 if self.predict_probability(bits, binding) >= 0.5 else 0
+        """The hard 0/1 label of one input (see :meth:`label_from_probability`)."""
+        return self.label_from_probability(self.predict_probability(bits, binding))
 
     def accuracy(self, dataset: Sequence[tuple[Sequence[int], int]], binding: ParameterBinding) -> float:
         """Fraction of dataset points whose hard label matches the ground truth."""
@@ -161,11 +191,12 @@ class BooleanClassifier:
     def derivative_program_sets(self) -> tuple[DerivativeProgramSet, ...]:
         """Pre-compile the derivative program multiset for every parameter.
 
-        This is the compile-time half of the differentiation pipeline; the
-        trainer builds it once and reuses it at every epoch.
+        This is the compile-time half of the differentiation pipeline; it
+        delegates to the shared estimator, which builds each multiset at most
+        once and reuses it at every epoch.
         """
         return tuple(
-            differentiate_and_compile(self.program, parameter) for parameter in self.parameters
+            self._estimator.program_set(parameter) for parameter in self.parameters
         )
 
     def initial_binding(self, seed: int = 0, spread: float = 0.1) -> ParameterBinding:

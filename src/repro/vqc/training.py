@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import TrainingError
 from repro.lang.parameters import ParameterBinding
 from repro.vqc.classifier import BooleanClassifier
+from repro.api import Estimator
 from repro.autodiff.execution import DerivativeProgramSet
 
 Bits = tuple[int, ...]
@@ -116,60 +117,87 @@ class GradientDescentTrainer:
     The trainer is deliberately simple (no momentum, no batching): the
     point of the case study is the *gradient computation*, which goes
     through the paper's transform → compile → execute pipeline for every
-    parameter.
+    parameter.  All evaluations run through the classifier's shared
+    :class:`~repro.api.Estimator`: the derivative program multisets are
+    compiled once, and the denotation cache guarantees each compiled
+    program is simulated at most once per ``(binding, input)`` point — so
+    the loss, the accuracy and the gradient weights of one epoch all reuse
+    a single forward pass.
     """
 
     def __init__(self, classifier: BooleanClassifier, config: TrainingConfig | None = None):
         self.classifier = classifier
         self.config = config if config is not None else TrainingConfig()
-        self._program_sets: tuple[DerivativeProgramSet, ...] | None = None
+        self.estimator: Estimator = classifier.estimator()
 
     @property
     def program_sets(self) -> tuple[DerivativeProgramSet, ...]:
         """The pre-compiled derivative program multisets (built lazily, once)."""
-        if self._program_sets is None:
-            self._program_sets = self.classifier.derivative_program_sets()
-        return self._program_sets
+        return tuple(
+            self.estimator.program_set(parameter)
+            for parameter in self.classifier.parameters
+        )
 
     # -- single-epoch computations ----------------------------------------------
 
     def predictions(self, dataset: Dataset, binding: ParameterBinding) -> list[float]:
         """The classifier output ``l_θ(z)`` for every data point."""
         return [
-            self.classifier.predict_probability(bits, binding) for bits, _ in dataset
+            self.estimator.value(self.classifier.input_state(bits), binding)
+            for bits, _ in dataset
         ]
 
     def loss(self, dataset: Dataset, binding: ParameterBinding) -> float:
         """Evaluate the configured loss on the whole dataset."""
-        predictions = self.predictions(dataset, binding)
+        return self._loss_from_predictions(self.predictions(dataset, binding), dataset)
+
+    def _loss_from_predictions(self, predictions: Sequence[float], dataset: Dataset) -> float:
         labels = [label for _, label in dataset]
         if self.config.loss == "squared":
             return squared_loss(predictions, labels)
         return negative_log_likelihood(predictions, labels)
+
+    def _accuracy_from_predictions(self, predictions: Sequence[float], dataset: Dataset) -> float:
+        label = self.classifier.label_from_probability
+        correct = sum(
+            1
+            for prediction, (_, truth) in zip(predictions, dataset)
+            if label(prediction) == int(truth)
+        )
+        return correct / len(dataset)
 
     def loss_gradient(self, dataset: Dataset, binding: ParameterBinding) -> np.ndarray:
         """Gradient of the loss with respect to every classifier parameter.
 
         Chain rule: ``∂loss/∂α = Σ_z (∂loss/∂l)(z) · ∂l_θ(z)/∂α`` where the
         inner derivative is computed by the paper's differentiation pipeline.
-        The readout observable is passed in its 1-local form so every inner
-        evaluation stays on the contraction-kernel path.
+        The estimator's denotation cache keeps the forward evaluations shared
+        with :meth:`loss` and :meth:`predictions` at the same point.
         """
-        observable, targets = self.classifier.readout_local_observable()
-        gradient = np.zeros(len(self.classifier.parameters), dtype=float)
+        return self._gradient_from_predictions(
+            self.predictions(dataset, binding), dataset, binding
+        )
+
+    def _gradient_from_predictions(
+        self,
+        predictions: Sequence[float],
+        dataset: Dataset,
+        binding: ParameterBinding,
+    ) -> np.ndarray:
+        parameters = self.classifier.parameters
+        gradient = np.zeros(len(parameters), dtype=float)
         count = len(dataset)
-        for bits, label in dataset:
+        for prediction, (bits, label) in zip(predictions, dataset):
             state = self.classifier.input_state(bits)
-            prediction = self.classifier.predict_probability(bits, binding)
             if self.config.loss == "squared":
                 weight = squared_loss_gradient_weight(prediction, label)
             else:
                 weight = negative_log_likelihood_gradient_weight(prediction, label, count)
             if abs(weight) < 1e-15:
                 continue
-            for index, program_set in enumerate(self.program_sets):
-                gradient[index] += weight * program_set.evaluate(
-                    observable, state, binding, targets=targets
+            for index, parameter in enumerate(parameters):
+                gradient[index] += weight * self.estimator.derivative(
+                    parameter, state, binding
                 )
         return gradient
 
@@ -180,7 +208,14 @@ class GradientDescentTrainer:
         dataset: Dataset,
         initial_binding: ParameterBinding | None = None,
     ) -> TrainingResult:
-        """Run gradient descent and return the loss (and accuracy) history."""
+        """Run gradient descent and return the loss (and accuracy) history.
+
+        Each epoch computes one forward pass (``value``) per data point; the
+        loss, the recorded accuracy and the chain-rule weights of the
+        gradient all share those predictions instead of re-evaluating the
+        classifier, and the denotation cache deduplicates any remaining
+        overlap.
+        """
         if not dataset:
             raise TrainingError("cannot train on an empty dataset")
         binding = (
@@ -190,17 +225,19 @@ class GradientDescentTrainer:
         )
         result = TrainingResult(classifier_name=self.classifier.name)
         for _ in range(self.config.epochs):
-            result.losses.append(self.loss(dataset, binding))
+            predictions = self.predictions(dataset, binding)
+            result.losses.append(self._loss_from_predictions(predictions, dataset))
             if self.config.record_accuracy:
-                result.accuracies.append(self.classifier.accuracy(dataset, binding))
-            gradient = self.loss_gradient(dataset, binding)
+                result.accuracies.append(self._accuracy_from_predictions(predictions, dataset))
+            gradient = self._gradient_from_predictions(predictions, dataset, binding)
             updates = {
                 parameter: binding[parameter] - self.config.learning_rate * gradient[index]
                 for index, parameter in enumerate(self.classifier.parameters)
             }
             binding = ParameterBinding(updates)
-        result.losses.append(self.loss(dataset, binding))
+        predictions = self.predictions(dataset, binding)
+        result.losses.append(self._loss_from_predictions(predictions, dataset))
         if self.config.record_accuracy:
-            result.accuracies.append(self.classifier.accuracy(dataset, binding))
+            result.accuracies.append(self._accuracy_from_predictions(predictions, dataset))
         result.final_binding = binding
         return result

@@ -1,0 +1,136 @@
+"""Denotation-cache behaviour: each compiled program runs once per point."""
+
+import numpy as np
+import pytest
+
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, rz, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.semantics import denotational
+from repro.api import DenotationCache, Estimator, ShotSamplingBackend
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+ZZ = pauli_observable("ZZ")
+BINDING = ParameterBinding({THETA: 0.52, PHI: -0.8})
+
+
+def _state(q1=0, q2=0):
+    return DensityState.basis_state(LAYOUT, {"q1": q1, "q2": q2})
+
+
+def _control_program():
+    return seq(
+        [
+            rx(THETA, "q1"),
+            rxx(PHI, "q1", "q2"),
+            case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rz(THETA, "q2")}),
+        ]
+    )
+
+
+@pytest.fixture
+def denote_counter(monkeypatch):
+    """Count top-level ``denote`` calls issued by the estimator."""
+    counts = {"n": 0}
+    real = denotational.denote
+
+    def counting(program, state, binding=None):
+        counts["n"] += 1
+        return real(program, state, binding)
+
+    monkeypatch.setattr(denotational, "denote", counting)
+    return counts
+
+
+class TestOncePerPoint:
+    def test_each_compiled_program_denoted_once_per_binding_state(self, denote_counter):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        state = _state()
+        expected = 1 + sum(
+            estimator.program_set(p).nonaborting_count for p in estimator.parameters
+        )
+        estimator.value_and_grad(state, BINDING)
+        assert denote_counter["n"] == expected
+        # Asking again — value, gradient, value_and_grad — re-simulates nothing.
+        estimator.value(state, BINDING)
+        estimator.gradient(state, BINDING)
+        estimator.value_and_grad(state, BINDING)
+        assert denote_counter["n"] == expected
+        assert estimator.cache_stats.misses == expected
+        # value (1) + gradient (expected−1) + value_and_grad (expected) hits
+        assert estimator.cache_stats.hits == 2 * expected
+
+    def test_value_keyed_caching_survives_rebuilt_states_and_bindings(self, denote_counter):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.value(_state(1, 0), BINDING)
+        first = denote_counter["n"]
+        # A fresh-but-equal state and a fresh-but-equal binding must hit.
+        estimator.value(_state(1, 0), ParameterBinding({THETA: 0.52, PHI: -0.8}))
+        assert denote_counter["n"] == first
+
+    def test_new_point_simulates_again(self, denote_counter):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.value(_state(), BINDING)
+        baseline = denote_counter["n"]
+        estimator.value(_state(0, 1), BINDING)  # different state
+        estimator.value(_state(), BINDING.with_value(THETA, 0.9))  # different binding
+        assert denote_counter["n"] == baseline + 2
+
+    def test_sampled_backend_shares_simulations_with_exact(self, denote_counter):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.gradient(_state(), BINDING)
+        baseline = denote_counter["n"]
+        sampled = estimator.with_backend(
+            ShotSamplingBackend(precision=0.2, rng=np.random.default_rng(0))
+        )
+        sampled.gradient(_state(), BINDING)
+        assert denote_counter["n"] == baseline
+
+    def test_cache_disabled_with_zero_size(self, denote_counter):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT, cache_size=0)
+        estimator.value(_state(), BINDING)
+        estimator.value(_state(), BINDING)
+        assert denote_counter["n"] == 2
+
+    def test_clear_cache_forces_resimulation(self, denote_counter):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.value(_state(), BINDING)
+        estimator.clear_cache()
+        estimator.value(_state(), BINDING)
+        assert denote_counter["n"] == 2
+
+
+class TestLRU:
+    def test_eviction_respects_the_entry_bound(self):
+        cache = DenotationCache(max_entries=4)
+        estimator = Estimator(_control_program(), ZZ, LAYOUT, cache=cache)
+        for q1 in (0, 1):
+            for q2 in (0, 1):
+                estimator.value(_state(q1, q2), BINDING)
+        assert len(cache) == 4
+        estimator.value(_state(0, 0), BINDING)  # still cached (LRU keeps recents)
+        assert estimator.cache_stats.hits == 1
+        estimator.value(_state(1, 1), ParameterBinding({THETA: 1.0, PHI: 0.0}))
+        assert len(cache) == 4
+        assert estimator.cache_stats.evictions >= 1
+
+    def test_oversized_states_bypass_the_cache(self, denote_counter):
+        cache = DenotationCache(max_entries=64, max_state_elements=8)
+        estimator = Estimator(_control_program(), ZZ, LAYOUT, cache=cache)
+        # A 2-qubit density matrix has 16 elements > the 8-element bound:
+        # nothing is stored and repeated calls re-simulate.
+        estimator.value(_state(), BINDING)
+        estimator.value(_state(), BINDING)
+        assert denote_counter["n"] == 2
+        assert len(cache) == 0
+
+    def test_stats_reset(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.value(_state(), BINDING)
+        estimator.cache_stats.reset()
+        assert estimator.cache_stats.lookups == 0
+        assert estimator.cache_stats.hit_rate == 0.0

@@ -1,0 +1,196 @@
+"""Unit tests for the :class:`repro.api.Estimator` facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, rz, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import (
+    Estimator,
+    ExactDensityBackend,
+    ObservableSpec,
+    ShotSamplingBackend,
+    ordered_parameters,
+)
+from repro.autodiff import execution
+from repro.baselines.finite_diff import finite_difference_gradient
+from repro.semantics.observable import observable_semantics
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(["q1", "q2"])
+ZZ = pauli_observable("ZZ")
+BINDING = ParameterBinding({THETA: 0.52, PHI: -0.8})
+
+
+def _state(q1=0, q2=0):
+    return DensityState.basis_state(LAYOUT, {"q1": q1, "q2": q2})
+
+
+def _control_program():
+    return seq(
+        [
+            rx(THETA, "q1"),
+            rxx(PHI, "q1", "q2"),
+            case_on_qubit("q1", {0: ry(THETA, "q2"), 1: rz(THETA, "q2")}),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_parameters_discovered_in_first_occurrence_order(self):
+        estimator = Estimator(_control_program(), ZZ)
+        assert estimator.parameters == (THETA, PHI)
+
+    def test_ordered_parameters_helper(self):
+        program = seq([ry(PHI, "q2"), rx(THETA, "q1"), rz(PHI, "q2")])
+        assert ordered_parameters(program) == (PHI, THETA)
+
+    def test_explicit_parameter_axis_is_respected(self):
+        estimator = Estimator(_control_program(), ZZ, parameters=[PHI, THETA])
+        assert estimator.parameters == (PHI, THETA)
+
+    def test_layout_validation_rejects_missing_variables(self):
+        with pytest.raises(SemanticsError):
+            Estimator(_control_program(), ZZ, RegisterLayout(["q1"]))
+
+    def test_layout_validation_rejects_observable_dimension(self):
+        with pytest.raises(SemanticsError):
+            Estimator(rx(THETA, "q1"), ZZ, RegisterLayout(["q1"]))
+
+    def test_observable_spec_targets_roundtrip(self):
+        spec = ObservableSpec.coerce(np.diag([0.0, 1.0]), targets=["q2"])
+        estimator = Estimator(_control_program(), spec, LAYOUT)
+        assert estimator.observable.targets == ("q2",)
+
+    def test_value_without_observable_raises(self):
+        estimator = Estimator(_control_program())
+        with pytest.raises(SemanticsError):
+            estimator.value(_state(), BINDING)
+
+    def test_seeded_program_sets_must_match_their_parameter(self):
+        from repro.autodiff.execution import differentiate_and_compile
+
+        built_for_phi = differentiate_and_compile(_control_program(), PHI)
+        with pytest.raises(SemanticsError, match="was built for"):
+            Estimator(
+                _control_program(), ZZ, program_sets={THETA: built_for_phi}
+            )
+
+
+class TestValueAndGradient:
+    def test_value_matches_observable_semantics(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        expected = observable_semantics(_control_program(), ZZ, _state(), BINDING)
+        assert estimator.value(_state(), BINDING) == expected
+
+    def test_gradient_matches_finite_differences(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        grad = estimator.gradient(_state(), BINDING)
+        reference = finite_difference_gradient(
+            _control_program(), [THETA, PHI], ZZ, _state(), BINDING
+        )
+        assert np.allclose(grad, reference, atol=1e-6)
+
+    def test_gradient_matches_legacy_free_function_bitwise(self):
+        program = _control_program()
+        estimator = Estimator(program, ZZ, LAYOUT)
+        legacy = execution.gradient(program, [THETA, PHI], ZZ, _state(), BINDING)
+        assert estimator.gradient(_state(), BINDING).tolist() == legacy.tolist()
+
+    def test_gradient_parameter_subset(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        full = estimator.gradient(_state(), BINDING)
+        only_phi = estimator.gradient(_state(), BINDING, parameters=[PHI])
+        assert only_phi.shape == (1,)
+        assert only_phi[0] == full[1]
+
+    def test_value_and_grad_consistent_with_separate_calls(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        value, grad = estimator.value_and_grad(_state(), BINDING)
+        assert value == estimator.value(_state(), BINDING)
+        assert grad.tolist() == estimator.gradient(_state(), BINDING).tolist()
+
+    def test_local_targets_match_embedded_observable(self):
+        observable = np.diag([0.0, 1.0])
+        local = Estimator(_control_program(), observable, LAYOUT, targets=["q2"])
+        embedded = Estimator(
+            _control_program(), LAYOUT.embed_operator(observable, ["q2"]), LAYOUT
+        )
+        state = _state(1, 0)
+        assert local.value(state, BINDING) == pytest.approx(embedded.value(state, BINDING))
+        assert np.allclose(
+            local.gradient(state, BINDING), embedded.gradient(state, BINDING), atol=1e-9
+        )
+
+    def test_derivative_single_entry(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        grad = estimator.gradient(_state(), BINDING)
+        assert estimator.derivative(THETA, _state(), BINDING) == grad[0]
+
+
+class TestBatching:
+    def test_values_batch_matches_loop(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        inputs = [(_state(0, 0), BINDING), (_state(1, 0), BINDING), (_state(0, 1), BINDING)]
+        batched = estimator.values(inputs)
+        assert batched.tolist() == [estimator.value(s, b) for s, b in inputs]
+
+    def test_gradients_batch_matches_loop(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        inputs = [(_state(0, 0), BINDING), (_state(1, 1), BINDING)]
+        rows = estimator.gradients(inputs)
+        assert rows.shape == (2, 2)
+        for row, (state, binding) in zip(rows, inputs):
+            assert row.tolist() == estimator.gradient(state, binding).tolist()
+
+    def test_values_accept_bare_states_for_unparameterized_programs(self):
+        from repro.lang.builder import apply_gate
+        from repro.lang.gates import hadamard
+
+        estimator = Estimator(apply_gate(hadamard(), "q1"), pauli_observable("XZ"), LAYOUT)
+        values = estimator.values([_state(0, 0), _state(0, 1)])
+        assert values.tolist() == [pytest.approx(1.0), pytest.approx(-1.0)]
+
+
+class TestCompileArtifacts:
+    def test_program_sets_are_built_lazily_and_cached(self, monkeypatch):
+        calls = []
+        real = execution.differentiate_and_compile
+
+        def counting(program, parameter):
+            calls.append(parameter)
+            return real(program, parameter)
+
+        monkeypatch.setattr(execution, "differentiate_and_compile", counting)
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        assert calls == []
+        estimator.gradient(_state(), BINDING)
+        assert calls == [THETA, PHI]
+        estimator.gradient(_state(1, 1), BINDING)
+        estimator.program_set(THETA)
+        assert calls == [THETA, PHI]
+
+    def test_compile_all_builds_every_parameter(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.compile_all()
+        assert estimator.program_set(THETA).parameter == THETA
+        assert estimator.program_set(PHI).parameter == PHI
+
+    def test_with_backend_shares_compiled_artifacts_and_cache(self):
+        estimator = Estimator(_control_program(), ZZ, LAYOUT)
+        estimator.compile_all()
+        sampled = estimator.with_backend(ShotSamplingBackend(rng=np.random.default_rng(0)))
+        assert sampled.program_set(THETA) is estimator.program_set(THETA)
+        assert sampled.cache is estimator.cache
+        # and newly compiled sets propagate in both directions
+        extra = Parameter("extra")
+        sampled.program_set(extra)
+        assert estimator.program_set(extra) is sampled.program_set(extra)
+
+    def test_default_backend_is_exact(self):
+        assert isinstance(Estimator(_control_program(), ZZ).backend, ExactDensityBackend)

@@ -124,6 +124,33 @@ class TestGradient:
         with pytest.raises(SemanticsError):
             gradient(program, [THETA, PHI], ZZ, _state(), BINDING, program_sets=[])
 
+    def test_gradient_rejects_reordered_program_sets(self):
+        # A reordered list used to be accepted silently and computed the
+        # gradient entries against the wrong parameters.
+        program = _control_program()
+        program_sets = [differentiate_and_compile(program, p) for p in (PHI, THETA)]
+        with pytest.raises(SemanticsError, match="was built for parameter"):
+            gradient(program, [THETA, PHI], ZZ, _state(), BINDING, program_sets=program_sets)
+
+    def test_gradient_rejects_program_sets_for_foreign_parameters(self):
+        program = _control_program()
+        foreign = differentiate_and_compile(program, Parameter("unrelated"))
+        good = differentiate_and_compile(program, THETA)
+        with pytest.raises(SemanticsError):
+            gradient(program, [THETA, PHI], ZZ, _state(), BINDING, program_sets=[good, foreign])
+
+    def test_gradient_accepts_equal_parameter_objects(self):
+        # Parameters are value objects: a structurally equal Parameter built
+        # elsewhere must be accepted for the same position.
+        program = _control_program()
+        program_sets = [
+            differentiate_and_compile(program, Parameter("theta")),
+            differentiate_and_compile(program, Parameter("phi")),
+        ]
+        first = gradient(program, [THETA, PHI], ZZ, _state(), BINDING, program_sets=program_sets)
+        second = gradient(program, [THETA, PHI], ZZ, _state(), BINDING)
+        assert np.allclose(first, second)
+
     def test_gradient_changes_with_the_point(self):
         program = _control_program()
         at_origin = gradient(program, [THETA], ZZ, _state(), ParameterBinding({THETA: 0.0, PHI: 0.0}))

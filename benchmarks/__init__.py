@@ -1,0 +1,9 @@
+"""Benchmark harness package.
+
+The ``__init__`` matters: without it pytest imports ``conftest.py`` as a
+top-level ``conftest`` module while the benchmark modules import
+``benchmarks.conftest`` — two separate module objects, so state registered
+by the modules (reports, machine-readable results) is invisible to the
+session-finish hook that prints and writes it.  As a package, both resolve
+to the same ``benchmarks.conftest`` instance.
+"""

@@ -7,14 +7,43 @@ once per session and printed at the end of the run so that
     pytest benchmarks/ --benchmark-only -s
 
 shows the reproduced tables next to pytest-benchmark's timing output.
+
+Besides the printed reports, every module's results are also written
+*machine-readably*: :func:`record_result` collects per-module payloads, and
+the session-finish hook additionally harvests every pytest-benchmark timing,
+then dumps one ``BENCH_<name>.json`` per module (``test_bench_kernels.py``
+→ ``BENCH_kernels.json``) into the repository root, so the performance
+trajectory of the repo is diffable run over run.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the expensive modules to smoke sizes
+(CI runs the whole suite that way and uploads the JSON artifacts); the
+modules gate their big-size acceptance assertions on full mode.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
 from repro.analysis.resources import analyze_program
 from repro.vqc.generators import table2_suite, table3_suite
+
+#: Repository root — where the BENCH_<name>.json files land.
+BENCH_OUTPUT_DIR = Path(__file__).resolve().parent.parent
+
+#: Smoke mode: small sizes, no big-size acceptance assertions.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() not in ("", "0", "false")
+
+
+def smoke_mode() -> bool:
+    """True when the suite runs at smoke sizes (``REPRO_BENCH_SMOKE=1``)."""
+    return SMOKE
 
 
 #: Values reported in the paper (Tables 2 and 3): label -> (OC, |#∂θ1|, #gates, #lines, #layers, #qubits)
@@ -100,13 +129,93 @@ def table3_instances():
 #: Formatted report blocks registered by the benchmark modules, printed at session end.
 REPORTS: dict[str, str] = {}
 
+#: Machine-readable per-module payloads: module key -> {result key -> value}.
+RESULTS: dict[str, dict] = {}
+
 
 def register_report(title: str, body: str) -> None:
     """Register a formatted table/figure reproduction to print after the run."""
     REPORTS[title] = body
 
 
+def record_result(module: str, key: str, value) -> None:
+    """Record one machine-readable benchmark datum.
+
+    ``module`` is the short module key (``"kernels"`` for
+    ``test_bench_kernels.py``); everything recorded under it ends up in
+    ``BENCH_<module>.json`` at session end.  ``value`` may contain numpy
+    scalars/arrays — they are converted to plain JSON types on write.
+    """
+    RESULTS.setdefault(module, {})[key] = value
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays and tuples to JSON types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(entry) for entry in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(entry) for entry in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def _module_key(fullname: str) -> str | None:
+    """``benchmarks/test_bench_kernels.py::test_x`` → ``"kernels"``."""
+    filename = fullname.split("::", 1)[0]
+    stem = Path(filename).stem
+    prefix = "test_bench_"
+    if stem.startswith(prefix):
+        return stem[len(prefix) :]
+    return None
+
+
+def _harvest_benchmark_timings(session) -> None:
+    """Fold every pytest-benchmark timing into its module's JSON payload."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None:
+        return
+    for metadata in getattr(bench_session, "benchmarks", []):
+        module = _module_key(getattr(metadata, "fullname", "") or "")
+        stats = getattr(metadata, "stats", None)
+        if module is None or stats is None:
+            continue
+        inner = getattr(stats, "stats", stats)
+        try:
+            entry = {
+                "mean_s": float(inner.mean),
+                "min_s": float(inner.min),
+                "rounds": int(getattr(inner, "rounds", len(getattr(inner, "data", [])) or 0)),
+            }
+        except (AttributeError, TypeError, ValueError):  # stats not finalized
+            continue
+        RESULTS.setdefault(module, {}).setdefault("timings", {})[metadata.name] = entry
+
+
+def _write_bench_json() -> None:
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    for module, payload in RESULTS.items():
+        document = {
+            "benchmark": module,
+            "generated_at": stamp,
+            "smoke_mode": SMOKE,
+            "platform": platform.platform(),
+            "results": _jsonable(payload),
+        }
+        path = BENCH_OUTPUT_DIR / f"BENCH_{module}.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
 def pytest_sessionfinish(session, exitstatus):
+    _harvest_benchmark_timings(session)
+    if RESULTS:
+        _write_bench_json()
     if not REPORTS:
         return
     terminal = session.config.pluginmanager.get_plugin("terminalreporter")

@@ -28,7 +28,7 @@ from repro.autodiff.execution import gradient
 from repro.vqc.classifier import build_p1, build_p2
 from repro.vqc.generators import SHARED_PARAMETER, build_instance
 
-from benchmarks.conftest import register_report
+from benchmarks.conftest import record_result, register_report
 
 _cost_rows = {}
 
@@ -92,6 +92,14 @@ class TestProgramCounts:
 
         costs = benchmark.pedantic(lambda: scheme_costs(program, parameter), rounds=1, iterations=1)
         _cost_rows[label] = costs
+        record_result(
+            "ablation_phaseshift",
+            label,
+            {
+                "gadget_programs": costs["gadget"].programs_per_parameter,
+                "phase_shift_circuits": costs["phase_shift"].programs_per_parameter,
+            },
+        )
         lines = []
         for name, entry in _cost_rows.items():
             shift = entry["phase_shift"].programs_per_parameter

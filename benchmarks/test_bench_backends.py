@@ -1,0 +1,254 @@
+"""Backend tiers on measurement-free gradient workloads (the PR-3 tentpole).
+
+The paper's execution phase fans the compiled derivative multiset out over
+independent simulations (Section 7).  This module measures the execution
+tiers that serve that fan-out, on layered hardware-efficient circuits of
+8–14 qubits:
+
+* ``ExactDensityBackend`` — the ``O(4^n)`` reference simulator;
+* ``StatevectorBackend`` — the ``O(2^n)`` pure-state tier the purity
+  analysis unlocks for measurement-free programs;
+* the *batched* statevector path — same tier, whole input batches advanced
+  through each gate with one broadcasted contraction;
+* ``ParallelBackend`` — the process-pool fan-out over either inner tier.
+
+Acceptance floor (asserted at full size, relaxed under
+``REPRO_BENCH_SMOKE``): on a ≥ 10-qubit measurement-free gradient the
+statevector tier is ≥ 10× faster than the density tier while matching its
+values and gradients to 1e-10, and the batched fan-out beats per-point
+statevector calls.  All numbers land in ``BENCH_backends.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lang.builder import rx, rxx, ry, seq
+from repro.lang.parameters import ParameterBinding, ParameterVector
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.statevector import StateVector
+from repro.api import (
+    DenotationCache,
+    Estimator,
+    ExactDensityBackend,
+    ParallelBackend,
+    StatevectorBackend,
+)
+
+from benchmarks.conftest import record_result, register_report, smoke_mode
+
+SMOKE = smoke_mode()
+
+#: Sizes for the forward-value scan (density only up to _DENSITY_MAX).
+VALUE_QUBITS = (4, 6) if SMOKE else (8, 10, 12, 14)
+_DENSITY_MAX = 6 if SMOKE else 10
+#: Size of the headline gradient comparison.
+GRADIENT_QUBITS = 6 if SMOKE else 10
+#: Batch size for the batched-fan-out comparison.  10 qubits: big enough to
+#: be a real register, small enough that per-call numpy dispatch (what the
+#: batching removes) is still a visible fraction of each gate.
+BATCH_SIZE = 4 if SMOKE else 16
+BATCH_QUBITS = 6 if SMOKE else 10
+
+_value_rows: dict[int, dict] = {}
+
+
+def _ladder(num_qubits: int, num_parameters: int = 2):
+    """A measurement-free layered circuit: RX column, RXX chain, RY column.
+
+    Each parameter occurs exactly twice (one RX, one RY), so every
+    derivative multiset compiles to two gadget programs — a fan-out of
+    ``2 · num_parameters`` programs per gradient.
+    """
+    qubits = [f"q{i}" for i in range(num_qubits)]
+    parameters = ParameterVector("t", num_parameters).as_tuple()
+    statements = [rx(parameters[i % num_parameters], qubits[i]) for i in range(num_qubits)]
+    statements += [rxx(0.4, qubits[i], qubits[i + 1]) for i in range(num_qubits - 1)]
+    statements += [
+        ry(parameters[i % num_parameters], qubits[i]) for i in range(num_parameters)
+    ]
+    program = seq(statements)
+    layout = RegisterLayout(qubits)
+    binding = ParameterBinding.from_values(
+        parameters, np.linspace(0.3, 1.1, num_parameters)
+    )
+    observable = np.array([[1, 0], [0, -1]], dtype=complex)
+    return program, layout, parameters, binding, observable, qubits
+
+
+def _estimator(program, observable, qubits, backend) -> Estimator:
+    # cache_size=0 everywhere: these are *simulation* benchmarks, a shared
+    # denotation cache would turn repeats into lookups.
+    return Estimator(
+        program, observable, targets=(qubits[-1],), backend=backend, cache_size=0
+    )
+
+
+def _uncached_statevector() -> StatevectorBackend:
+    return StatevectorBackend(cache=DenotationCache(max_entries=0))
+
+
+def _best_time(function, repeats: int = 3) -> float:
+    function()  # warm compile caches / BLAS pools outside the clock
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _one_time(function) -> float:
+    """A single timed run — for the paths too expensive to repeat."""
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("num_qubits", VALUE_QUBITS)
+def test_value_density_vs_statevector(num_qubits):
+    program, layout, _, binding, observable, qubits = _ladder(num_qubits)
+    state = DensityState.basis_state(layout, {})
+    sv = _estimator(program, observable, qubits, _uncached_statevector())
+    sv_time = _best_time(lambda: sv.value(state, binding))
+    row = {"statevector_s": sv_time}
+    if num_qubits <= _DENSITY_MAX:
+        exact = _estimator(program, observable, qubits, ExactDensityBackend())
+        density_time = _best_time(lambda: exact.value(state, binding))
+        assert abs(exact.value(state, binding) - sv.value(state, binding)) < 1e-10
+        row["density_s"] = density_time
+        row["speedup"] = density_time / sv_time
+    _value_rows[num_qubits] = row
+    record_result("backends", "value", {str(n): r for n, r in sorted(_value_rows.items())})
+
+
+def test_gradient_density_vs_statevector():
+    """The headline comparison: one full gradient on the ≥10-qubit ladder.
+
+    The density gradient is timed with a single run (it costs tens of
+    seconds and its run-to-run spread is far below the ~three orders of
+    magnitude being measured); the compile-time artifacts are warmed by the
+    reference evaluation first, so only execution is on the clock.
+    """
+    program, layout, parameters, binding, observable, qubits = _ladder(GRADIENT_QUBITS)
+    state = DensityState.basis_state(layout, {})
+
+    exact = _estimator(program, observable, qubits, ExactDensityBackend())
+    sv = _estimator(program, observable, qubits, _uncached_statevector())
+
+    reference = exact.gradient(state, binding)  # warms the compiled multisets
+    fast = sv.gradient(state, binding)
+    assert np.allclose(reference, fast, atol=1e-10)
+
+    density_time = _one_time(lambda: exact.gradient(state, binding))
+    sv_time = _best_time(lambda: sv.gradient(state, binding))
+
+    speedup = density_time / sv_time
+    record_result(
+        "backends",
+        "gradient",
+        {
+            "qubits": GRADIENT_QUBITS,
+            "parameters": len(parameters),
+            "density_s": density_time,
+            "statevector_s": sv_time,
+            "statevector_speedup": speedup,
+            "max_abs_gradient_error": float(np.max(np.abs(reference - fast))),
+        },
+    )
+    register_report(
+        "Backend tiers — full gradient on the measurement-free ladder",
+        f"  {GRADIENT_QUBITS} qubits, {len(parameters)} parameters: "
+        f"density {density_time:.2f} s, statevector {sv_time * 1e3:.1f} ms "
+        f"({speedup:.0f}×)",
+    )
+    if not SMOKE:
+        assert speedup >= 10.0
+
+
+def test_batched_fanout_beats_per_point_calls():
+    """One stacked ``gradients`` call vs per-point statevector gradients.
+
+    Inputs are ``StateVector``s — the natural representation for a pure
+    workload (a density input would spend the comparison on the ``O(4^n)``
+    purity extraction rather than on the gate fan-out being measured).
+    """
+    program, layout, parameters, binding, observable, qubits = _ladder(
+        BATCH_QUBITS, num_parameters=4
+    )
+    rng = np.random.default_rng(7)
+    inputs = []
+    for _ in range(BATCH_SIZE):
+        assignment = {q: int(bit) for q, bit in zip(qubits, rng.integers(0, 2, len(qubits)))}
+        inputs.append((StateVector.basis_state(layout, assignment), binding))
+
+    batched = _estimator(program, observable, qubits, _uncached_statevector())
+    per_point = _estimator(program, observable, qubits, _uncached_statevector())
+
+    rows = batched.gradients(inputs)
+    loop_rows = np.array([per_point.gradient(state, b) for state, b in inputs])
+    assert np.allclose(rows, loop_rows, atol=1e-10)
+
+    batched_time = _best_time(lambda: batched.gradients(inputs))
+    per_point_time = _best_time(
+        lambda: [per_point.gradient(state, b) for state, b in inputs]
+    )
+    record_result(
+        "backends",
+        "batched_fanout",
+        {
+            "qubits": BATCH_QUBITS,
+            "batch_size": BATCH_SIZE,
+            "parameters": len(parameters),
+            "batched_s": batched_time,
+            "per_point_s": per_point_time,
+            "speedup": per_point_time / batched_time,
+        },
+    )
+    register_report(
+        "Backend tiers — batched derivative fan-out vs per-point calls",
+        f"  {BATCH_QUBITS} qubits × {BATCH_SIZE} inputs × {len(parameters)} parameters: "
+        f"per-point {per_point_time * 1e3:.0f} ms, batched {batched_time * 1e3:.0f} ms "
+        f"({per_point_time / batched_time:.1f}×)",
+    )
+    if not SMOKE:  # tiny smoke sizes can invert under CI scheduler noise
+        assert batched_time < per_point_time
+
+
+def test_parallel_pool_matches_inline_on_batches():
+    """The pool fan-out is bit-compatible with inline density evaluation."""
+    program, layout, parameters, binding, observable, qubits = _ladder(
+        4 if SMOKE else 8
+    )
+    rng = np.random.default_rng(3)
+    inputs = []
+    for _ in range(2 if SMOKE else 6):
+        assignment = {q: int(bit) for q, bit in zip(qubits, rng.integers(0, 2, len(qubits)))}
+        inputs.append((DensityState.basis_state(layout, assignment), binding))
+
+    inline = _estimator(program, observable, qubits, ExactDensityBackend())
+    pooled = _estimator(program, observable, qubits, ParallelBackend(ExactDensityBackend()))
+
+    inline_time = _best_time(lambda: inline.gradients(inputs), repeats=2)
+    start = time.perf_counter()
+    pool_rows = pooled.gradients(inputs)
+    first_pool_s = time.perf_counter() - start  # includes worker start-up
+    pool_time = _best_time(lambda: pooled.gradients(inputs), repeats=2)
+
+    assert np.allclose(pool_rows, inline.gradients(inputs), atol=1e-12)
+    record_result(
+        "backends",
+        "process_pool",
+        {
+            "qubits": len(qubits),
+            "batch_size": len(inputs),
+            "inline_s": inline_time,
+            "pool_s": pool_time,
+            "pool_first_call_s": first_pool_s,
+            "speedup": inline_time / pool_time,
+        },
+    )

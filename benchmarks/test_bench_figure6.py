@@ -46,7 +46,7 @@ def _train(classifier, dataset, epochs=EPOCHS):
 
 
 def _register_curves():
-    from benchmarks.conftest import register_report
+    from benchmarks.conftest import record_result, register_report
 
     lines = [f"squared loss per epoch ({EPOCHS} epochs, learning rate {LEARNING_RATE})"]
     for name, result in _results.items():
@@ -55,6 +55,16 @@ def _register_curves():
         lines.append(
             f"  {name:20s} final loss {result.final_loss:.4f}, "
             f"final accuracy {result.accuracies[-1]:.2f}"
+        )
+        record_result(
+            "figure6",
+            name,
+            {
+                "epochs": EPOCHS,
+                "learning_rate": LEARNING_RATE,
+                "losses": list(result.losses),
+                "accuracies": list(result.accuracies),
+            },
         )
     lines.append(
         "  paper (1000 epochs): P1 plateaus (minimum 0.5 on its loss scale, 50% accuracy); "

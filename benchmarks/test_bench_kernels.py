@@ -25,10 +25,10 @@ from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
 from repro.sim.statevector import StateVector
 
-from benchmarks.conftest import register_report
+from benchmarks.conftest import record_result, register_report, smoke_mode
 
-DENSITY_QUBITS = (4, 6, 8, 10)
-STATEVECTOR_QUBITS = (8, 10, 12)
+DENSITY_QUBITS = (4, 6) if smoke_mode() else (4, 6, 8, 10)
+STATEVECTOR_QUBITS = (6, 8) if smoke_mode() else (8, 10, 12)
 
 _density_rows: dict[int, tuple[float, float]] = {}
 _vector_rows: dict[int, tuple[float, float]] = {}
@@ -101,6 +101,18 @@ def test_register_kernel_report():
                 f"{num_qubits:>5d} {embed_time * 1e3:>12.3f} {kernel_time * 1e3:>12.3f} "
                 f"{embed_time / kernel_time:>8.1f}x"
             )
+        record_result(
+            "kernels",
+            title,
+            {
+                str(num_qubits): {
+                    "embed_ms": rows[num_qubits][0] * 1e3,
+                    "kernel_ms": rows[num_qubits][1] * 1e3,
+                    "speedup": rows[num_qubits][0] / rows[num_qubits][1],
+                }
+                for num_qubits in sorted(rows)
+            },
+        )
     register_report(
         "Kernel speedup — 1-qubit gate, embed path vs contraction kernel",
         "\n".join(lines),

@@ -16,7 +16,7 @@ from repro.analysis.verification import check_resource_bound
 from repro.vqc.classifier import build_p1, build_p2
 from repro.vqc.generators import build_instance, table3_suite
 
-from benchmarks.conftest import register_report
+from benchmarks.conftest import record_result, register_report
 
 
 def test_bound_on_every_table3_instance(benchmark):
@@ -37,6 +37,11 @@ def test_bound_on_every_table3_instance(benchmark):
         else:
             assert count < oc, f"{label}: while variants prune aborting unrollings"
         lines.append(f"{label:10s} {oc:6d} {count:8d} {oc - count:7d}")
+        record_result(
+            "resource_bound",
+            label,
+            {"OC": oc, "derivative_programs": count, "slack": oc - count},
+        )
     register_report(
         "Proposition 7.2 — occurrence count vs non-aborting derivative programs",
         "\n".join(lines),

@@ -19,7 +19,13 @@ import pytest
 from repro.analysis.resources import derivative_program_count, occurrence_count
 from repro.vqc.generators import build_instance
 
-from benchmarks.conftest import PAPER_TABLE2, format_table, measured_row, register_report
+from benchmarks.conftest import (
+    PAPER_TABLE2,
+    format_table,
+    measured_row,
+    record_result,
+    register_report,
+)
 
 #: (family, scale, variant) for the twelve Table 2 rows.
 TABLE2_SPECS = [
@@ -45,6 +51,16 @@ def test_table2_row(benchmark, family, scale, variant):
     register_report(
         "Table 2 — selective compiler output (measured/paper)",
         format_table(_collected_rows, PAPER_TABLE2),
+    )
+    record_result(
+        "table2",
+        instance.label,
+        dict(
+            zip(
+                ("OC", "derivative_programs", "gates", "lines", "layers", "qubits"),
+                row,
+            )
+        ),
     )
 
     oc = occurrence_count(instance.program, instance.shared_parameter)

@@ -16,7 +16,13 @@ import pytest
 from repro.analysis.resources import derivative_program_count, occurrence_count
 from repro.vqc.generators import build_instance, table3_suite
 
-from benchmarks.conftest import PAPER_TABLE3, format_table, measured_row, register_report
+from benchmarks.conftest import (
+    PAPER_TABLE3,
+    format_table,
+    measured_row,
+    record_result,
+    register_report,
+)
 
 SMALL_SPECS = [
     (family, "S", variant)
@@ -51,6 +57,16 @@ def test_table3_full_suite_rows(benchmark):
     for label, row in rows.items():
         assert row[1] <= row[0], f"{label}: |#∂θ1| exceeds OC"
         assert row[5] == PAPER_TABLE3[label][5], f"{label}: qubit count differs from the paper"
+        record_result(
+            "table3",
+            label,
+            dict(
+                zip(
+                    ("OC", "derivative_programs", "gates", "lines", "layers", "qubits"),
+                    row,
+                )
+            ),
+        )
     register_report(
         "Table 3 — compiler output on all benchmark instances (measured/paper)",
         format_table(rows, PAPER_TABLE3),

@@ -7,7 +7,11 @@
 * :mod:`repro.analysis.verification` — checks of the paper's propositions on
   concrete programs (Prop. 3.1 operational/denotational agreement,
   Prop. 4.2 compilation consistency, Prop. 7.2 resource bound), used by the
-  test-suite and the resource-bound benchmark.
+  test-suite and the resource-bound benchmark;
+* :mod:`repro.analysis.purity` — the static purity analysis deciding which
+  programs are measurement-free (statevector-simulable from a pure input),
+  consulted by :class:`repro.api.StatevectorBackend` to pick the ``O(2^n)``
+  pure-state execution tier over the ``O(4^n)`` density simulator.
 """
 
 from repro.analysis.resources import (
@@ -23,8 +27,16 @@ from repro.analysis.verification import (
     check_resource_bound,
     check_operational_denotational_agreement,
 )
+from repro.analysis.purity import (
+    PurityReport,
+    is_statevector_simulable,
+    purity_report,
+)
 
 __all__ = [
+    "PurityReport",
+    "is_statevector_simulable",
+    "purity_report",
     "occurrence_count",
     "derivative_program_count",
     "gate_count",

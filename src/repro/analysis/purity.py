@@ -1,0 +1,122 @@
+"""Purity analysis: which programs are statevector-simulable?
+
+The density-matrix simulator is the reference substrate because it
+represents probabilistic branching exactly — but it pays ``O(4^n)`` memory
+and ``O(2^k · 4^n)`` per gate.  Most VQC workloads (the Figure 6
+classifiers, the Table 2/3 circuit instances and the non-aborting members
+of their derivative multisets) never branch: they are straight-line
+sequences of unitaries, so a *pure* input stays pure and ``O(2^n)``
+amplitudes suffice.
+
+This module decides, statically and per program, whether ``[[P]]`` maps
+pure states to pure states:
+
+* ``case`` and ``while`` guards measure the register — the output is a
+  probabilistic mixture of branches, hence mixed in general;
+* the additive choice ``+`` has a multiset semantics, not a single
+  pure-state trajectory;
+* a *mid-circuit* ``q := |0⟩`` resets a variable that earlier statements
+  may have entangled with the rest of the register — the reset channel
+  then produces a mixed marginal.  A *leading* initialize (no earlier
+  statement touched the variable) is allowed: on the product-form inputs
+  the estimation pipeline feeds in, it keeps the state pure, and the
+  pure-state evaluator still verifies the entanglement condition at
+  runtime (raising :class:`~repro.errors.PurityError` on violation);
+* ``abort``, ``skip`` and unitary applications preserve purity trivially
+  (``abort`` yields the zero vector, which represents the zero partial
+  density operator exactly).
+
+The verdict is memoized by program identity — ASTs are immutable and the
+backends consult the analysis on every call of the execution hot path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+
+__all__ = ["PurityReport", "purity_report", "is_statevector_simulable"]
+
+
+@dataclass(frozen=True)
+class PurityReport:
+    """The verdict of the purity analysis on one program.
+
+    ``statevector_simulable`` is the headline answer; ``reason`` names the
+    first blocking construct when it is ``False`` (for diagnostics and
+    error messages) and is ``None`` otherwise.
+    """
+
+    statevector_simulable: bool
+    reason: str | None = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience only
+        return self.statevector_simulable
+
+
+def _scan(program: Program, touched: set[str]) -> str | None:
+    """Walk the program in execution order; return the first purity blocker.
+
+    ``touched`` accumulates the variables earlier statements may have acted
+    on, so that a ``q := |0⟩`` is classified as leading (allowed) or
+    mid-circuit (blocking).
+    """
+    if isinstance(program, (Abort, Skip)):
+        return None
+    if isinstance(program, Init):
+        if program.qubit in touched:
+            return (
+                f"mid-circuit initialize of {program.qubit!r} "
+                "(the reset channel on a possibly-entangled variable mixes the state)"
+            )
+        touched.add(program.qubit)
+        return None
+    if isinstance(program, UnitaryApp):
+        touched.update(program.qubits)
+        return None
+    if isinstance(program, Seq):
+        return _scan(program.first, touched) or _scan(program.second, touched)
+    if isinstance(program, Case):
+        return f"measurement-controlled case on {list(program.qubits)}"
+    if isinstance(program, While):
+        return f"bounded while guard on {list(program.qubits)}"
+    if isinstance(program, Sum):
+        return "additive choice '+' (multiset semantics)"
+    return f"unknown program node {type(program).__name__}"
+
+
+#: FIFO-bounded memo of purity verdicts; entries pin their program object so
+#: an ``id`` can never be recycled while its key is live (same convention as
+#: the denotation cache).
+_REPORT_MEMO: "OrderedDict[int, tuple[Program, PurityReport]]" = OrderedDict()
+_REPORT_MEMO_LIMIT = 8192
+
+
+def purity_report(program: Program) -> PurityReport:
+    """Analyze one program; memoized by program identity."""
+    entry = _REPORT_MEMO.get(id(program))
+    if entry is not None and entry[0] is program:
+        return entry[1]
+    reason = _scan(program, set())
+    report = PurityReport(statevector_simulable=reason is None, reason=reason)
+    while len(_REPORT_MEMO) >= _REPORT_MEMO_LIMIT:
+        _REPORT_MEMO.popitem(last=False)
+    _REPORT_MEMO[id(program)] = (program, report)
+    return report
+
+
+def is_statevector_simulable(program: Program) -> bool:
+    """``True`` when ``[[P]]`` maps pure states to pure states (see module docs)."""
+    return purity_report(program).statevector_simulable

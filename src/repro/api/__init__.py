@@ -14,6 +14,10 @@ execute pipeline (Section 7)::
     sampled = estimator.with_backend(ShotSamplingBackend(precision=0.05))
     noisy_grad = sampled.gradient(state, binding)      # O(m²/δ²) shots, same cache
 
+    fast = Estimator(program, observable, backend="auto")
+    fast_grad = fast.gradient(state, binding)          # statevector tier when the
+                                                       # purity analysis allows it
+
 The estimator owns the compile-time artifacts (derivative program multisets,
 built lazily, once per parameter) and a denotation cache keyed on
 ``(compiled program, binding, input state)``; backends implement only the
@@ -29,9 +33,11 @@ from repro.api.backends import (
     ExactDensityBackend,
     ObservableSpec,
     ShotSamplingBackend,
+    StatevectorBackend,
 )
 from repro.api.cache import CacheStats, DenotationCache
-from repro.api.estimator import Estimator, ordered_parameters
+from repro.api.estimator import Estimator, ordered_parameters, resolve_backend
+from repro.api.parallel import ParallelBackend
 
 __all__ = [
     "Backend",
@@ -40,6 +46,9 @@ __all__ = [
     "Estimator",
     "ExactDensityBackend",
     "ObservableSpec",
+    "ParallelBackend",
     "ShotSamplingBackend",
+    "StatevectorBackend",
     "ordered_parameters",
+    "resolve_backend",
 ]

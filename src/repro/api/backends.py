@@ -9,39 +9,50 @@ that execution half; the :class:`~repro.api.Estimator` owns the
 compile-time artifacts and the denotation cache and hands every backend the
 same cached ``denote`` callable, so switching backends never re-simulates.
 
-Two backends ship today:
+Three backends ship today:
 
 * :class:`ExactDensityBackend` — the exact readout (the historical
   ``DerivativeProgramSet.evaluate`` path);
 * :class:`ShotSamplingBackend` — the ``O(m²/δ²)`` sampling scheme (the
   historical ``evaluate_sampled`` path), now also supporting *local*
-  observables by spectrally decomposing the small target operator.
+  observables by spectrally decomposing the small target operator;
+* :class:`StatevectorBackend` — the pure-state execution tier: programs the
+  purity analysis certifies as measurement-free are simulated on ``O(2^n)``
+  amplitudes instead of ``O(4^n)`` density entries, batches of inputs
+  advance through each gate with one broadcasted contraction, and anything
+  the analysis rejects (or any mixed input) falls back to the exact density
+  path per program.
 
-The protocol is deliberately small and batch-aware: a statevector backend
-for measurement-free programs only needs to override :meth:`Backend.value`
-with a cheaper simulation, and a parallel executor only needs to override
-the ``*_batch`` hooks to fan requests out to workers.
+The protocol is deliberately small and batch-aware: the statevector backend
+overrides the ``*_batch`` hooks to stack same-binding inputs, and a parallel
+executor (:class:`repro.api.ParallelBackend`) only overrides the same hooks
+to fan requests out to worker processes.
 """
 
 from __future__ import annotations
 
 import abc
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import SemanticsError
+from repro.errors import PurityError, SemanticsError
 from repro.lang.ast import Program
 from repro.lang.parameters import ParameterBinding
 from repro.linalg.observables import Observable
 from repro.sim import kernels
 from repro.sim.density import DensityState
+from repro.sim.pure import denote_amplitude_batch
+from repro.sim.statevector import StateVector
 from repro.sim.shots import (
     estimate_distribution_sum,
     normalized_distribution,
 )
+from repro.analysis.purity import is_statevector_simulable
 from repro.autodiff.gadgets import ANCILLA_OBSERVABLE
+from repro.api.cache import DenotationCache, binding_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.autodiff.execution import DerivativeProgramSet
@@ -124,6 +135,32 @@ def _plain_denote(program: Program, state: DensityState, binding: ParameterBindi
     from repro.semantics import denotational
 
     return denotational.denote(program, state, binding)
+
+
+def _ensure_density(state: "DensityState | StateVector") -> DensityState:
+    """Lift a pure input to the density representation (identity on density)."""
+    if isinstance(state, DensityState):
+        return state
+    return DensityState.from_pure(state.layout, state.amplitudes)
+
+
+#: id(observable matrix) -> (pinned matrix, Z_A ⊗ O).  The estimator passes
+#: the same matrix object for every program of every derivative call, so the
+#: combined readout operator is built once instead of once per program.
+_COMBINED_MEMO: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_COMBINED_MEMO_LIMIT = 64
+
+
+def _ancilla_combined(matrix: np.ndarray) -> np.ndarray:
+    """``Z_A ⊗ O`` for a (small, targets-local) observable matrix, memoized."""
+    entry = _COMBINED_MEMO.get(id(matrix))
+    if entry is not None and entry[0] is matrix:
+        return entry[1]
+    combined = np.kron(ANCILLA_OBSERVABLE, matrix)
+    if len(_COMBINED_MEMO) >= _COMBINED_MEMO_LIMIT:
+        _COMBINED_MEMO.clear()
+    _COMBINED_MEMO[id(matrix)] = (matrix, combined)
+    return combined
 
 
 class Backend(abc.ABC):
@@ -223,6 +260,7 @@ class ExactDensityBackend(Backend):
         *,
         denote: DenoteFn = _plain_denote,
     ) -> float:
+        state = _ensure_density(state)
         output = denote(program, state, binding)
         if observable.targets is None:
             return output.expectation(observable.matrix)
@@ -237,22 +275,63 @@ class ExactDensityBackend(Backend):
         *,
         denote: DenoteFn = _plain_denote,
     ) -> float:
+        state = _ensure_density(state)
         observable.validate_against(state)
         extended = state.extended(program_set.ancilla, dim=2, front=True)
         total = 0.0
-        if observable.targets is not None:
-            combined = np.kron(ANCILLA_OBSERVABLE, observable.matrix)
-            combined_targets = (program_set.ancilla,) + observable.targets
-            for program in program_set.nonaborting_programs():
-                output = denote(program, extended, binding)
-                total += output.expectation(combined, combined_targets)
-            return total
         for program in program_set.nonaborting_programs():
-            output = denote(program, extended, binding)
-            total += kernels.two_factor_expectation_density(
-                output.matrix, 2, ANCILLA_OBSERVABLE, observable.matrix
+            total += self.derivative_term(
+                program, program_set, observable, extended, binding, denote=denote
             )
         return total
+
+    @staticmethod
+    def derivative_term(
+        program: Program,
+        program_set: "DerivativeProgramSet",
+        observable: ObservableSpec,
+        extended: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        """One compiled program's contribution ``tr((Z_A ⊗ O)[[P'_i]](|0⟩⟨0| ⊗ ρ))``.
+
+        ``extended`` is the ancilla-extended input state.  Exposed separately
+        so the purity-aware statevector tier can fall back to the exact
+        density readout *per program* when a multiset mixes measurement-free
+        members with branching ones.
+        """
+        output = denote(program, extended, binding)
+        if observable.targets is not None:
+            return output.expectation(
+                _ancilla_combined(observable.matrix),
+                (program_set.ancilla,) + observable.targets,
+            )
+        return kernels.two_factor_expectation_density(
+            output.matrix, 2, ANCILLA_OBSERVABLE, observable.matrix
+        )
+
+
+#: Spectral decompositions shared across every :class:`ShotSamplingBackend`
+#: instance, LRU-keyed on the observable's bytes: rebuilding an estimator
+#: (the shims build one per call) must not re-diagonalize the same matrix.
+_SPECTRAL_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_SPECTRAL_CACHE_LIMIT = 64
+
+
+def _spectral_decomposition(matrix: np.ndarray):
+    """Value-keyed module-level LRU over ``Observable.spectral_measurement``."""
+    key = (matrix.shape, matrix.tobytes())
+    entry = _SPECTRAL_CACHE.get(key)
+    if entry is not None:
+        _SPECTRAL_CACHE.move_to_end(key)
+        return entry
+    measurement, eigenvalues = Observable(np.asarray(matrix)).spectral_measurement()
+    while len(_SPECTRAL_CACHE) >= _SPECTRAL_CACHE_LIMIT:
+        _SPECTRAL_CACHE.popitem(last=False)
+    _SPECTRAL_CACHE[key] = (measurement, eigenvalues)
+    return measurement, eigenvalues
 
 
 class ShotSamplingBackend(Backend):
@@ -299,17 +378,21 @@ class ShotSamplingBackend(Backend):
         )
 
     def _spectral(self, matrix: np.ndarray):
-        """Spectrally decompose the observable once per matrix object.
+        """Spectrally decompose the observable once per matrix *value*.
 
-        The estimator passes the same :class:`ObservableSpec` (hence the
-        same matrix object) for every point and parameter, so the ``O(8^n)``
-        eigendecomposition is memoized by identity — entries pin their
-        matrix so an ``id`` can never be recycled while its key is live.
+        Two tiers: a per-instance identity memo (the estimator passes the
+        same matrix object for every point and parameter, so the hot lookup
+        never hashes the matrix bytes) in front of the module-level
+        value-keyed LRU shared across *all* backend instances — rebuilding
+        an estimator, as the legacy shims do per call, reuses the same
+        ``O(8^n)`` eigendecomposition instead of redoing it.  Identity-memo
+        entries pin their matrix so an ``id`` can never be recycled while
+        its key is live.
         """
         entry = self._spectral_memo.get(id(matrix))
         if entry is not None and entry[0] is matrix:
             return entry[1], entry[2]
-        measurement, eigenvalues = Observable(np.asarray(matrix)).spectral_measurement()
+        measurement, eigenvalues = _spectral_decomposition(np.asarray(matrix))
         while len(self._spectral_memo) >= self._SPECTRAL_MEMO_LIMIT:
             self._spectral_memo.pop(next(iter(self._spectral_memo)))
         self._spectral_memo[id(matrix)] = (matrix, measurement, eigenvalues)
@@ -324,6 +407,7 @@ class ShotSamplingBackend(Backend):
         *,
         denote: DenoteFn = _plain_denote,
     ) -> float:
+        state = _ensure_density(state)
         observable.validate_against(state)
         output = denote(program, state, binding)
         if observable.targets is None:
@@ -357,6 +441,7 @@ class ShotSamplingBackend(Backend):
         *,
         denote: DenoteFn = _plain_denote,
     ) -> float:
+        state = _ensure_density(state)
         observable.validate_against(state)
         measurement, eigenvalues = self._spectral(observable.matrix)
         ancilla_signs = np.real(np.diag(ANCILLA_OBSERVABLE))
@@ -389,4 +474,269 @@ class ShotSamplingBackend(Backend):
             precision=self.precision,
             confidence=self.confidence,
             rng=self.rng,
+        )
+
+
+class StatevectorBackend(Backend):
+    """The pure-state execution tier: ``O(2^n)`` amplitudes where they suffice.
+
+    For programs the purity analysis (:mod:`repro.analysis.purity`)
+    certifies as measurement-free, and for pure input states, every readout
+    is computed on statevectors: ``O(2^k · 2^n)`` per gate instead of the
+    density simulator's ``O(2^k · 4^n)``, and ``O(2^n)`` memory instead of
+    ``O(4^n)``.  Batches — the data points of a training epoch, or the same
+    point under the derivative fan-out — are *stacked*: all same-binding
+    pure inputs advance through each gate with one broadcasted contraction
+    (:func:`repro.sim.kernels.apply_operator_vector_batch`).
+
+    Inputs may be :class:`~repro.sim.density.DensityState` (pure ones are
+    verified rank-1 and their amplitudes extracted, an ``O(4^n)`` check) or
+    :class:`~repro.sim.statevector.StateVector` (amplitudes used directly,
+    no ``O(4^n)`` work anywhere on the path) — every backend accepts both,
+    so callers with pure inputs should prefer ``StateVector``.
+
+    Fallback is per obstacle:
+
+    * a program with ``case``/``while`` guards, an additive ``+``, or a
+      mid-circuit initialize routes to ``fallback`` (default
+      :class:`ExactDensityBackend`), sharing the estimator's density
+      denotation cache through the ``denote`` argument;
+    * a *mixed* input state (rank > 1) routes to ``fallback`` for that
+      input only;
+    * inside a :class:`~repro.autodiff.execution.DerivativeProgramSet`,
+      branching members fall back to the exact density readout *per
+      program* (:meth:`ExactDensityBackend.derivative_term`) while the
+      measurement-free members still take the batched pure path;
+    * a leading initialize whose variable turns out to be entangled with
+      the rest of the register raises
+      :class:`~repro.errors.PurityError` at runtime and demotes that batch
+      to the fallback.
+
+    Pure-path denotations are memoized in a
+    :class:`~repro.api.cache.DenotationCache` keyed on the amplitude
+    stack's bytes (one entry per ``(program, binding, input stack)``).
+    """
+
+    name = "statevector"
+
+    def __init__(
+        self,
+        fallback: Backend | None = None,
+        *,
+        cache: DenotationCache | None = None,
+        atol: float = 1e-10,
+    ):
+        self.fallback = fallback if fallback is not None else ExactDensityBackend()
+        self.atol = float(atol)
+        self._cache = cache if cache is not None else DenotationCache()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"StatevectorBackend(fallback={self.fallback!r})"
+
+    # A backend shipped to a worker process must not drag its cached output
+    # stacks along (and cached program ids would be meaningless there).
+    def __getstate__(self):
+        return {"fallback": self.fallback, "atol": self.atol}
+
+    def __setstate__(self, state):
+        self.fallback = state["fallback"]
+        self.atol = state["atol"]
+        self._cache = DenotationCache()
+
+    @property
+    def cache(self) -> DenotationCache:
+        """The amplitude denotation cache (inspect ``cache.stats`` for hits)."""
+        return self._cache
+
+    # -- pure-path helpers -------------------------------------------------
+
+    def _amplitudes_or_none(self, state: "DensityState | StateVector") -> "np.ndarray | None":
+        if isinstance(state, StateVector):
+            return state.amplitudes
+        try:
+            return state.pure_amplitudes(atol=self.atol)
+        except PurityError:
+            return None
+
+    def _run(self, program, layout, stack, binding):
+        return self._cache.get_or_compute_amplitudes(
+            program,
+            layout,
+            stack,
+            binding,
+            lambda: denote_amplitude_batch(program, layout, stack, binding),
+        )
+
+    @staticmethod
+    def _expectations(stack, layout, observable: ObservableSpec) -> np.ndarray:
+        if observable.targets is None:
+            applied = stack @ observable.matrix.T
+            return np.real(np.einsum("bi,bi->b", np.conj(stack), applied))
+        axes = layout.axes_of(observable.targets)
+        return kernels.expectation_vector_batch(
+            stack, layout.dims, axes, observable.matrix
+        )
+
+    def _group_inputs(self, observable, inputs):
+        """Split inputs into same-``(binding, layout)`` pure groups + fallback rows."""
+        groups: dict = {}
+        fallback_indices: list[int] = []
+        for index, (state, binding) in enumerate(inputs):
+            observable.validate_against(state)
+            amplitudes = self._amplitudes_or_none(state)
+            if amplitudes is None:
+                fallback_indices.append(index)
+                continue
+            key = (binding_key(binding), state.layout.names, state.layout.dims)
+            group = groups.setdefault(key, (binding, state.layout, [], []))
+            group[2].append(index)
+            group[3].append(amplitudes)
+        return list(groups.values()), fallback_indices
+
+    # -- Backend protocol --------------------------------------------------
+
+    def value(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        return self.value_batch(program, observable, [(state, binding)], denote=denote)[0]
+
+    def value_batch(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        inputs: Sequence[tuple[DensityState, ParameterBinding | None]],
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> list[float]:
+        inputs = list(inputs)
+        if not is_statevector_simulable(program):
+            return self.fallback.value_batch(program, observable, inputs, denote=denote)
+        results = [0.0] * len(inputs)
+        groups, fallback_indices = self._group_inputs(observable, inputs)
+        for binding, layout, indices, vectors in groups:
+            stack = np.array(vectors)
+            try:
+                output = self._run(program, layout, stack, binding)
+            except PurityError:
+                fallback_indices.extend(indices)
+                continue
+            values = self._expectations(output, layout, observable)
+            for row, index in enumerate(indices):
+                results[index] = float(values[row])
+        if fallback_indices:
+            fallback_indices.sort()
+            demoted = self.fallback.value_batch(
+                program,
+                observable,
+                [inputs[index] for index in fallback_indices],
+                denote=denote,
+            )
+            for index, value in zip(fallback_indices, demoted):
+                results[index] = value
+        return results
+
+    def derivative(
+        self,
+        program_set: "DerivativeProgramSet",
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        rows = self.derivative_batch(
+            [program_set], observable, [(state, binding)], denote=denote
+        )
+        return rows[0][0]
+
+    def derivative_batch(
+        self,
+        program_sets: Sequence["DerivativeProgramSet"],
+        observable: ObservableSpec,
+        inputs: Sequence[tuple[DensityState, ParameterBinding | None]],
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> list[list[float]]:
+        inputs = list(inputs)
+        rows = [[0.0] * len(program_sets) for _ in inputs]
+        groups, fallback_indices = self._group_inputs(observable, inputs)
+        for binding, layout, indices, vectors in groups:
+            stack = np.array(vectors)
+            # |0⟩_A ⊗ ψ with the ancilla as the leading factor: the original
+            # amplitudes fill the ancilla-0 block.  Built once per group —
+            # only the ancilla *name* differs between program sets, the
+            # extended amplitudes are identical.
+            extended = np.zeros((stack.shape[0], 2 * stack.shape[1]), dtype=complex)
+            extended[:, : stack.shape[1]] = stack
+            # Demotion support: an input's ancilla-extended density lift is
+            # column-independent up to the ancilla's *name*, so the O(4^n)
+            # lift + Kronecker happen once per input, not once per column.
+            extended_matrices: dict[int, np.ndarray] = {}
+            for column, program_set in enumerate(program_sets):
+                extended_layout = layout.extended(program_set.ancilla, 2, front=True)
+                demoted_programs = []
+                for program in program_set.nonaborting_programs():
+                    if not is_statevector_simulable(program):
+                        demoted_programs.append(program)
+                        continue
+                    try:
+                        output = self._run(program, extended_layout, extended, binding)
+                    except PurityError:
+                        demoted_programs.append(program)
+                        continue
+                    terms = self._derivative_terms(
+                        output, extended_layout, program_set, observable
+                    )
+                    for row, index in enumerate(indices):
+                        rows[index][column] += float(terms[row])
+                if demoted_programs:
+                    # Per-program exact-density fallback (still through the
+                    # estimator's cached denote) for the branching members.
+                    for index in indices:
+                        matrix = extended_matrices.get(index)
+                        if matrix is None:
+                            ancilla_zero = np.zeros((2, 2), dtype=complex)
+                            ancilla_zero[0, 0] = 1.0
+                            matrix = np.kron(
+                                ancilla_zero, _ensure_density(inputs[index][0]).matrix
+                            )
+                            extended_matrices[index] = matrix
+                        extended_density = DensityState(extended_layout, matrix)
+                        for program in demoted_programs:
+                            rows[index][column] += ExactDensityBackend.derivative_term(
+                                program,
+                                program_set,
+                                observable,
+                                extended_density,
+                                inputs[index][1],
+                                denote=denote,
+                            )
+        if fallback_indices:
+            fallback_indices.sort()
+            demoted = self.fallback.derivative_batch(
+                program_sets,
+                observable,
+                [inputs[index] for index in fallback_indices],
+                denote=denote,
+            )
+            for position, index in enumerate(fallback_indices):
+                rows[index] = demoted[position]
+        return rows
+
+    @staticmethod
+    def _derivative_terms(output, extended_layout, program_set, observable) -> np.ndarray:
+        """Per-row readout ``⟨ψ|(Z_A ⊗ O)|ψ⟩`` on the extended output stack."""
+        if observable.targets is not None:
+            axes = extended_layout.axes_of((program_set.ancilla,) + observable.targets)
+            return kernels.expectation_vector_batch(
+                output, extended_layout.dims, axes, _ancilla_combined(observable.matrix)
+            )
+        return kernels.two_factor_expectation_vector_batch(
+            output, 2, ANCILLA_OBSERVABLE, observable.matrix
         )

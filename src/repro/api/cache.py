@@ -15,6 +15,12 @@ structural hashing would walk the whole AST per lookup — and every cache
 entry pins its program object so an ``id`` can never be recycled while a
 key that mentions it is still live.
 
+Besides density states, the cache also keys *pure-state amplitude arrays*
+(:meth:`DenotationCache.get_or_compute_amplitudes`): the statevector
+execution tier memoizes whole ``(B, d^n)`` batches per
+``(program, binding, input stack)``, in the same LRU, under a key tagged so
+a density entry and an amplitude entry can never collide.
+
 Eviction is LRU with a bounded entry count; an epoch of the Figure 6
 training loop needs one entry per (program, data point), so the default
 bound comfortably holds a full epoch's working set while keeping the worst
@@ -80,8 +86,22 @@ def binding_key(binding: ParameterBinding | None) -> Hashable:
 
 
 def state_key(state: DensityState) -> Hashable:
-    """Value key of a density state: layout names/dims plus the matrix bytes."""
+    """Value key of a density state: layout names/dims plus the matrix bytes.
+
+    Only density states reach the denotation cache — backends lift pure
+    inputs to the density representation *before* denoting (amplitude
+    stacks have their own keying, :func:`amplitude_key`).
+    """
     return (state.layout.names, state.layout.dims, state.matrix.tobytes())
+
+
+def amplitude_key(layout, amplitudes) -> Hashable:
+    """Value key of a pure-state amplitude stack over a register layout.
+
+    The ``"sv"`` tag keeps amplitude keys disjoint from density keys even
+    when a ``(B, d^n)`` stack and a ``d^n × d^n`` matrix share their bytes.
+    """
+    return ("sv", layout.names, layout.dims, amplitudes.shape, amplitudes.tobytes())
 
 
 @dataclass
@@ -111,10 +131,47 @@ class DenotationCache:
         :class:`DensityState` is shared between callers and must be treated
         as immutable — which every state transformer already does.
         """
-        if state.matrix.size > self.max_state_elements:
+        return self._lookup(
+            program, state.matrix.size, binding, lambda: state_key(state), compute
+        )
+
+    def get_or_compute_amplitudes(
+        self,
+        program: Program,
+        layout,
+        amplitudes,
+        binding: ParameterBinding | None,
+        compute: Callable[[], "object"],
+    ) -> "object":
+        """Amplitude-stack variant of :meth:`get_or_compute`.
+
+        Keys a whole ``(B, d^n)`` pure-state batch by its bytes; the cached
+        value is whatever ``compute`` returns (an output amplitude stack).
+        The same size bypass applies — an oversized stack is neither hashed
+        nor stored.
+        """
+        return self._lookup(
+            program,
+            amplitudes.size,
+            binding,
+            lambda: amplitude_key(layout, amplitudes),
+            compute,
+        )
+
+    def _lookup(
+        self,
+        program: Program,
+        size: int,
+        binding: ParameterBinding | None,
+        make_key: Callable[[], Hashable],
+        compute: Callable[[], "object"],
+    ) -> "object":
+        # The key is built lazily: a bypassed (oversized, or cache-disabled)
+        # lookup must never pay for hashing the state's bytes.
+        if size > self.max_state_elements or self.max_entries <= 0:
             self.stats.misses += 1
             return compute()
-        key = (id(program), binding_key(binding), state_key(state))
+        key = (id(program), binding_key(binding), make_key())
         entry = self._entries.get(key)
         if entry is not None:
             self.stats.hits += 1
@@ -122,11 +179,10 @@ class DenotationCache:
             return entry[1]
         self.stats.misses += 1
         output = compute()
-        if self.max_entries > 0:
-            while len(self._entries) >= self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-            self._entries[key] = (program, output)
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = (program, output)
         return output
 
     def clear(self) -> None:

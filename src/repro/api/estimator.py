@@ -35,12 +35,65 @@ from repro.lang.parameters import Parameter, ParameterBinding
 from repro.linalg.observables import Observable
 from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
+from repro.sim.statevector import StateVector
 from repro.semantics import denotational
-from repro.api.backends import Backend, ExactDensityBackend, ObservableSpec
+from repro.api.backends import (
+    Backend,
+    ExactDensityBackend,
+    ObservableSpec,
+    ShotSamplingBackend,
+    StatevectorBackend,
+)
 from repro.api.cache import DEFAULT_MAX_ENTRIES, CacheStats, DenotationCache
 
-#: A batched input point: the state ρ and the parameter point θ*.
-EstimatorInput = tuple[DensityState, "ParameterBinding | None"]
+#: A batched input point: the state ρ (a :class:`DensityState`, or a pure
+#: :class:`~repro.sim.statevector.StateVector` — backends accept both and
+#: pure inputs skip the ``O(4^n)`` density representation entirely) and the
+#: parameter point θ*.
+EstimatorInput = tuple["DensityState | StateVector", "ParameterBinding | None"]
+
+#: What the ``backend=`` argument of :class:`Estimator` accepts.
+BackendSpec = "Backend | str | None"
+
+
+def resolve_backend(backend: "Backend | str | None") -> Backend:
+    """Turn a backend spec — an instance, a name, or ``None`` — into a backend.
+
+    Recognized names:
+
+    * ``"auto"`` — purity-aware selection: the statevector tier for
+      measurement-free programs on pure inputs, the exact density simulator
+      for everything else (per program / per input, see
+      :class:`~repro.api.backends.StatevectorBackend`);
+    * ``"statevector"`` — same tier, spelled explicitly;
+    * ``"exact-density"`` (aliases ``"exact"``, ``"density"``) — the exact
+      density-matrix readout;
+    * ``"shot-sampling"`` (alias ``"shots"``) — the Chernoff-bounded
+      sampling scheme at default precision/confidence;
+    * ``"parallel"`` — a process-pool fan-out over the ``"auto"`` tier.
+
+    ``None`` defaults to the exact density backend (the reference
+    semantics, and the only spelling that never changes arithmetic).
+    """
+    if backend is None:
+        return ExactDensityBackend()
+    if isinstance(backend, Backend):
+        return backend
+    name = str(backend).lower()
+    if name in ("auto", "statevector"):
+        return StatevectorBackend()
+    if name in ("exact-density", "exact", "density"):
+        return ExactDensityBackend()
+    if name in ("shot-sampling", "shots"):
+        return ShotSamplingBackend()
+    if name == "parallel":
+        from repro.api.parallel import ParallelBackend
+
+        return ParallelBackend(StatevectorBackend())
+    raise SemanticsError(
+        f"unknown backend {backend!r}; expected a Backend instance or one of "
+        "'auto', 'statevector', 'exact-density', 'shot-sampling', 'parallel'"
+    )
 
 
 def ordered_parameters(program: Program) -> tuple[Parameter, ...]:
@@ -85,7 +138,10 @@ class Estimator:
         The gradient axis.  Defaults to the program's parameters in
         first-occurrence order.
     backend:
-        The execution scheme; defaults to
+        The execution scheme — a :class:`~repro.api.backends.Backend`
+        instance or a name accepted by :func:`resolve_backend` (notably
+        ``"auto"``, which picks the pure-state statevector tier whenever
+        the purity analysis and the input state allow it).  Defaults to
         :class:`~repro.api.backends.ExactDensityBackend`.
     cache_size:
         LRU bound of the denotation cache (``0`` disables caching).
@@ -99,7 +155,7 @@ class Estimator:
         *,
         targets: Sequence[str] | None = None,
         parameters: Sequence[Parameter] | None = None,
-        backend: Backend | None = None,
+        backend: "Backend | str | None" = None,
         cache_size: int = DEFAULT_MAX_ENTRIES,
         program_sets: "Mapping[Parameter, object] | None" = None,
         cache: DenotationCache | None = None,
@@ -109,7 +165,7 @@ class Estimator:
             ObservableSpec.coerce(observable, targets) if observable is not None else None
         )
         self.layout = layout
-        self.backend = backend if backend is not None else ExactDensityBackend()
+        self.backend = resolve_backend(backend)
         self._parameters = tuple(parameters) if parameters is not None else None
         self._program_sets: dict[Parameter, object] = (
             dict(program_sets) if program_sets is not None else {}
@@ -208,17 +264,19 @@ class Estimator:
         """The gradient of the observable semantics along ``parameters``.
 
         ``parameters`` defaults to the estimator's full gradient axis; a
-        subset computes (and compiles) only the requested entries.
+        subset computes (and compiles) only the requested entries.  The
+        whole gradient goes through the backend's ``derivative_batch`` hook
+        as one single-point batch, so batching backends stack the
+        derivative fan-out and parallel backends split the parameter axis
+        across workers; the default hook reproduces the historical
+        per-parameter loop exactly.
         """
         parameters = self.parameters if parameters is None else tuple(parameters)
-        spec = self._spec()
-        values = [
-            self.backend.derivative(
-                self.program_set(parameter), spec, state, binding, denote=self._denote
-            )
-            for parameter in parameters
-        ]
-        return np.array(values, dtype=float)
+        program_sets = [self.program_set(parameter) for parameter in parameters]
+        rows = self.backend.derivative_batch(
+            program_sets, self._spec(), [(state, binding)], denote=self._denote
+        )
+        return np.array(rows[0], dtype=float)
 
     def value_and_grad(
         self,
@@ -255,20 +313,22 @@ class Estimator:
         return np.array(rows, dtype=float).reshape(len(batch), len(parameters))
 
     @staticmethod
-    def _coerce_input(point: "EstimatorInput | DensityState") -> EstimatorInput:
-        if isinstance(point, DensityState):
+    def _coerce_input(point) -> EstimatorInput:
+        if isinstance(point, (DensityState, StateVector)):
             return (point, None)
         state, binding = point
         return (state, binding)
 
     # -- backend / cache management ----------------------------------------
 
-    def with_backend(self, backend: Backend) -> "Estimator":
+    def with_backend(self, backend: "Backend | str") -> "Estimator":
         """A sibling estimator on another backend, sharing compiles and cache.
 
-        Denotations are backend-independent (both shipped backends simulate
-        exactly and differ only in the readout), so the sibling reuses this
-        estimator's derivative program sets *and* its denotation cache.
+        ``backend`` may be an instance or any name :func:`resolve_backend`
+        accepts.  Denotations are backend-independent (every shipped backend
+        simulates exactly and differs only in representation or readout), so
+        the sibling reuses this estimator's derivative program sets *and*
+        its density denotation cache.
         """
         sibling = Estimator(
             self.program,

@@ -1,0 +1,242 @@
+"""Process-pool fan-out over any inner backend's batch hooks.
+
+The compiled derivative multisets are embarrassingly parallel: every
+``(program, input state, binding)`` readout is independent of every other
+(Section 7 treats them as separate quantum-device runs).  The
+:class:`ParallelBackend` exploits exactly the ``*_batch`` seam of the
+:class:`~repro.api.backends.Backend` protocol — single-point ``value`` /
+``derivative`` calls delegate inline to the wrapped backend, while batches
+are chunked contiguously across a ``ProcessPoolExecutor``.
+
+Two costs are inherent to the process boundary and worth knowing about:
+
+* the estimator's ``denote`` callable (and its cache) cannot cross into
+  workers; each worker simulates with the plain uncached denotation, so
+  the wrapper pays off when the batch is dominated by *fresh* simulation
+  work — which is what the derivative fan-out on ≥ 8 density qubits looks
+  like.  Small or cache-hot batches are better served inline; batches
+  smaller than ``min_batch_size`` skip the pool entirely.
+* inputs and results are pickled; states are ``O(4^n)`` (density) or
+  ``O(2^n)`` (pure) arrays, negligible against the simulations they seed.
+
+The wrapped backend itself is pickled once per submitted chunk —
+:class:`~repro.api.backends.StatevectorBackend` ships its configuration
+but not its cache (see its ``__getstate__``).
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.lang.ast import Program
+from repro.lang.parameters import ParameterBinding
+from repro.sim.density import DensityState
+from repro.api.backends import (
+    Backend,
+    DenoteFn,
+    ExactDensityBackend,
+    ObservableSpec,
+    _plain_denote,
+)
+
+__all__ = ["ParallelBackend"]
+
+
+def _chunks(items: list, count: int) -> list[list]:
+    """Split ``items`` into at most ``count`` contiguous, near-even chunks."""
+    count = max(1, min(count, len(items)))
+    size, remainder = divmod(len(items), count)
+    result, start = [], 0
+    for position in range(count):
+        stop = start + size + (1 if position < remainder else 0)
+        result.append(items[start:stop])
+        start = stop
+    return result
+
+
+# Workers must be module-level functions so they pickle by reference.
+
+
+def _worker_value_batch(backend, program, observable, chunk):
+    return backend.value_batch(program, observable, chunk)
+
+
+def _worker_derivative_batch(backend, program_sets, observable, chunk):
+    return backend.derivative_batch(program_sets, observable, chunk)
+
+
+class ParallelBackend(Backend):
+    """Fan any inner backend's batch evaluations out to worker processes.
+
+    Parameters
+    ----------
+    inner:
+        The backend doing the actual readouts in each worker; defaults to
+        :class:`~repro.api.backends.ExactDensityBackend`.
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    min_batch_size:
+        Batches smaller than this run inline — forking and pickling cost
+        more than they save on tiny batches.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        inner: Backend | None = None,
+        *,
+        max_workers: int | None = None,
+        min_batch_size: int = 2,
+    ):
+        self.inner = inner if inner is not None else ExactDensityBackend()
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.min_batch_size = int(min_batch_size)
+        self._executor: ProcessPoolExecutor | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ParallelBackend(inner={self.inner!r}, max_workers={self.max_workers})"
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        """Tear the worker pool down (it is re-created lazily on next use)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __getstate__(self):  # a pool cannot be shipped inside another pool
+        state = self.__dict__.copy()
+        state["_executor"] = None
+        return state
+
+    def _chunk_backends(self, count: int) -> list[Backend]:
+        """One inner-backend clone per chunk, with independent RNG streams.
+
+        Pickling ships a *snapshot* of the inner backend to every chunk of
+        every call: a stochastic backend (``ShotSamplingBackend``) would
+        otherwise draw identical "random" samples in every chunk and again
+        on every repeated call — sampling error that never averages out and
+        silently breaks the independence the Chernoff bound assumes.  When
+        the inner backend exposes an ``rng`` slot, each chunk gets a clone
+        seeded from the parent generator (which thereby advances, so
+        repeated calls differ too); an unseeded stochastic backend gets
+        fresh OS-entropy streams (fork would otherwise duplicate the
+        module-level generator state across workers).
+        """
+        if not hasattr(self.inner, "rng"):
+            return [self.inner] * count
+        parent = self.inner.rng
+        if isinstance(parent, np.random.Generator):
+            seeds = parent.integers(0, 2**63, size=count)
+            streams = [np.random.default_rng(int(seed)) for seed in seeds]
+        else:
+            streams = [np.random.default_rng() for _ in range(count)]
+        clones = []
+        for stream in streams:
+            clone = copy.copy(self.inner)
+            clone.rng = stream
+            clones.append(clone)
+        return clones
+
+    # -- single-point calls delegate inline --------------------------------
+
+    def value(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        return self.inner.value(program, observable, state, binding, denote=denote)
+
+    def derivative(
+        self,
+        program_set,
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        return self.inner.derivative(program_set, observable, state, binding, denote=denote)
+
+    # -- the batch seam fans out -------------------------------------------
+
+    def value_batch(
+        self,
+        program: Program,
+        observable: ObservableSpec,
+        inputs: Sequence[tuple[DensityState, ParameterBinding | None]],
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> list[float]:
+        inputs = list(inputs)
+        if len(inputs) < self.min_batch_size or self.max_workers < 2:
+            return self.inner.value_batch(program, observable, inputs, denote=denote)
+        chunks = _chunks(inputs, self.max_workers)
+        futures = [
+            self._pool().submit(_worker_value_batch, backend, program, observable, chunk)
+            for backend, chunk in zip(self._chunk_backends(len(chunks)), chunks)
+        ]
+        results: list[float] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def derivative_batch(
+        self,
+        program_sets,
+        observable: ObservableSpec,
+        inputs: Sequence[tuple[DensityState, ParameterBinding | None]],
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> list[list[float]]:
+        inputs = list(inputs)
+        program_sets = list(program_sets)
+        if (
+            len(inputs) * len(program_sets) < self.min_batch_size
+            or self.max_workers < 2
+        ):
+            return self.inner.derivative_batch(
+                program_sets, observable, inputs, denote=denote
+            )
+        if len(inputs) >= len(program_sets):
+            # Fan out over input points (the data-batch shape of training).
+            chunks = _chunks(inputs, self.max_workers)
+            futures = [
+                self._pool().submit(
+                    _worker_derivative_batch, backend, program_sets, observable, chunk
+                )
+                for backend, chunk in zip(self._chunk_backends(len(chunks)), chunks)
+            ]
+            rows: list[list[float]] = []
+            for future in futures:
+                rows.extend(future.result())
+            return rows
+        # Fan out over parameters (the single-point gradient shape): each
+        # worker computes a column block, concatenated back per row.
+        chunks = _chunks(program_sets, self.max_workers)
+        futures = [
+            self._pool().submit(
+                _worker_derivative_batch, backend, chunk, observable, inputs
+            )
+            for backend, chunk in zip(self._chunk_backends(len(chunks)), chunks)
+        ]
+        blocks = [future.result() for future in futures]
+        return [
+            [value for block in blocks for value in block[row]]
+            for row in range(len(inputs))
+        ]

@@ -31,11 +31,33 @@ def finite_difference_derivative(
     binding: ParameterBinding,
     *,
     step: float = 1e-5,
+    backend=None,
 ) -> float:
-    """Central-difference estimate of ``∂/∂θ_j tr(O[[P(θ)]]ρ)`` at θ*."""
-    evaluate = additive_observable_semantics if program.is_additive() else observable_semantics
-    upper = evaluate(program, observable, state, binding.shifted(parameter, +step))
-    lower = evaluate(program, observable, state, binding.shifted(parameter, -step))
+    """Central-difference estimate of ``∂/∂θ_j tr(O[[P(θ)]]ρ)`` at θ*.
+
+    ``backend`` (any :func:`repro.api.resolve_backend` spec) selects the
+    execution scheme for non-additive programs — ``"auto"`` runs the two
+    shifted evaluations on the statevector tier when the purity analysis
+    allows.  Additive programs always evaluate through the multiset
+    semantics, which has no backend seam.
+    """
+    if program.is_additive():
+        upper = additive_observable_semantics(
+            program, observable, state, binding.shifted(parameter, +step)
+        )
+        lower = additive_observable_semantics(
+            program, observable, state, binding.shifted(parameter, -step)
+        )
+        return (upper - lower) / (2.0 * step)
+    if backend is None:
+        upper = observable_semantics(program, observable, state, binding.shifted(parameter, +step))
+        lower = observable_semantics(program, observable, state, binding.shifted(parameter, -step))
+        return (upper - lower) / (2.0 * step)
+    from repro.api import Estimator
+
+    estimator = Estimator(program, observable, backend=backend, cache_size=0)
+    upper = estimator.value(state, binding.shifted(parameter, +step))
+    lower = estimator.value(state, binding.shifted(parameter, -step))
     return (upper - lower) / (2.0 * step)
 
 
@@ -47,11 +69,14 @@ def finite_difference_gradient(
     binding: ParameterBinding,
     *,
     step: float = 1e-5,
+    backend=None,
 ) -> np.ndarray:
     """Central-difference gradient over several parameters."""
     return np.array(
         [
-            finite_difference_derivative(program, parameter, observable, state, binding, step=step)
+            finite_difference_derivative(
+                program, parameter, observable, state, binding, step=step, backend=backend
+            )
             for parameter in parameters
         ],
         dtype=float,

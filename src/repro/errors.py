@@ -24,6 +24,26 @@ class DimensionMismatchError(LinalgError):
     """Two objects that must share a dimension do not."""
 
 
+class LayoutError(DimensionMismatchError):
+    """A state's array shape disagrees with its register layout.
+
+    Raised instead of silently reinterpreting amplitudes when, for example, a
+    reshape would assume qubit-sized tensor factors on a register that
+    contains qutrits or bounded-integer variables.
+    """
+
+
+class PurityError(LinalgError):
+    """A pure-state (statevector) representation was requested for a mixed state.
+
+    Raised when a :class:`~repro.sim.density.DensityState` with rank > 1 is
+    asked for its amplitudes, or when a reset channel inside a pure-state
+    simulation would produce a mixed output (the reset variable is entangled
+    with the rest of the register).  Purity-aware backends catch this and
+    fall back to the density-matrix path.
+    """
+
+
 class ProgramSyntaxError(ReproError):
     """A program AST or surface-syntax string is malformed."""
 

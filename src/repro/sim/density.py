@@ -28,7 +28,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, LinalgError
+from repro.errors import DimensionMismatchError, LinalgError, PurityError
 from repro.linalg.measurement import Measurement
 from repro.linalg.superop import Superoperator, initialization_channel
 from repro.sim import kernels
@@ -103,6 +103,31 @@ class DensityState:
     def copy(self) -> "DensityState":
         """Return an independent copy of the state."""
         return DensityState(self.layout, self.matrix.copy())
+
+    def pure_amplitudes(self, *, atol: float = 1e-10) -> np.ndarray:
+        """Extract ``|ψ⟩`` when the state is (numerically) rank-1, i.e. pure.
+
+        Purity of a PSD operator is ``tr(ρ²) = (tr ρ)²`` — an ``O(4^n)``
+        element-wise check, far cheaper than simulating on the density
+        representation.  Mixed states (relative defect above ``atol``) raise
+        :class:`~repro.errors.PurityError`; the zero partial operator maps
+        to the zero vector.  The returned vector carries the state's trace
+        as its squared norm and is defined up to a global phase (fixed by
+        the dominant diagonal entry), which no expectation can observe.
+        """
+        trace = self.trace()
+        if trace <= atol:
+            return np.zeros(self.layout.total_dim, dtype=complex)
+        purity = float(np.real(np.einsum("ij,ji->", self.matrix, self.matrix)))
+        defect = trace**2 - purity
+        if defect > atol * trace**2:
+            raise PurityError(
+                f"the density state has rank > 1 (relative purity defect "
+                f"{defect / trace**2:.2e}); no statevector represents it"
+            )
+        diagonal = np.real(np.diag(self.matrix))
+        pivot = int(np.argmax(diagonal))
+        return self.matrix[:, pivot] / np.sqrt(diagonal[pivot])
 
     # -- state transformers -------------------------------------------------------
 

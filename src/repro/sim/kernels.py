@@ -45,17 +45,21 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, LinalgError
+from repro.errors import DimensionMismatchError, LinalgError, PurityError
 
 __all__ = [
     "apply_operator_vector",
+    "apply_operator_vector_batch",
     "conjugate_operator_density",
     "apply_kraus_density",
     "reduced_density",
     "expectation_density",
     "expectation_vector",
+    "expectation_vector_batch",
+    "reset_vector_batch",
     "branch_probabilities_density",
     "two_factor_expectation_density",
+    "two_factor_expectation_vector_batch",
 ]
 
 
@@ -216,6 +220,147 @@ def expectation_vector(
     """Return ``⟨ψ|(O ⊗ I)|ψ⟩`` for a k-local observable without embedding."""
     applied = apply_operator_vector(amplitudes, dims, axes, observable)
     return float(np.real(np.vdot(np.asarray(amplitudes, dtype=complex).reshape(-1), applied)))
+
+
+# -- batched state-vector kernels ---------------------------------------------
+#
+# The derivative fan-out and the data-point batches of the training loop run
+# the *same* program at the *same* parameter point over a stack of input
+# vectors.  These kernels advance a stack of ``B`` statevectors shaped
+# ``(B, d^n)`` through one gate with a single broadcasted contraction —
+# ``O(B · 2^k · 2^n)`` total, one numpy dispatch per gate instead of ``B``.
+
+
+def _as_batch(amplitudes: np.ndarray, total: int) -> np.ndarray:
+    batch = np.asarray(amplitudes, dtype=complex)
+    if batch.ndim != 2 or batch.shape[1] != total:
+        raise DimensionMismatchError(
+            f"batched amplitudes must have shape (B, {total}), got {batch.shape}"
+        )
+    return batch
+
+
+def apply_operator_vector_batch(
+    amplitudes: np.ndarray,
+    dims: Sequence[int],
+    axes: Sequence[int],
+    operator: np.ndarray,
+) -> np.ndarray:
+    """Apply a k-local operator to a ``(B, d^n)`` stack of statevectors.
+
+    One broadcasted contraction advances the whole stack:
+    ``O(B · 2^k · 2^n)``, with a single numpy call per gate.
+    """
+    plan = _plan(dims, axes)
+    operator = plan.prepare_operator(operator)
+    psi = _as_batch(amplitudes, plan.total)
+    batch = psi.shape[0]
+    if plan.blocks is not None:
+        left, target, right = plan.blocks
+        return np.matmul(operator, psi.reshape(batch, left, target, right)).reshape(
+            batch, plan.total
+        )
+    k = len(plan.sorted_axes)
+    shifted = tuple(a + 1 for a in plan.sorted_axes)
+    psi = _contract(
+        psi.reshape((batch,) + plan.dims),
+        operator.reshape(plan.sorted_dims + plan.sorted_dims),
+        shifted,
+        k,
+    )
+    return psi.reshape(batch, plan.total)
+
+
+def expectation_vector_batch(
+    amplitudes: np.ndarray,
+    dims: Sequence[int],
+    axes: Sequence[int],
+    observable: np.ndarray,
+) -> np.ndarray:
+    """Return ``⟨ψ_b|(O ⊗ I)|ψ_b⟩`` for every row of a ``(B, d^n)`` stack."""
+    psi = _as_batch(amplitudes, math.prod(dims))
+    applied = apply_operator_vector_batch(psi, dims, axes, observable)
+    return np.real(np.einsum("bi,bi->b", np.conj(psi), applied))
+
+
+def two_factor_expectation_vector_batch(
+    amplitudes: np.ndarray,
+    lead_dim: int,
+    lead_operator: np.ndarray,
+    rest_operator: np.ndarray,
+) -> np.ndarray:
+    """Return ``⟨ψ_b|(A ⊗ O)|ψ_b⟩`` per row, ``A`` on the leading tensor factor.
+
+    The pure-state form of :func:`two_factor_expectation_density`: with
+    ``ψ = Σ_a |a⟩ ⊗ |ψ_a⟩`` the readout is ``Σ_{a,c} A[a,c] ⟨ψ_a|O|ψ_c⟩`` —
+    the ``(lead_dim·d) × (lead_dim·d)`` Kronecker product is never formed.
+    """
+    lead_operator = np.asarray(lead_operator, dtype=complex)
+    rest_operator = np.asarray(rest_operator, dtype=complex)
+    if lead_operator.shape != (lead_dim, lead_dim):
+        raise DimensionMismatchError("leading operator does not match the leading dimension")
+    rest_dim = rest_operator.shape[0]
+    psi = _as_batch(amplitudes, lead_dim * rest_dim).reshape(-1, lead_dim, rest_dim)
+    applied = np.einsum("rj,bcj->bcr", rest_operator, psi)
+    return np.real(np.einsum("ac,bar,bcr->b", lead_operator, np.conj(psi), applied))
+
+
+def reset_vector_batch(
+    amplitudes: np.ndarray,
+    dims: Sequence[int],
+    axis: int,
+    *,
+    atol: float = 1e-10,
+) -> np.ndarray:
+    """Apply the reset channel ``E_{q→0}`` to a stack of pure states.
+
+    ``E_{q→0}(|ψ⟩⟨ψ|) = |0⟩⟨0|_q ⊗ tr_q(|ψ⟩⟨ψ|)`` is pure exactly when the
+    reset variable is unentangled with the rest of the register.  Writing
+    ``ψ`` as the ``d_q × d_rest`` amplitude matrix ``M`` (rows indexed by the
+    reset variable), the marginal ``tr_q = M† M`` has rank 1 iff
+    ``tr(G²) = (tr G)²`` for the small Gram matrix ``G = M M†`` — a
+    ``O(d_q² · d_rest)`` check.  Rows that violate it (beyond ``atol``,
+    relative to ``(tr G)²``) raise :class:`~repro.errors.PurityError`; the
+    purity-aware backends catch that and fall back to the density simulator.
+
+    The surviving pure output is ``|0⟩_q ⊗ v`` with ``v`` the dominant row
+    direction of ``M``, rescaled to preserve the squared norm (the branch
+    probability mass of a partial state).  All-zero rows (aborted branches)
+    pass through as zero vectors.
+    """
+    plan = _plan(dims, (axis,))
+    psi = _as_batch(amplitudes, plan.total)
+    batch = psi.shape[0]
+    dim = dims[axis]
+    # View each row as (d_q, rest) with the reset variable's axis leading.
+    tensor = np.moveaxis(psi.reshape((batch,) + plan.dims), axis + 1, 1)
+    rest_shape = tensor.shape[2:]
+    matrix = tensor.reshape(batch, dim, -1)
+    gram = np.einsum("bdr,ber->bde", matrix, np.conj(matrix))
+    trace = np.real(np.einsum("bdd->b", gram))
+    trace_sq = np.real(np.einsum("bde,bed->b", gram, gram))
+    defect = trace**2 - trace_sq
+    scale = np.maximum(trace**2, np.finfo(float).tiny)
+    impure = defect > atol * scale
+    if np.any(impure):
+        raise PurityError(
+            f"reset of axis {axis} on an entangled pure state: the marginal of "
+            f"{int(np.count_nonzero(impure))} of {batch} stacked states has rank > 1 "
+            f"(relative purity defect up to {float(np.max(defect / scale)):.2e})"
+        )
+    # Dominant row per state: all rows are parallel, so any nonzero row spans
+    # the marginal; take the largest for numerical stability.
+    row_norms_sq = np.real(np.einsum("bdr,bdr->bd", matrix, np.conj(matrix)))
+    dominant = np.argmax(row_norms_sq, axis=1)
+    rows = matrix[np.arange(batch), dominant]
+    dominant_sq = row_norms_sq[np.arange(batch), dominant]
+    safe = np.maximum(dominant_sq, np.finfo(float).tiny)
+    rescale = np.sqrt(trace / safe)
+    rescale[trace <= 0.0] = 0.0
+    result = np.zeros_like(matrix)
+    result[:, 0, :] = rows * rescale[:, None]
+    result = np.moveaxis(result.reshape((batch, dim) + rest_shape), 1, axis + 1)
+    return result.reshape(batch, plan.total)
 
 
 # -- density-matrix kernels ----------------------------------------------------

@@ -23,7 +23,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import DimensionMismatchError, LinalgError
+from repro.errors import DimensionMismatchError, LayoutError, LinalgError
 from repro.linalg.measurement import Measurement
 from repro.sim import kernels, rng as sim_rng
 from repro.sim.hilbert import RegisterLayout
@@ -31,7 +31,15 @@ from repro.sim.hilbert import RegisterLayout
 
 @dataclass
 class StateVector:
-    """A mutable pure state over a register layout."""
+    """A mutable pure state over a register layout.
+
+    Every reshape of the amplitude array takes its per-variable dimensions
+    from the layout (``layout.dims``), never from a qubit assumption — a
+    register mixing qubits with qutrits or bounded-integer variables works
+    throughout, and a shape that disagrees with the layout raises a
+    :class:`~repro.errors.LayoutError` instead of silently reinterpreting
+    the amplitudes.
+    """
 
     layout: RegisterLayout
     amplitudes: np.ndarray
@@ -41,7 +49,11 @@ class StateVector:
             amplitudes = layout.basis_product_state({})
         amplitudes = np.asarray(amplitudes, dtype=complex).reshape(-1)
         if amplitudes.shape[0] != layout.total_dim:
-            raise DimensionMismatchError("amplitude vector does not match layout dimension")
+            raise LayoutError(
+                f"amplitude vector of length {amplitudes.shape[0]} does not match the "
+                f"layout register {dict(zip(layout.names, layout.dims))} "
+                f"(total dimension {layout.total_dim})"
+            )
         self.layout = layout
         self.amplitudes = amplitudes
 
@@ -52,9 +64,41 @@ class StateVector:
         """Computational basis product state."""
         return cls(layout, layout.basis_product_state(assignment))
 
+    @classmethod
+    def from_density(cls, state, *, atol: float = 1e-10) -> "StateVector":
+        """Extract the amplitudes of a pure :class:`~repro.sim.density.DensityState`.
+
+        Raises :class:`~repro.errors.PurityError` when the density operator
+        has rank > 1 (see :meth:`DensityState.pure_amplitudes`).
+        """
+        return cls(state.layout, state.pure_amplitudes(atol=atol))
+
     def copy(self) -> "StateVector":
         """Independent copy of the state."""
         return StateVector(self.layout, self.amplitudes.copy())
+
+    def tensor(self) -> np.ndarray:
+        """The amplitudes as an ``n``-axis tensor, one axis per register variable.
+
+        The axis sizes come from ``layout.dims`` — qutrits and
+        bounded-integer variables reshape correctly.
+        """
+        return self.amplitudes.reshape(self.layout.dims)
+
+    def extended(self, variable: str, dim: int = 2, *, front: bool = True) -> "StateVector":
+        """Return ``|0⟩_new ⊗ |ψ⟩`` on a layout extended with an ancilla.
+
+        The pure-state analogue of :meth:`DensityState.extended`; the
+        differentiation pipeline adds the ancilla as the first tensor factor.
+        """
+        new_layout = self.layout.extended(variable, dim, front=front)
+        zero = np.zeros(dim, dtype=complex)
+        zero[0] = 1.0
+        if front:
+            amplitudes = np.kron(zero, self.amplitudes)
+        else:
+            amplitudes = np.kron(self.amplitudes, zero)
+        return StateVector(new_layout, amplitudes)
 
     # -- queries --------------------------------------------------------------------
 

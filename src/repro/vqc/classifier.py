@@ -29,6 +29,7 @@ from repro.lang.builder import case_on_qubit, rx, ry, rz, seq
 from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
 from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
+from repro.sim.statevector import StateVector
 from repro.api import Backend, Estimator
 from repro.autodiff.execution import DerivativeProgramSet
 
@@ -133,12 +134,24 @@ class BooleanClassifier:
 
     def input_state(self, bits: Sequence[int]) -> DensityState:
         """Encode a bitstring as the computational basis state of the data qubits."""
+        return DensityState.basis_state(self.layout(), self._assignment(bits))
+
+    def input_statevector(self, bits: Sequence[int]) -> StateVector:
+        """The same basis state as :meth:`input_state`, as a pure statevector.
+
+        Every backend accepts it; the statevector tier reads the amplitudes
+        directly, so the ``O(4^n)`` density matrix (and its rank-1
+        verification) never exists on a measurement-free path.  The trainer
+        feeds this form.
+        """
+        return StateVector.basis_state(self.layout(), self._assignment(bits))
+
+    def _assignment(self, bits: Sequence[int]) -> dict[str, int]:
         if len(bits) != len(self.data_qubits):
             raise TrainingError(
                 f"expected {len(self.data_qubits)} input bits, got {len(bits)}"
             )
-        assignment = {q: int(b) for q, b in zip(self.data_qubits, bits)}
-        return DensityState.basis_state(self.layout(), assignment)
+        return {q: int(b) for q, b in zip(self.data_qubits, bits)}
 
     @cached_property
     def _estimator(self) -> Estimator:
@@ -152,15 +165,17 @@ class BooleanClassifier:
             parameters=self.parameters,
         )
 
-    def estimator(self, backend: Backend | None = None) -> Estimator:
+    def estimator(self, backend: "Backend | str | None" = None) -> Estimator:
         """An :class:`~repro.api.Estimator` of the readout on this classifier.
 
         With ``backend=None`` the classifier's own shared exact estimator is
         returned; :meth:`predict_probability`, :meth:`accuracy` and the
         trainer all go through it, so its denotation cache makes repeated
         evaluations at the same ``(binding, input)`` point free.  A
-        non-default backend yields a sibling estimator that reuses the same
-        compiled derivative program sets and denotation cache.
+        non-default backend — an instance or a name such as ``"auto"``
+        (see :func:`repro.api.resolve_backend`) — yields a sibling
+        estimator that reuses the same compiled derivative program sets and
+        density denotation cache.
         """
         if backend is None:
             return self._estimator

@@ -69,7 +69,16 @@ def negative_log_likelihood_gradient_weight(
 
 @dataclass(frozen=True)
 class TrainingConfig:
-    """Hyper-parameters of the gradient-descent loop."""
+    """Hyper-parameters of the gradient-descent loop.
+
+    ``backend`` selects the execution scheme of every simulation — any
+    spec :func:`repro.api.resolve_backend` accepts.  The default
+    ``"auto"`` routes measurement-free classifiers (``P1``, and the
+    measurement-free members of every derivative multiset) through the
+    batched statevector tier and everything else through the exact density
+    simulator; pass ``"exact-density"`` to reproduce the historical
+    all-density arithmetic bit for bit.
+    """
 
     epochs: int = 200
     learning_rate: float = 0.5
@@ -77,6 +86,7 @@ class TrainingConfig:
     seed: int = 0
     initial_spread: float = 0.1
     record_accuracy: bool = True
+    backend: object = "auto"
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -114,21 +124,22 @@ class TrainingResult:
 class GradientDescentTrainer:
     """Plain gradient descent on a :class:`BooleanClassifier`.
 
-    The trainer is deliberately simple (no momentum, no batching): the
-    point of the case study is the *gradient computation*, which goes
-    through the paper's transform → compile → execute pipeline for every
-    parameter.  All evaluations run through the classifier's shared
-    :class:`~repro.api.Estimator`: the derivative program multisets are
-    compiled once, and the denotation cache guarantees each compiled
-    program is simulated at most once per ``(binding, input)`` point — so
-    the loss, the accuracy and the gradient weights of one epoch all reuse
-    a single forward pass.
+    The optimizer is deliberately simple (no momentum): the point of the
+    case study is the *gradient computation*, which goes through the
+    paper's transform → compile → execute pipeline for every parameter.
+    All evaluations run through an :class:`~repro.api.Estimator` sharing
+    the classifier's compiled derivative multisets and denotation cache;
+    the whole dataset is handed to the estimator's batched
+    ``values``/``gradients`` entry points, so backends that support
+    stacking (the default ``backend="auto"`` statevector tier) advance all
+    data points through each gate together, and the loss, the accuracy and
+    the gradient weights of one epoch all reuse a single forward pass.
     """
 
     def __init__(self, classifier: BooleanClassifier, config: TrainingConfig | None = None):
         self.classifier = classifier
         self.config = config if config is not None else TrainingConfig()
-        self.estimator: Estimator = classifier.estimator()
+        self.estimator: Estimator = classifier.estimator(self.config.backend)
 
     @property
     def program_sets(self) -> tuple[DerivativeProgramSet, ...]:
@@ -141,11 +152,18 @@ class GradientDescentTrainer:
     # -- single-epoch computations ----------------------------------------------
 
     def predictions(self, dataset: Dataset, binding: ParameterBinding) -> list[float]:
-        """The classifier output ``l_θ(z)`` for every data point."""
-        return [
-            self.estimator.value(self.classifier.input_state(bits), binding)
-            for bits, _ in dataset
+        """The classifier output ``l_θ(z)`` for every data point.
+
+        One batched ``values`` call: stacking backends simulate the whole
+        dataset through each gate with a single broadcasted contraction.
+        Inputs are fed as pure statevectors — the pure tier reads the
+        amplitudes directly and the density backends lift on entry, so no
+        path pays an avoidable ``O(4^n)`` construction.
+        """
+        inputs = [
+            (self.classifier.input_statevector(bits), binding) for bits, _ in dataset
         ]
+        return [float(value) for value in self.estimator.values(inputs)]
 
     def loss(self, dataset: Dataset, binding: ParameterBinding) -> float:
         """Evaluate the configured loss on the whole dataset."""
@@ -184,21 +202,34 @@ class GradientDescentTrainer:
         dataset: Dataset,
         binding: ParameterBinding,
     ) -> np.ndarray:
+        """Chain-rule gradient via one batched ``gradients`` call.
+
+        Data points whose loss weight is (numerically) zero are dropped
+        before the batch is built — they contribute nothing; the rest go to
+        the backend as a single ``derivative_batch`` fan-out, one gradient
+        row per surviving point, combined in dataset order.
+        """
         parameters = self.classifier.parameters
         gradient = np.zeros(len(parameters), dtype=float)
         count = len(dataset)
-        for prediction, (bits, label) in zip(predictions, dataset):
-            state = self.classifier.input_state(bits)
+        weights = []
+        for prediction, (_, label) in zip(predictions, dataset):
             if self.config.loss == "squared":
-                weight = squared_loss_gradient_weight(prediction, label)
+                weights.append(squared_loss_gradient_weight(prediction, label))
             else:
-                weight = negative_log_likelihood_gradient_weight(prediction, label, count)
-            if abs(weight) < 1e-15:
-                continue
-            for index, parameter in enumerate(parameters):
-                gradient[index] += weight * self.estimator.derivative(
-                    parameter, state, binding
+                weights.append(
+                    negative_log_likelihood_gradient_weight(prediction, label, count)
                 )
+        active = [index for index, weight in enumerate(weights) if abs(weight) >= 1e-15]
+        if not active:
+            return gradient
+        inputs = [
+            (self.classifier.input_statevector(dataset[index][0]), binding)
+            for index in active
+        ]
+        rows = self.estimator.gradients(inputs, parameters)
+        for position, index in enumerate(active):
+            gradient += weights[index] * rows[position]
         return gradient
 
     # -- the training loop ----------------------------------------------------------

@@ -1,0 +1,99 @@
+"""Unit and property tests for the purity analysis (repro.analysis.purity)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.analysis.purity import PurityReport, is_statevector_simulable, purity_report
+from repro.lang.ast import Abort, Init, Skip, Sum
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.pure import denote_amplitude_batch
+from repro.semantics import denotational
+
+from tests.conftest import binding_strategy, program_strategy
+
+THETA = Parameter("theta")
+
+
+class TestVerdicts:
+    def test_plain_circuit_is_simulable(self):
+        program = seq([rx(THETA, "q1"), rxx(0.4, "q1", "q2"), ry(0.2, "q2")])
+        report = purity_report(program)
+        assert report.statevector_simulable
+        assert report.reason is None
+        assert bool(report)
+
+    def test_skip_and_abort_are_simulable(self):
+        assert is_statevector_simulable(Skip(("q1",)))
+        assert is_statevector_simulable(Abort(("q1", "q2")))
+
+    def test_leading_init_is_simulable(self):
+        program = seq([Init("q1"), Init("q2"), rx(THETA, "q1")])
+        assert is_statevector_simulable(program)
+
+    def test_leading_init_after_other_variable_gate_is_simulable(self):
+        # q2 was never touched before its reset.
+        program = seq([rx(THETA, "q1"), Init("q2")])
+        assert is_statevector_simulable(program)
+
+    def test_mid_circuit_init_is_rejected(self):
+        program = seq([rx(THETA, "q1"), Init("q1")])
+        report = purity_report(program)
+        assert not report.statevector_simulable
+        assert "mid-circuit initialize" in report.reason
+        assert "q1" in report.reason
+
+    def test_double_init_counts_as_mid_circuit(self):
+        assert not is_statevector_simulable(seq([Init("q1"), Init("q1")]))
+
+    def test_case_is_rejected(self):
+        program = case_on_qubit("q1", {0: Skip(("q1",)), 1: rx(0.3, "q2")})
+        report = purity_report(program)
+        assert not report.statevector_simulable
+        assert "case" in report.reason
+
+    def test_while_is_rejected(self):
+        program = bounded_while_on_qubit("q1", rx(0.3, "q2"), 2)
+        report = purity_report(program)
+        assert not report.statevector_simulable
+        assert "while" in report.reason
+
+    def test_sum_is_rejected(self):
+        program = Sum(rx(THETA, "q1"), ry(THETA, "q1"))
+        assert "additive" in purity_report(program).reason
+
+    def test_nested_blocker_is_found_inside_sequences(self):
+        program = seq(
+            [rx(0.1, "q1"), seq([ry(0.2, "q2"), case_on_qubit("q1", {0: Skip(("q1",)), 1: Skip(("q1",))})])]
+        )
+        assert not is_statevector_simulable(program)
+
+    def test_memoized_by_identity(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q2")])
+        assert purity_report(program) is purity_report(program)
+
+
+class TestSoundness:
+    """A certified program's pure output must reproduce the density semantics."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        program=program_strategy(allow_controls=False, max_depth=2),
+        binding=binding_strategy(),
+    )
+    def test_certified_programs_keep_pure_states_pure(self, program, binding):
+        if not is_statevector_simulable(program):
+            return  # mid-circuit init draws are covered by the verdict tests
+        layout = RegisterLayout(("q1", "q2"))
+        state = DensityState.basis_state(layout, {"q1": 1})
+        reference = denotational.denote(program, state, binding)
+        output = denote_amplitude_batch(
+            program, layout, state.pure_amplitudes()[np.newaxis, :], binding
+        )[0]
+        assert np.allclose(np.outer(output, np.conj(output)), reference.matrix, atol=1e-10)
+
+    def test_report_is_a_frozen_dataclass(self):
+        report = PurityReport(statevector_simulable=False, reason="x")
+        assert not bool(report)

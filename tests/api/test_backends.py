@@ -183,3 +183,53 @@ class TestBackendProtocol:
             )
             values.append(estimator.derivative(THETA, state, BINDING))
         assert values[0] == values[1]
+
+
+class TestSharedSpectralCache:
+    """Satellite: the spectral decomposition is shared across backend instances."""
+
+    def test_equal_matrices_share_one_decomposition(self, monkeypatch):
+        from repro.api import backends as backends_module
+
+        calls = {"count": 0}
+        real = backends_module.Observable.spectral_measurement
+
+        def counting(self):
+            calls["count"] += 1
+            return real(self)
+
+        monkeypatch.setattr(backends_module.Observable, "spectral_measurement", counting)
+        backends_module._SPECTRAL_CACHE.clear()
+
+        layout = RegisterLayout(["q1", "q2"])
+        state = DensityState.basis_state(layout, {})
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        # Two independent backends (fresh estimators, as the legacy shims
+        # build per call) with value-equal observable matrices.
+        for seed in (0, 1, 2):
+            estimator = Estimator(
+                program,
+                pauli_observable("ZZ"),
+                backend=ShotSamplingBackend(
+                    precision=PRECISION, rng=np.random.default_rng(seed)
+                ),
+            )
+            estimator.value(state, BINDING)
+        assert calls["count"] == 1
+
+    def test_distinct_matrices_get_distinct_entries(self):
+        from repro.api.backends import _SPECTRAL_CACHE, _spectral_decomposition
+
+        _SPECTRAL_CACHE.clear()
+        _spectral_decomposition(np.diag([1.0, -1.0]).astype(complex))
+        _spectral_decomposition(np.diag([1.0, 1.0]).astype(complex))
+        assert len(_SPECTRAL_CACHE) == 2
+
+    def test_cache_is_bounded(self):
+        from repro.api import backends as backends_module
+
+        backends_module._SPECTRAL_CACHE.clear()
+        for value in range(backends_module._SPECTRAL_CACHE_LIMIT + 8):
+            matrix = np.diag([float(value), -float(value) - 1.0]).astype(complex)
+            backends_module._spectral_decomposition(matrix)
+        assert len(backends_module._SPECTRAL_CACHE) == backends_module._SPECTRAL_CACHE_LIMIT

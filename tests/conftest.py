@@ -110,12 +110,21 @@ def program_strategy(
     max_depth: int = 3,
     allow_sum: bool = False,
     allow_abort: bool = True,
-    parameters: tuple[Parameter, ...] = PARAMETERS,
+    allow_controls: bool = True,
+    allow_init: bool = True,
 ) -> st.SearchStrategy[Program]:
-    """Random well-formed programs over the fixed two-qubit register."""
-    leaves = _leaf_statements(parameters)
+    """Random well-formed programs over the fixed two-qubit register.
+
+    ``allow_controls=False`` drops ``case``/``while`` nodes and
+    ``allow_init=False`` drops resets — together they generate exactly the
+    measurement-free fragment the purity analysis certifies as
+    statevector-simulable.
+    """
+    leaves = _leaf_statements(PARAMETERS)
     if not allow_abort:
         leaves = leaves.filter(lambda p: not isinstance(p, Abort))
+    if not allow_init:
+        leaves = leaves.filter(lambda p: not isinstance(p, Init))
 
     def extend(children: st.SearchStrategy[Program]) -> st.SearchStrategy[Program]:
         sequences = st.lists(children, min_size=2, max_size=3).map(seq)
@@ -131,7 +140,9 @@ def program_strategy(
             children,
             st.integers(min_value=1, max_value=2),
         )
-        options = [sequences, cases, whiles]
+        options = [sequences]
+        if allow_controls:
+            options.extend([cases, whiles])
         if allow_sum:
             options.append(st.builds(Sum, children, children))
         return st.one_of(*options)

@@ -1,0 +1,186 @@
+"""Batch-axis kernels and the batched pure-state denotation.
+
+Every batched kernel is cross-checked row-by-row against its single-state
+counterpart (which is itself cross-checked against the embedding reference
+in ``test_kernels.py``), on qubit and mixed qubit/qutrit registers; the
+batched denotation is cross-checked against the density semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, PurityError, SemanticsError
+from repro.lang.ast import Abort, Init, Skip
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim import kernels
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.pure import denote_amplitude_batch, denote_pure
+from repro.sim.statevector import StateVector
+from repro.semantics import denotational
+
+THETA = Parameter("theta")
+BINDING = ParameterBinding({THETA: 0.83})
+
+
+def _random_stack(rng, batch, dims, normalize=True):
+    total = int(np.prod(dims))
+    stack = rng.normal(size=(batch, total)) + 1j * rng.normal(size=(batch, total))
+    if normalize:
+        stack /= np.linalg.norm(stack, axis=1, keepdims=True)
+    return stack
+
+
+def _random_unitary(rng, dim):
+    matrix = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, _ = np.linalg.qr(matrix)
+    return q
+
+
+class TestBatchKernels:
+    @pytest.mark.parametrize("dims,axes", [
+        ((2, 2, 2), (1,)),
+        ((2, 2, 2), (0, 2)),
+        ((2, 3, 2), (1,)),
+        ((3, 2, 2), (2, 0)),
+        ((2, 2, 2, 2), (1, 2)),
+    ])
+    def test_apply_operator_matches_per_row_application(self, dims, axes):
+        rng = np.random.default_rng(11)
+        stack = _random_stack(rng, 5, dims)
+        op_dim = int(np.prod([dims[a] for a in axes]))
+        operator = _random_unitary(rng, op_dim)
+        batched = kernels.apply_operator_vector_batch(stack, dims, axes, operator)
+        for row in range(stack.shape[0]):
+            single = kernels.apply_operator_vector(stack[row], dims, axes, operator)
+            assert np.allclose(batched[row], single, atol=1e-12)
+
+    def test_expectation_matches_per_row(self):
+        rng = np.random.default_rng(5)
+        dims, axes = (2, 3, 2), (1,)
+        stack = _random_stack(rng, 4, dims)
+        hermitian = rng.normal(size=(3, 3))
+        hermitian = hermitian + hermitian.T
+        batched = kernels.expectation_vector_batch(stack, dims, axes, hermitian)
+        for row in range(4):
+            single = kernels.expectation_vector(stack[row], dims, axes, hermitian)
+            assert batched[row] == pytest.approx(single, abs=1e-12)
+
+    def test_two_factor_expectation_matches_density_kernel(self):
+        rng = np.random.default_rng(9)
+        lead_dim, rest_dim = 2, 6
+        stack = _random_stack(rng, 3, (lead_dim * rest_dim,))
+        lead = np.diag([1.0, -1.0]).astype(complex)
+        rest = rng.normal(size=(rest_dim, rest_dim))
+        rest = (rest + rest.T).astype(complex)
+        batched = kernels.two_factor_expectation_vector_batch(stack, lead_dim, lead, rest)
+        for row in range(3):
+            rho = np.outer(stack[row], np.conj(stack[row]))
+            reference = kernels.two_factor_expectation_density(rho, lead_dim, lead, rest)
+            assert batched[row] == pytest.approx(reference, abs=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(DimensionMismatchError):
+            kernels.apply_operator_vector_batch(
+                np.zeros(4, dtype=complex), (2, 2), (0,), np.eye(2)
+            )
+        with pytest.raises(DimensionMismatchError):
+            kernels.apply_operator_vector_batch(
+                np.zeros((2, 5), dtype=complex), (2, 2), (0,), np.eye(2)
+            )
+
+
+class TestResetKernel:
+    def test_product_state_reset_matches_density_channel(self):
+        layout = RegisterLayout(("a", "b"), (3, 2))
+        psi = np.kron(np.array([0.0, 0.6, 0.8]), np.array([1.0, 0.0])).astype(complex)
+        out = kernels.reset_vector_batch(psi[None], layout.dims, 0)[0]
+        reference = denotational.denote(
+            Init("a"), DensityState.from_pure(layout, psi), None
+        )
+        assert np.allclose(np.outer(out, np.conj(out)), reference.matrix, atol=1e-12)
+
+    def test_entangled_reset_raises_purity_error(self):
+        bell = np.zeros(4, dtype=complex)
+        bell[0] = bell[3] = 2**-0.5
+        with pytest.raises(PurityError):
+            kernels.reset_vector_batch(bell[None], (2, 2), 1)
+
+    def test_zero_rows_pass_through(self):
+        out = kernels.reset_vector_batch(np.zeros((2, 4), dtype=complex), (2, 2), 0)
+        assert np.allclose(out, 0.0)
+
+    def test_subnormalized_rows_keep_their_mass(self):
+        psi = 0.5 * np.kron(np.array([0.0, 1.0]), np.array([0.6, 0.8])).astype(complex)
+        out = kernels.reset_vector_batch(psi[None], (2, 2), 0)[0]
+        assert np.linalg.norm(out) == pytest.approx(0.5, abs=1e-12)
+        assert np.allclose(out[2:], 0.0)  # the reset variable sits in |0⟩
+
+
+class TestBatchedDenotation:
+    def test_matches_density_semantics_per_row(self):
+        rng = np.random.default_rng(21)
+        layout = RegisterLayout(("q1", "q2", "q3"))
+        program = seq(
+            [rx(THETA, "q1"), rxx(0.4, "q1", "q2"), ry(0.9, "q3"), Skip(("q2",))]
+        )
+        stack = _random_stack(rng, 4, layout.dims)
+        outputs = denote_amplitude_batch(program, layout, stack, BINDING)
+        for row in range(4):
+            reference = denotational.denote(
+                program, DensityState.from_pure(layout, stack[row]), BINDING
+            )
+            assert np.allclose(
+                np.outer(outputs[row], np.conj(outputs[row])),
+                reference.matrix,
+                atol=1e-12,
+            )
+
+    def test_abort_denotes_the_zero_vector(self):
+        layout = RegisterLayout(("q1", "q2"))
+        stack = _random_stack(np.random.default_rng(2), 3, layout.dims)
+        outputs = denote_amplitude_batch(
+            seq([rx(0.3, "q1"), Abort(("q1", "q2"))]), layout, stack, None
+        )
+        assert np.allclose(outputs, 0.0)
+
+    def test_qutrit_register_supported(self):
+        # A qutrit rides along in the register (gates are qubit-only in the
+        # language); its leading reset and the axis bookkeeping must use the
+        # 3-dimensional factor from the layout throughout.
+        layout = RegisterLayout(("t1", "q1", "q2"), (3, 2, 2))
+        program = seq([Init("t1"), rx(THETA, "q1"), rxx(0.7, "q1", "q2")])
+        state = DensityState.basis_state(layout, {"t1": 2, "q2": 1})
+        out = denote_amplitude_batch(
+            program, layout, state.pure_amplitudes()[None], BINDING
+        )[0]
+        reference = denotational.denote(program, state, BINDING)
+        assert np.allclose(np.outer(out, np.conj(out)), reference.matrix, atol=1e-12)
+
+    def test_case_raises_semantics_error(self):
+        layout = RegisterLayout(("q1", "q2"))
+        program = case_on_qubit("q1", {0: Skip(("q1",)), 1: Skip(("q1",))})
+        with pytest.raises(SemanticsError):
+            denote_amplitude_batch(program, layout, np.zeros((1, 4), dtype=complex), None)
+
+    def test_missing_variable_raises(self):
+        layout = RegisterLayout(("q1",))
+        with pytest.raises(SemanticsError):
+            denote_amplitude_batch(
+                rx(0.3, "q9"), layout, np.zeros((1, 2), dtype=complex), None
+            )
+
+    def test_denote_pure_wrapper(self):
+        layout = RegisterLayout(("q1", "q2"))
+        program = seq([rx(THETA, "q1"), rxx(0.2, "q1", "q2")])
+        state = StateVector.basis_state(layout, {"q2": 1})
+        output = denote_pure(program, state, BINDING)
+        reference = denotational.denote(
+            program, DensityState.from_pure(layout, state.amplitudes), BINDING
+        )
+        assert np.allclose(
+            np.outer(output.amplitudes, np.conj(output.amplitudes)),
+            reference.matrix,
+            atol=1e-12,
+        )

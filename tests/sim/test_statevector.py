@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.errors import DimensionMismatchError, LinalgError
+from repro.errors import DimensionMismatchError, LayoutError, LinalgError, PurityError
 from repro.linalg.gates import CNOT, HADAMARD, PAULI_X, PAULI_Z
 from repro.linalg.measurement import computational_measurement
+from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
 from repro.sim.statevector import StateVector
 
@@ -60,6 +61,65 @@ class TestEvolution:
         assert np.isclose(state.norm(), 1.0)
         assert np.isclose(state.probability_of({"q1": 0, "q2": 0}), 0.5)
         assert np.isclose(state.probability_of({"q1": 1, "q2": 1}), 0.5)
+
+
+class TestLayoutAwareness:
+    """Per-register dimensions come from the layout — qutrits included."""
+
+    def test_mismatched_amplitudes_raise_layout_error(self, layout):
+        with pytest.raises(LayoutError) as excinfo:
+            StateVector(layout, np.ones(5))
+        # The message names the register so the garbage reshape is debuggable.
+        assert "q1" in str(excinfo.value) and "4" in str(excinfo.value)
+
+    def test_layout_error_is_a_dimension_mismatch(self):
+        assert issubclass(LayoutError, DimensionMismatchError)
+
+    def test_tensor_view_uses_layout_dims(self):
+        mixed = RegisterLayout(("t1", "q1"), (3, 2))
+        state = StateVector.basis_state(mixed, {"t1": 2, "q1": 1})
+        tensor = state.tensor()
+        assert tensor.shape == (3, 2)
+        assert tensor[2, 1] == pytest.approx(1.0)
+
+    def test_qutrit_evolution_and_expectation(self):
+        mixed = RegisterLayout(("t1", "q1"), (3, 2))
+        state = StateVector.basis_state(mixed, {"t1": 1}).apply_unitary(HADAMARD, ["q1"])
+        assert state.probability_of({"t1": 1, "q1": 0}) == pytest.approx(0.5)
+        observable = np.diag([0.0, 1.0, 2.0]).astype(complex)
+        assert state.expectation(observable, ["t1"]) == pytest.approx(1.0)
+
+    def test_qutrit_initialize(self):
+        mixed = RegisterLayout(("t1", "q1"), (3, 2))
+        rng = np.random.default_rng(4)
+        state = StateVector.basis_state(mixed, {"t1": 2}).initialize("t1", rng=rng)
+        assert state.probability_of({"t1": 0}) == pytest.approx(1.0)
+
+    def test_extended_prepends_ancilla(self, layout):
+        state = StateVector.basis_state(layout, {"q2": 1}).extended("A")
+        assert state.layout.names == ("A", "q1", "q2")
+        assert state.probability_of({"A": 0, "q2": 1}) == pytest.approx(1.0)
+
+    def test_extended_qutrit_ancilla_appended(self, layout):
+        state = StateVector(layout).extended("T", dim=3, front=False)
+        assert state.layout.dims == (2, 2, 3)
+        assert state.amplitudes.shape == (12,)
+        assert state.probability_of({"T": 0}) == pytest.approx(1.0)
+
+    def test_from_density_roundtrip(self, layout):
+        pure = StateVector(layout).apply_unitary(HADAMARD, ["q1"]).apply_unitary(
+            CNOT, ["q1", "q2"]
+        )
+        recovered = StateVector.from_density(
+            DensityState(layout, pure.density_matrix())
+        )
+        # Equal up to a global phase: the projectors must coincide.
+        assert np.allclose(recovered.density_matrix(), pure.density_matrix(), atol=1e-12)
+
+    def test_from_density_rejects_mixed_states(self, layout):
+        mixed = DensityState(layout, np.eye(4, dtype=complex) / 4.0)
+        with pytest.raises(PurityError):
+            StateVector.from_density(mixed)
 
 
 class TestMeasurement:

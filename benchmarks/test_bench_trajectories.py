@@ -1,0 +1,237 @@
+"""Branch-splitting trajectory tier vs exact density on branching programs.
+
+PR 3's statevector tier only served measurement-free programs; this module
+measures the tier that keeps *measuring* programs on ``O(2^n)`` amplitudes
+(:mod:`repro.sim.trajectories`): a 10-qubit P2-style ``case`` program — the
+shape of the Figure 6 controlled classifier, scaled up — runs as a 2-branch
+ensemble instead of an ``O(4^n)`` density matrix, and a bounded ``while``
+demonstrates the certified ``ε``-truncation.
+
+Acceptance floor (asserted at full size, relaxed under
+``REPRO_BENCH_SMOKE``): on the ≥ 10-qubit ``case`` program the trajectory
+tier is ≥ 10× faster than the exact density tier while matching its
+expectation values to ≤ 1e-10.  All numbers land in
+``BENCH_trajectories.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, seq
+from repro.lang.parameters import ParameterBinding, ParameterVector
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.trajectories import denote_trajectory_batch
+from repro.api import DenotationCache, Estimator, ExactDensityBackend, StatevectorBackend
+
+from benchmarks.conftest import record_result, register_report, smoke_mode
+
+SMOKE = smoke_mode()
+
+#: Register size of the headline P2-style case program.
+CASE_QUBITS = 6 if SMOKE else 10
+#: Register size of the gradient comparison (density pays an extra ancilla).
+GRADIENT_QUBITS = 4 if SMOKE else 8
+#: Loop bound / register size of the ε-truncation demonstration.
+WHILE_QUBITS = 4 if SMOKE else 10
+#: Continuing mass halves per iteration, so the ε=1e-3 exit engages around
+#: iteration 10 — the bound must exceed that in smoke mode too.
+WHILE_BOUND = 12 if SMOKE else 24
+WHILE_EPSILON = 1e-3
+
+
+def _p2_style(num_qubits: int):
+    """A scaled-up Figure-6 P2 shape: entangling layer, then a measured case.
+
+    Every run applies the same number of gates; which second layer runs is
+    decided by measuring the first qubit — exactly the control structure
+    that used to demote the whole program to the ``O(4^n)`` density tier.
+    """
+    qubits = [f"q{i}" for i in range(num_qubits)]
+    theta = ParameterVector("t", 2).as_tuple()
+    phi = ParameterVector("p", 2).as_tuple()
+    statements = [rx(theta[i % 2], q) for i, q in enumerate(qubits)]
+    statements += [rxx(0.4, qubits[i], qubits[i + 1]) for i in range(num_qubits - 1)]
+    statements.append(
+        case_on_qubit(
+            qubits[0],
+            {
+                0: seq([ry(phi[0], q) for q in qubits]),
+                1: seq([ry(phi[1], q) for q in qubits]),
+            },
+        )
+    )
+    program = seq(statements)
+    layout = RegisterLayout(qubits)
+    binding = ParameterBinding.from_values(
+        theta + phi, np.linspace(0.3, 1.2, len(theta + phi))
+    )
+    observable = np.array([[1, 0], [0, -1]], dtype=complex)
+    return program, layout, theta + phi, binding, observable, qubits
+
+
+def _estimator(program, observable, qubits, backend) -> Estimator:
+    # cache_size=0 everywhere: these are *simulation* benchmarks, a shared
+    # denotation cache would turn repeats into lookups.
+    return Estimator(
+        program, observable, targets=(qubits[-1],), backend=backend, cache_size=0
+    )
+
+
+def _uncached_statevector(**kwargs) -> StatevectorBackend:
+    return StatevectorBackend(cache=DenotationCache(max_entries=0), **kwargs)
+
+
+def _best_time(function, repeats: int = 3) -> float:
+    function()  # warm compile caches / BLAS pools outside the clock
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_case_program_value_density_vs_trajectory():
+    """The headline number: the P2-style case program on both tiers."""
+    program, layout, _, binding, observable, qubits = _p2_style(CASE_QUBITS)
+    state = DensityState.basis_state(layout, {})
+
+    fast = _estimator(program, observable, qubits, _uncached_statevector())
+    exact = _estimator(program, observable, qubits, ExactDensityBackend())
+    assert fast.backend.tier_for(program) == "trajectory"
+
+    agreement = abs(exact.value(state, binding) - fast.value(state, binding))
+    assert agreement <= 1e-10
+
+    density_time = _best_time(lambda: exact.value(state, binding))
+    trajectory_time = _best_time(lambda: fast.value(state, binding))
+    speedup = density_time / trajectory_time
+
+    result = denote_trajectory_batch(
+        program, layout, state.pure_amplitudes()[np.newaxis, :], binding
+    )
+    record_result(
+        "trajectories",
+        "case_value",
+        {
+            "qubits": CASE_QUBITS,
+            "density_s": density_time,
+            "trajectory_s": trajectory_time,
+            "speedup": speedup,
+            "branches": int(result.amplitudes.shape[0]),
+            "branch_peak": int(result.branch_peak),
+            "max_abs_error": float(agreement),
+        },
+    )
+    register_report(
+        "Trajectory tier — 10-qubit P2-style case program (forward value)",
+        f"  {CASE_QUBITS} qubits, {result.amplitudes.shape[0]} branches: "
+        f"density {density_time * 1e3:.1f} ms, trajectory {trajectory_time * 1e3:.2f} ms "
+        f"({speedup:.0f}×)",
+    )
+    if not SMOKE:
+        assert speedup >= 10.0
+
+
+def test_case_program_gradient_matches_density():
+    """The full gradient (case gadgets included) through the branch ensembles."""
+    program, layout, parameters, binding, observable, qubits = _p2_style(GRADIENT_QUBITS)
+    state = DensityState.basis_state(layout, {})
+
+    exact = _estimator(program, observable, qubits, ExactDensityBackend())
+    fast = _estimator(program, observable, qubits, _uncached_statevector())
+
+    reference = exact.gradient(state, binding)  # warms the compiled multisets
+    trajectory = fast.gradient(state, binding)
+    assert np.allclose(reference, trajectory, atol=1e-10)
+
+    density_time = _best_time(lambda: exact.gradient(state, binding), repeats=1)
+    trajectory_time = _best_time(lambda: fast.gradient(state, binding))
+    record_result(
+        "trajectories",
+        "case_gradient",
+        {
+            "qubits": GRADIENT_QUBITS,
+            "parameters": len(parameters),
+            "density_s": density_time,
+            "trajectory_s": trajectory_time,
+            "speedup": density_time / trajectory_time,
+            "max_abs_gradient_error": float(np.max(np.abs(reference - trajectory))),
+        },
+    )
+    register_report(
+        "Trajectory tier — case-program gradient (branching multiset members)",
+        f"  {GRADIENT_QUBITS} qubits, {len(parameters)} parameters: "
+        f"density {density_time:.2f} s, trajectory {trajectory_time * 1e3:.1f} ms "
+        f"({density_time / trajectory_time:.0f}×)",
+    )
+
+
+def test_while_truncation_is_certified_and_cheaper():
+    """ε-truncated while: error provably ≤ ε, and fewer unrolled iterations."""
+    qubits = [f"q{i}" for i in range(WHILE_QUBITS)]
+    body = seq([rx(np.pi / 2, qubits[0]), ry(0.3, qubits[1])])
+    program = bounded_while_on_qubit(qubits[0], body, WHILE_BOUND)
+    layout = RegisterLayout(qubits)
+    state = DensityState.basis_state(layout, {qubits[0]: 1})
+    observable = np.array([[1, 0], [0, -1]], dtype=complex)
+
+    exact = _estimator(program, observable, qubits, ExactDensityBackend())
+    full = _estimator(program, observable, qubits, _uncached_statevector())
+    truncated = _estimator(
+        program, observable, qubits, _uncached_statevector(epsilon=WHILE_EPSILON)
+    )
+
+    reference = exact.value(state, None)
+    assert abs(full.value(state, None) - reference) <= 1e-10
+    error = abs(truncated.value(state, None) - reference)
+    assert error <= WHILE_EPSILON  # the certified bound holds in practice
+
+    stack = state.pure_amplitudes()[np.newaxis, :]
+    exact_run = denote_trajectory_batch(program, layout, stack, None)
+    from repro.sim.trajectories import TrajectoryOptions
+
+    truncated_run = denote_trajectory_batch(
+        program, layout, stack, None, options=TrajectoryOptions(mass_budget=WHILE_EPSILON)
+    )
+    assert truncated_run.dropped[0] > 0.0  # truncation actually engaged
+
+    full_time = _best_time(lambda: full.value(state, None))
+    truncated_time = _best_time(lambda: truncated.value(state, None))
+    record_result(
+        "trajectories",
+        "while_truncation",
+        {
+            "qubits": WHILE_QUBITS,
+            "bound": WHILE_BOUND,
+            "epsilon": WHILE_EPSILON,
+            "exact_branches": int(exact_run.amplitudes.shape[0]),
+            "truncated_branches": int(truncated_run.amplitudes.shape[0]),
+            "certified_dropped_mass": float(truncated_run.dropped[0]),
+            "observed_error": float(error),
+            "full_s": full_time,
+            "truncated_s": truncated_time,
+        },
+    )
+    register_report(
+        "Trajectory tier — certified while(T) truncation",
+        f"  {WHILE_QUBITS} qubits, bound {WHILE_BOUND}, ε={WHILE_EPSILON:g}: "
+        f"{exact_run.amplitudes.shape[0]} → {truncated_run.amplitudes.shape[0]} branches, "
+        f"observed error {error:.2e} ≤ certified "
+        f"{truncated_run.dropped[0]:.2e}, "
+        f"{full_time * 1e3:.2f} ms → {truncated_time * 1e3:.2f} ms",
+    )
+
+
+def test_benchmark_trajectory_case_value(benchmark):
+    """pytest-benchmark timing of the trajectory-tier forward value."""
+    program, layout, _, binding, observable, qubits = _p2_style(CASE_QUBITS)
+    state = DensityState.basis_state(layout, {})
+    fast = _estimator(program, observable, qubits, _uncached_statevector())
+    fast.value(state, binding)  # warm gate caches
+    benchmark.pedantic(lambda: fast.value(state, binding), rounds=3, iterations=1)

@@ -96,16 +96,19 @@ def main() -> None:
         f"(hit rate {stats.hit_rate:.0%}) — the sampled gradient re-ran zero programs."
     )
 
-    # 5. backend="auto": the purity-aware fast path.  This program branches,
-    #    so "auto" transparently falls back to the density simulator — but a
-    #    measurement-free program (every circuit, and the Table 2/3
-    #    instances) runs on O(2^n) statevector amplitudes instead of O(4^n)
-    #    density entries, batched across inputs.  Same results either way.
+    # 5. backend="auto": the simulability-aware fast paths.  Measurement-free
+    #    programs (every circuit, and the Table 2/3 instances) run on O(2^n)
+    #    statevector amplitudes instead of O(4^n) density entries, batched
+    #    across inputs; this program *branches*, so "auto" runs it on the
+    #    branch-splitting trajectory tier — one sub-normalized pure branch
+    #    per measurement outcome, still O(2^n) per branch.  Same results
+    #    either way.
     fast = estimator.with_backend("auto")
     auto_value = fast.value(state, binding)
+    tier = fast.backend.tier_for(program)
     print(
         f"\nbackend='auto' value            : {auto_value:+.6f} "
-        "(purity analysis routed this branching program to the density path)"
+        f"(the simulation analysis routed this branching program to the {tier!r} tier)"
     )
 
 

@@ -8,10 +8,12 @@
   concrete programs (Prop. 3.1 operational/denotational agreement,
   Prop. 4.2 compilation consistency, Prop. 7.2 resource bound), used by the
   test-suite and the resource-bound benchmark;
-* :mod:`repro.analysis.purity` — the static purity analysis deciding which
-  programs are measurement-free (statevector-simulable from a pure input),
-  consulted by :class:`repro.api.StatevectorBackend` to pick the ``O(2^n)``
-  pure-state execution tier over the ``O(4^n)`` density simulator.
+* :mod:`repro.analysis.purity` — the static simulability analysis: a tiered
+  :class:`~repro.analysis.purity.SimulationClass` verdict (pure /
+  branching / density-only) with a static branch-count bound, consulted by
+  :class:`repro.api.StatevectorBackend` to pick the ``O(2^n)`` pure-state
+  tier or the ``O(B · 2^n)`` branch-splitting trajectory tier over the
+  ``O(4^n)`` density simulator.
 """
 
 from repro.analysis.resources import (
@@ -29,14 +31,20 @@ from repro.analysis.verification import (
 )
 from repro.analysis.purity import (
     PurityReport,
+    SimulationClass,
+    SimulationReport,
     is_statevector_simulable,
     purity_report,
+    simulation_report,
 )
 
 __all__ = [
     "PurityReport",
+    "SimulationClass",
+    "SimulationReport",
     "is_statevector_simulable",
     "purity_report",
+    "simulation_report",
     "occurrence_count",
     "derivative_program_count",
     "gate_count",

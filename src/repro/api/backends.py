@@ -16,12 +16,15 @@ Three backends ship today:
 * :class:`ShotSamplingBackend` — the ``O(m²/δ²)`` sampling scheme (the
   historical ``evaluate_sampled`` path), now also supporting *local*
   observables by spectrally decomposing the small target operator;
-* :class:`StatevectorBackend` — the pure-state execution tier: programs the
-  purity analysis certifies as measurement-free are simulated on ``O(2^n)``
-  amplitudes instead of ``O(4^n)`` density entries, batches of inputs
-  advance through each gate with one broadcasted contraction, and anything
-  the analysis rejects (or any mixed input) falls back to the exact density
-  path per program.
+* :class:`StatevectorBackend` — the pure-state execution tiers: programs
+  the simulation analysis certifies as measurement-free are simulated on
+  ``O(2^n)`` amplitudes instead of ``O(4^n)`` density entries with whole
+  input batches advancing through each gate in one broadcasted
+  contraction; *branching* programs (``case``/``while``/``+``, mid-circuit
+  resets) take the branch-splitting trajectory evaluator
+  (:mod:`repro.sim.trajectories`) at ``O(B · 2^n)`` for ``B`` branches;
+  mixed inputs and branch-cap overflows fall back to the exact density
+  path per input / per program.
 
 The protocol is deliberately small and batch-aware: the statevector backend
 overrides the ``*_batch`` hooks to stack same-binding inputs, and a parallel
@@ -33,12 +36,12 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import PurityError, SemanticsError
+from repro.errors import PurityError, SemanticsError, TrajectoryError
 from repro.lang.ast import Program
 from repro.lang.parameters import ParameterBinding
 from repro.linalg.observables import Observable
@@ -50,7 +53,12 @@ from repro.sim.shots import (
     estimate_distribution_sum,
     normalized_distribution,
 )
-from repro.analysis.purity import is_statevector_simulable
+from repro.sim.trajectories import (
+    TrajectoryOptions,
+    TrajectoryResult,
+    denote_trajectory_batch,
+)
+from repro.analysis.purity import SimulationClass, simulation_report
 from repro.autodiff.gadgets import ANCILLA_OBSERVABLE
 from repro.api.cache import DenotationCache, binding_key
 
@@ -163,6 +171,68 @@ def _ancilla_combined(matrix: np.ndarray) -> np.ndarray:
     return combined
 
 
+#: id(observable matrix) -> (pinned matrix, spectral norm).  The trajectory
+#: tier certifies its truncation error against ``‖O‖``; the estimator passes
+#: the same matrix object on every call, so the norm is computed once.
+_NORM_MEMO: dict[int, tuple[np.ndarray, float]] = {}
+_NORM_MEMO_LIMIT = 64
+
+
+def _spectral_norm(matrix: np.ndarray) -> float:
+    """The spectral (operator 2-) norm of an observable matrix, memoized."""
+    entry = _NORM_MEMO.get(id(matrix))
+    if entry is not None and entry[0] is matrix:
+        return entry[1]
+    norm = float(np.linalg.norm(np.asarray(matrix, dtype=complex), 2))
+    if len(_NORM_MEMO) >= _NORM_MEMO_LIMIT:
+        _NORM_MEMO.clear()
+    _NORM_MEMO[id(matrix)] = (matrix, norm)
+    return norm
+
+
+#: id(program) -> (pinned program, Compile(P)).  Additive forward programs
+#: are evaluated as the sum over their compiled multiset (Definition 5.2);
+#: compilation is parameter-independent, so it happens once per program.
+_ADDITIVE_MEMO: dict[int, tuple[Program, tuple[Program, ...]]] = {}
+_ADDITIVE_MEMO_LIMIT = 256
+
+
+def _additive_members(program: Program) -> tuple[Program, ...]:
+    entry = _ADDITIVE_MEMO.get(id(program))
+    if entry is not None and entry[0] is program:
+        return entry[1]
+    from repro.additive.compile import compile_additive
+
+    members = tuple(compile_additive(program))
+    if len(_ADDITIVE_MEMO) >= _ADDITIVE_MEMO_LIMIT:
+        _ADDITIVE_MEMO.clear()
+    _ADDITIVE_MEMO[id(program)] = (program, members)
+    return members
+
+
+@dataclass(frozen=True)
+class MemberSlice:
+    """A view of a derivative program set restricted to some of its members.
+
+    Quacks like :class:`~repro.autodiff.execution.DerivativeProgramSet` for
+    every backend (``ancilla`` + ``nonaborting_programs``), so a partial
+    readout over a member subset reuses the unmodified ``derivative``
+    implementations.  :class:`~repro.api.ParallelBackend` uses this to fan
+    a single multiset's members (the branch axis of the derivative sum)
+    out across workers.
+    """
+
+    base: object
+    members: tuple[Program, ...]
+
+    @property
+    def ancilla(self) -> str:
+        return self.base.ancilla
+
+    def nonaborting_programs(self) -> tuple[Program, ...]:
+        return self.members
+
+
 class Backend(abc.ABC):
     """The execution half of the pipeline: turn denoted states into numbers.
 
@@ -236,6 +306,33 @@ class Backend(abc.ABC):
             for state, binding in inputs
         ]
 
+    def derivative_members(
+        self,
+        program_set: "DerivativeProgramSet",
+        members: Sequence[Program],
+        observable: ObservableSpec,
+        state: DensityState,
+        binding: ParameterBinding | None,
+        *,
+        denote: DenoteFn = _plain_denote,
+    ) -> float:
+        """The partial derivative readout over a subset of multiset members.
+
+        The derivative sum ``Σ_i tr((Z_A ⊗ O)[[P'_i]]·)`` is additive over
+        its members, so partial sums over disjoint member subsets compose
+        exactly — the seam :class:`~repro.api.ParallelBackend` uses to fan
+        one multiset's members (its branch axis) across workers.  Only
+        meaningful for deterministic backends: a sampling backend's
+        precision budget is calibrated for the whole sum.
+        """
+        return self.derivative(
+            MemberSlice(program_set, tuple(members)),
+            observable,
+            state,
+            binding,
+            denote=denote,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"{type(self).__name__}()"
 
@@ -261,6 +358,14 @@ class ExactDensityBackend(Backend):
         denote: DenoteFn = _plain_denote,
     ) -> float:
         state = _ensure_density(state)
+        if simulation_report(program).additive:
+            # The additive choice has no single-superoperator denotation;
+            # its observable semantics is the sum over the compiled multiset
+            # (Definition 5.2), each member cached individually.
+            return sum(
+                self.value(member, observable, state, binding, denote=denote)
+                for member in _additive_members(program)
+            )
         output = denote(program, state, binding)
         if observable.targets is None:
             return output.expectation(observable.matrix)
@@ -478,16 +583,28 @@ class ShotSamplingBackend(Backend):
 
 
 class StatevectorBackend(Backend):
-    """The pure-state execution tier: ``O(2^n)`` amplitudes where they suffice.
+    """The pure-state execution tiers: ``O(2^n)`` amplitudes where they suffice.
 
-    For programs the purity analysis (:mod:`repro.analysis.purity`)
-    certifies as measurement-free, and for pure input states, every readout
-    is computed on statevectors: ``O(2^k · 2^n)`` per gate instead of the
-    density simulator's ``O(2^k · 4^n)``, and ``O(2^n)`` memory instead of
-    ``O(4^n)``.  Batches — the data points of a training epoch, or the same
-    point under the derivative fan-out — are *stacked*: all same-binding
-    pure inputs advance through each gate with one broadcasted contraction
-    (:func:`repro.sim.kernels.apply_operator_vector_batch`).
+    Two tiers serve pure inputs, selected per program by the simulation
+    analysis (:func:`repro.analysis.purity.simulation_report`):
+
+    * **pure** — measurement-free programs keep a single trajectory:
+      ``O(2^k · 2^n)`` per gate instead of the density simulator's
+      ``O(2^k · 4^n)``, and ``O(2^n)`` memory instead of ``O(4^n)``.
+      Batches — the data points of a training epoch, or the same point
+      under the derivative fan-out — are *stacked*: all same-binding pure
+      inputs advance through each gate with one broadcasted contraction
+      (:func:`repro.sim.kernels.apply_operator_vector_batch`);
+    * **trajectory** — branching programs (``case``/``while`` guards, the
+      additive ``+``, mid-circuit resets) run on the branch-splitting
+      evaluator (:mod:`repro.sim.trajectories`): every measurement splits
+      the stack per outcome, so the whole computation stays at
+      ``O(B · 2^k · 2^n)`` for ``B`` surviving branches.  Readouts sum
+      over the branch axis per input.  ``epsilon`` sets a tolerable
+      readout error: bounded ``while`` loops may then truncate early once
+      the remaining probability mass times the observable's spectral norm
+      is certified below it (``epsilon=0``, the default, keeps every
+      evaluation exact up to zero-branch pruning).
 
     Inputs may be :class:`~repro.sim.density.DensityState` (pure ones are
     verified rank-1 and their amplitudes extracted, an ``O(4^n)`` check) or
@@ -495,24 +612,30 @@ class StatevectorBackend(Backend):
     no ``O(4^n)`` work anywhere on the path) — every backend accepts both,
     so callers with pure inputs should prefer ``StateVector``.
 
-    Fallback is per obstacle:
+    Fallback to ``fallback`` (default :class:`ExactDensityBackend`,
+    sharing the estimator's density denotation cache through the
+    ``denote`` argument) is per obstacle:
 
-    * a program with ``case``/``while`` guards, an additive ``+``, or a
-      mid-circuit initialize routes to ``fallback`` (default
-      :class:`ExactDensityBackend`), sharing the estimator's density
-      denotation cache through the ``denote`` argument;
-    * a *mixed* input state (rank > 1) routes to ``fallback`` for that
-      input only;
+    * a *mixed* input state (rank > 1) routes to the fallback for that
+      input only, as does an unknown (``DENSITY_ONLY``) program node;
+    * a trajectory ensemble that outgrows its branch cap — past
+      ``B ≈ 2^n`` the density matrix is the cheaper encoding — or whose
+      discarded probability mass cannot be certified below the error
+      tolerance raises :class:`~repro.errors.TrajectoryError` internally
+      and demotes that program (or multiset member) to the fallback;
     * inside a :class:`~repro.autodiff.execution.DerivativeProgramSet`,
-      branching members fall back to the exact density readout *per
-      program* (:meth:`ExactDensityBackend.derivative_term`) while the
-      measurement-free members still take the batched pure path;
+      every member is routed on its own merits: measurement-free members
+      take the batched pure path, branching members (the case gadgets)
+      their own branch ensembles, and only members that defeat both fall
+      back to the exact density readout
+      (:meth:`ExactDensityBackend.derivative_term`);
     * a leading initialize whose variable turns out to be entangled with
       the rest of the register raises
       :class:`~repro.errors.PurityError` at runtime and demotes that batch
-      to the fallback.
+      to the fallback (on the trajectory tier the reset instead *splits*
+      into its Kraus branches — no fallback needed).
 
-    Pure-path denotations are memoized in a
+    Pure-path and trajectory denotations are memoized in a
     :class:`~repro.api.cache.DenotationCache` keyed on the amplitude
     stack's bytes (one entry per ``(program, binding, input stack)``).
     """
@@ -525,10 +648,19 @@ class StatevectorBackend(Backend):
         *,
         cache: DenotationCache | None = None,
         atol: float = 1e-10,
+        epsilon: float = 0.0,
+        trajectory: TrajectoryOptions | None = None,
     ):
+        if epsilon < 0:
+            raise SemanticsError("the trajectory error tolerance must be non-negative")
         self.fallback = fallback if fallback is not None else ExactDensityBackend()
         self.atol = float(atol)
+        self.epsilon = float(epsilon)
+        self.trajectory = trajectory if trajectory is not None else TrajectoryOptions()
         self._cache = cache if cache is not None else DenotationCache()
+        #: How many program-level routings each tier served (diagnostics;
+        #: the figure-6 benchmark attributes its timings with this).
+        self.tier_counts = {"pure": 0, "trajectory": 0, "density": 0}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"StatevectorBackend(fallback={self.fallback!r})"
@@ -536,17 +668,42 @@ class StatevectorBackend(Backend):
     # A backend shipped to a worker process must not drag its cached output
     # stacks along (and cached program ids would be meaningless there).
     def __getstate__(self):
-        return {"fallback": self.fallback, "atol": self.atol}
+        return {
+            "fallback": self.fallback,
+            "atol": self.atol,
+            "epsilon": self.epsilon,
+            "trajectory": self.trajectory,
+        }
 
     def __setstate__(self, state):
         self.fallback = state["fallback"]
         self.atol = state["atol"]
+        self.epsilon = state.get("epsilon", 0.0)
+        self.trajectory = state.get("trajectory", TrajectoryOptions())
         self._cache = DenotationCache()
+        self.tier_counts = {"pure": 0, "trajectory": 0, "density": 0}
 
     @property
     def cache(self) -> DenotationCache:
         """The amplitude denotation cache (inspect ``cache.stats`` for hits)."""
         return self._cache
+
+    def tier_for(self, program: Program) -> str:
+        """Which tier this backend routes a program to: the attribution hook.
+
+        ``"pure"`` (single-trajectory statevector), ``"trajectory"``
+        (branch-splitting statevector) or ``"density"`` (the fallback
+        backend).  Runtime demotions — mixed inputs, branch-cap overflows —
+        can still send individual evaluations of a ``"pure"`` or
+        ``"trajectory"`` program to the fallback; ``tier_counts`` records
+        what actually ran.
+        """
+        klass = simulation_report(program).simulation_class
+        if klass is SimulationClass.PURE:
+            return "pure"
+        if klass is SimulationClass.BRANCHING:
+            return "trajectory"
+        return "density"
 
     # -- pure-path helpers -------------------------------------------------
 
@@ -566,6 +723,68 @@ class StatevectorBackend(Backend):
             binding,
             lambda: denote_amplitude_batch(program, layout, stack, binding),
         )
+
+    # -- trajectory-path helpers -------------------------------------------
+
+    def _options_for(
+        self, observable_matrix: np.ndarray, members: int = 1
+    ) -> TrajectoryOptions:
+        """The evaluator options with the error budget converted to mass.
+
+        A readout error tolerance of ``epsilon`` permits discarding at most
+        ``epsilon / ‖O‖`` of probability mass (each unit of dropped mass
+        perturbs ``tr(Oρ)`` by at most ``‖O‖``).  When the readout *sums*
+        over ``members`` independently-evaluated multiset members (the
+        derivative fan-out), the budget is split evenly among them so the
+        summed error still stays within ``epsilon``.  An explicitly
+        configured ``TrajectoryOptions.mass_budget`` is taken as-is — it is
+        the advanced per-evaluation knob.
+        """
+        if self.epsilon <= 0.0:
+            return self.trajectory
+        norm = _spectral_norm(observable_matrix)
+        budget = self.epsilon / (max(norm, np.finfo(float).tiny) * max(1, members))
+        if budget <= self.trajectory.mass_budget:
+            return self.trajectory
+        return replace(self.trajectory, mass_budget=budget)
+
+    def _run_trajectories(
+        self, program, layout, stack, binding, options: TrajectoryOptions
+    ) -> TrajectoryResult:
+        return self._cache.get_or_compute_trajectories(
+            program,
+            layout,
+            stack,
+            binding,
+            options.key(),
+            lambda: denote_trajectory_batch(
+                program, layout, stack, binding, options=options
+            ),
+        )
+
+    def _certified(
+        self, result: TrajectoryResult, observable_matrix, options: TrajectoryOptions
+    ) -> np.ndarray:
+        """Per input row: is the discarded mass within the run's own budget?
+
+        The evaluator was handed ``options.mass_budget`` (zero by default:
+        only zero-probability pruning happens), so a compliant run dropped
+        at most that much mass per row; ``atol/‖O‖`` of slack absorbs the
+        sub-tolerance pruning.  Anything beyond is uncertifiable and the
+        row demotes to the density fallback.
+        """
+        norm = max(_spectral_norm(observable_matrix), np.finfo(float).tiny)
+        return result.dropped <= options.mass_budget + self.atol / norm
+
+    def _branch_sums(
+        self, result: TrajectoryResult, layout, observable: ObservableSpec, rows: int
+    ) -> np.ndarray:
+        """``Σ_b ⟨ψ_b|O|ψ_b⟩`` per input row: the batched branch-axis readout."""
+        sums = np.zeros(rows)
+        if result.amplitudes.shape[0]:
+            per_branch = self._expectations(result.amplitudes, layout, observable)
+            np.add.at(sums, result.owners, per_branch)
+        return sums
 
     @staticmethod
     def _expectations(stack, layout, observable: ObservableSpec) -> np.ndarray:
@@ -615,21 +834,43 @@ class StatevectorBackend(Backend):
         denote: DenoteFn = _plain_denote,
     ) -> list[float]:
         inputs = list(inputs)
-        if not is_statevector_simulable(program):
+        tier = self.tier_for(program)
+        if tier == "density":
+            self.tier_counts["density"] += 1
             return self.fallback.value_batch(program, observable, inputs, denote=denote)
         results = [0.0] * len(inputs)
         groups, fallback_indices = self._group_inputs(observable, inputs)
         for binding, layout, indices, vectors in groups:
             stack = np.array(vectors)
+            if tier == "pure":
+                try:
+                    output = self._run(program, layout, stack, binding)
+                except PurityError:
+                    fallback_indices.extend(indices)
+                    continue
+                values = self._expectations(output, layout, observable)
+                for row, index in enumerate(indices):
+                    results[index] = float(values[row])
+                continue
+            options = self._options_for(observable.matrix)
             try:
-                output = self._run(program, layout, stack, binding)
-            except PurityError:
+                result = self._run_trajectories(program, layout, stack, binding, options)
+            except TrajectoryError:
                 fallback_indices.extend(indices)
                 continue
-            values = self._expectations(output, layout, observable)
+            values = self._branch_sums(result, layout, observable, len(indices))
+            certified = self._certified(result, observable.matrix, options)
             for row, index in enumerate(indices):
-                results[index] = float(values[row])
+                if certified[row]:
+                    results[index] = float(values[row])
+                else:
+                    fallback_indices.append(index)
+        # Attribution: count the tier that actually served inputs, and the
+        # fallback when any input demoted to it.
+        if len(fallback_indices) < len(inputs):
+            self.tier_counts[tier] += 1
         if fallback_indices:
+            self.tier_counts["density"] += 1
             fallback_indices.sort()
             demoted = self.fallback.value_batch(
                 program,
@@ -681,18 +922,50 @@ class StatevectorBackend(Backend):
             for column, program_set in enumerate(program_sets):
                 extended_layout = layout.extended(program_set.ancilla, 2, front=True)
                 demoted_programs = []
-                for program in program_set.nonaborting_programs():
-                    if not is_statevector_simulable(program):
+                members = program_set.nonaborting_programs()
+                # The column's readout sums over its members, so the epsilon
+                # budget is split across the branching ones — the summed
+                # truncation error stays within epsilon, not members·epsilon.
+                branching_members = sum(
+                    1 for member in members if self.tier_for(member) == "trajectory"
+                )
+                for program in members:
+                    tier = self.tier_for(program)
+                    if tier == "density":
+                        self.tier_counts["density"] += 1
                         demoted_programs.append(program)
                         continue
-                    try:
-                        output = self._run(program, extended_layout, extended, binding)
-                    except PurityError:
-                        demoted_programs.append(program)
-                        continue
-                    terms = self._derivative_terms(
-                        output, extended_layout, program_set, observable
-                    )
+                    if tier == "pure":
+                        try:
+                            output = self._run(program, extended_layout, extended, binding)
+                        except PurityError:
+                            self.tier_counts["density"] += 1
+                            demoted_programs.append(program)
+                            continue
+                        terms = self._derivative_terms(
+                            output, extended_layout, program_set, observable
+                        )
+                    else:
+                        # A branching multiset member (a case gadget): its
+                        # own branch ensemble, readout summed per input row.
+                        # ‖Z_A ⊗ O‖ = ‖O‖, so certification uses O's norm.
+                        options = self._options_for(observable.matrix, branching_members)
+                        try:
+                            result = self._run_trajectories(
+                                program, extended_layout, extended, binding, options
+                            )
+                        except TrajectoryError:
+                            self.tier_counts["density"] += 1
+                            demoted_programs.append(program)
+                            continue
+                        if not np.all(self._certified(result, observable.matrix, options)):
+                            self.tier_counts["density"] += 1
+                            demoted_programs.append(program)
+                            continue
+                        terms = self._derivative_branch_sums(
+                            result, extended_layout, program_set, observable, len(indices)
+                        )
+                    self.tier_counts[tier] += 1
                     for row, index in enumerate(indices):
                         rows[index][column] += float(terms[row])
                 if demoted_programs:
@@ -718,6 +991,7 @@ class StatevectorBackend(Backend):
                                 denote=denote,
                             )
         if fallback_indices:
+            self.tier_counts["density"] += 1
             fallback_indices.sort()
             demoted = self.fallback.derivative_batch(
                 program_sets,
@@ -728,6 +1002,19 @@ class StatevectorBackend(Backend):
             for position, index in enumerate(fallback_indices):
                 rows[index] = demoted[position]
         return rows
+
+    @classmethod
+    def _derivative_branch_sums(
+        cls, result: TrajectoryResult, extended_layout, program_set, observable, rows: int
+    ) -> np.ndarray:
+        """``Σ_b ⟨ψ_b|(Z_A ⊗ O)|ψ_b⟩`` per input row over a branch ensemble."""
+        sums = np.zeros(rows)
+        if result.amplitudes.shape[0]:
+            per_branch = cls._derivative_terms(
+                result.amplitudes, extended_layout, program_set, observable
+            )
+            np.add.at(sums, result.owners, per_branch)
+        return sums
 
     @staticmethod
     def _derivative_terms(output, extended_layout, program_set, observable) -> np.ndarray:

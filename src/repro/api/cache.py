@@ -19,7 +19,10 @@ Besides density states, the cache also keys *pure-state amplitude arrays*
 (:meth:`DenotationCache.get_or_compute_amplitudes`): the statevector
 execution tier memoizes whole ``(B, d^n)`` batches per
 ``(program, binding, input stack)``, in the same LRU, under a key tagged so
-a density entry and an amplitude entry can never collide.
+a density entry and an amplitude entry can never collide.  Branch-ensemble
+evaluations of the trajectory tier
+(:meth:`DenotationCache.get_or_compute_trajectories`) are keyed the same
+way plus the evaluator options, under their own tag.
 
 Eviction is LRU with a bounded entry count; an epoch of the Figure 6
 training loop needs one entry per (program, data point), so the default
@@ -104,6 +107,25 @@ def amplitude_key(layout, amplitudes) -> Hashable:
     return ("sv", layout.names, layout.dims, amplitudes.shape, amplitudes.tobytes())
 
 
+def trajectory_key(layout, amplitudes, options_key: Hashable) -> Hashable:
+    """Value key of a branch-ensemble evaluation over a register layout.
+
+    ``options_key`` is the hashable identity of every evaluator setting
+    that affects the output (pruning tolerance, truncation budget, branch
+    cap, coalescing — see ``TrajectoryOptions.key``): the same input stack
+    under a different error budget is a different cache entry.  The
+    ``"traj"`` tag keeps these disjoint from plain amplitude entries.
+    """
+    return (
+        "traj",
+        options_key,
+        layout.names,
+        layout.dims,
+        amplitudes.shape,
+        amplitudes.tobytes(),
+    )
+
+
 @dataclass
 class DenotationCache:
     """An LRU map from ``(program, binding, state)`` to the denoted output state."""
@@ -155,6 +177,30 @@ class DenotationCache:
             amplitudes.size,
             binding,
             lambda: amplitude_key(layout, amplitudes),
+            compute,
+        )
+
+    def get_or_compute_trajectories(
+        self,
+        program: Program,
+        layout,
+        amplitudes,
+        binding: ParameterBinding | None,
+        options_key: Hashable,
+        compute: Callable[[], "object"],
+    ) -> "object":
+        """Branch-ensemble variant of :meth:`get_or_compute`.
+
+        Keys the *input* stack (plus the evaluator options) and caches
+        whatever ``compute`` returns — a ``TrajectoryResult`` whose output
+        ensemble may be wider than the input.  Shared results must be
+        treated as immutable, like every other cached value.
+        """
+        return self._lookup(
+            program,
+            amplitudes.size,
+            binding,
+            lambda: trajectory_key(layout, amplitudes, options_key),
             compute,
         )
 

@@ -61,11 +61,13 @@ def resolve_backend(backend: "Backend | str | None") -> Backend:
 
     Recognized names:
 
-    * ``"auto"`` — purity-aware selection: the statevector tier for
-      measurement-free programs on pure inputs, the exact density simulator
-      for everything else (per program / per input, see
+    * ``"auto"`` — simulability-aware selection: the ``O(2^n)``
+      statevector tier for measurement-free programs on pure inputs, the
+      ``O(B · 2^n)`` branch-splitting trajectory tier for branching
+      (``case``/``while``/``+``) programs, the exact density simulator for
+      everything else (per program / per input, see
       :class:`~repro.api.backends.StatevectorBackend`);
-    * ``"statevector"`` — same tier, spelled explicitly;
+    * ``"statevector"`` — same tiers, spelled explicitly;
     * ``"exact-density"`` (aliases ``"exact"``, ``"density"``) — the exact
       density-matrix readout;
     * ``"shot-sampling"`` (alias ``"shots"``) — the Chernoff-bounded

@@ -6,7 +6,14 @@ The compiled derivative multisets are embarrassingly parallel: every
 :class:`ParallelBackend` exploits exactly the ``*_batch`` seam of the
 :class:`~repro.api.backends.Backend` protocol — single-point ``value`` /
 ``derivative`` calls delegate inline to the wrapped backend, while batches
-are chunked contiguously across a ``ProcessPoolExecutor``.
+are chunked contiguously across a ``ProcessPoolExecutor``.  Three axes are
+split, most-work-first: input points (the data-batch shape of training),
+parameters (the single-point gradient shape), and — when whole multisets
+are fewer than workers — the *branch axis*: the members of each derivative
+multiset, whose partial readout sums recombine exactly
+(:meth:`~repro.api.backends.Backend.derivative_members`); with a
+trajectory-tier inner backend each member chunk carries its own branch
+ensembles.
 
 Two costs are inherent to the process boundary and worth knowing about:
 
@@ -70,6 +77,10 @@ def _worker_derivative_batch(backend, program_sets, observable, chunk):
     return backend.derivative_batch(program_sets, observable, chunk)
 
 
+def _worker_derivative_members(backend, program_set, members, observable, state, binding):
+    return backend.derivative_members(program_set, members, observable, state, binding)
+
+
 class ParallelBackend(Backend):
     """Fan any inner backend's batch evaluations out to worker processes.
 
@@ -79,10 +90,15 @@ class ParallelBackend(Backend):
         The backend doing the actual readouts in each worker; defaults to
         :class:`~repro.api.backends.ExactDensityBackend`.
     max_workers:
-        Pool size; defaults to ``os.cpu_count()``.
+        Pool size; defaults to ``os.cpu_count()``.  When left defaulted,
+        the pool is also skipped entirely on single-core hosts — the fork +
+        pickle tax cannot pay for itself there (``BENCH_backends.json``
+        measured the pool at ~1.0× on the 1-core CI box); pass an explicit
+        worker count to force pooling regardless.
     min_batch_size:
         Batches smaller than this run inline — forking and pickling cost
-        more than they save on tiny batches.
+        more than they save on tiny batches.  A batch of one work item
+        always runs inline.
     """
 
     name = "parallel"
@@ -95,9 +111,18 @@ class ParallelBackend(Backend):
         min_batch_size: int = 2,
     ):
         self.inner = inner if inner is not None else ExactDensityBackend()
+        self._auto_workers = max_workers is None
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.min_batch_size = int(min_batch_size)
         self._executor: ProcessPoolExecutor | None = None
+
+    def _run_inline(self, work_items: int) -> bool:
+        """Should this batch skip the pool?  (See ``max_workers`` above.)"""
+        if work_items < 2 or work_items < self.min_batch_size:
+            return True
+        if self.max_workers < 2:
+            return True
+        return self._auto_workers and (os.cpu_count() or 1) <= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"ParallelBackend(inner={self.inner!r}, max_workers={self.max_workers})"
@@ -184,7 +209,7 @@ class ParallelBackend(Backend):
         denote: DenoteFn = _plain_denote,
     ) -> list[float]:
         inputs = list(inputs)
-        if len(inputs) < self.min_batch_size or self.max_workers < 2:
+        if self._run_inline(len(inputs)):
             return self.inner.value_batch(program, observable, inputs, denote=denote)
         chunks = _chunks(inputs, self.max_workers)
         futures = [
@@ -206,10 +231,7 @@ class ParallelBackend(Backend):
     ) -> list[list[float]]:
         inputs = list(inputs)
         program_sets = list(program_sets)
-        if (
-            len(inputs) * len(program_sets) < self.min_batch_size
-            or self.max_workers < 2
-        ):
+        if self._run_inline(len(inputs) * len(program_sets)):
             return self.inner.derivative_batch(
                 program_sets, observable, inputs, denote=denote
             )
@@ -227,7 +249,20 @@ class ParallelBackend(Backend):
                 rows.extend(future.result())
             return rows
         # Fan out over parameters (the single-point gradient shape): each
-        # worker computes a column block, concatenated back per row.
+        # worker computes a column block, concatenated back per row.  When
+        # that leaves workers idle (fewer multisets than workers, a single
+        # input) the *branch axis* is split instead: every multiset's
+        # members — each case gadget with its own trajectory ensemble —
+        # are chunked across workers and their partial sums recombined
+        # (the derivative readout is additive over members).  Stochastic
+        # inner backends are excluded: their sampling budget is calibrated
+        # for the whole member sum.
+        if (
+            len(inputs) == 1
+            and len(program_sets) < self.max_workers
+            and not hasattr(self.inner, "rng")
+        ):
+            return self._derivative_member_fanout(program_sets, observable, inputs)
         chunks = _chunks(program_sets, self.max_workers)
         futures = [
             self._pool().submit(
@@ -240,3 +275,33 @@ class ParallelBackend(Backend):
             [value for block in blocks for value in block[row]]
             for row in range(len(inputs))
         ]
+
+    def _derivative_member_fanout(
+        self, program_sets, observable: ObservableSpec, inputs
+    ) -> list[list[float]]:
+        """One-input gradient with member (branch-axis) chunking per multiset."""
+        state, binding = inputs[0]
+        per_set = max(1, self.max_workers // len(program_sets))
+        tasks: list[tuple[int, tuple]] = []
+        for index, program_set in enumerate(program_sets):
+            members = list(program_set.nonaborting_programs())
+            if not members:
+                continue
+            for chunk in _chunks(members, per_set):
+                tasks.append((index, tuple(chunk)))
+        futures = [
+            self._pool().submit(
+                _worker_derivative_members,
+                backend,
+                program_sets[index],
+                members,
+                observable,
+                state,
+                binding,
+            )
+            for backend, (index, members) in zip(self._chunk_backends(len(tasks)), tasks)
+        ]
+        totals = [0.0] * len(program_sets)
+        for (index, _), future in zip(tasks, futures):
+            totals[index] += future.result()
+        return [totals]

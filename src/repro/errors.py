@@ -44,6 +44,17 @@ class PurityError(LinalgError):
     """
 
 
+class TrajectoryError(ReproError):
+    """A branch-splitting trajectory simulation exceeded its budget.
+
+    Raised when the per-outcome branch ensemble of
+    :mod:`repro.sim.trajectories` grows past the configured branch cap, or
+    when a bounded ``while`` cannot be truncated within the certified error
+    budget.  Trajectory-aware backends catch this and fall back to the
+    exact density-matrix path for the offending program.
+    """
+
+
 class ProgramSyntaxError(ReproError):
     """A program AST or surface-syntax string is malformed."""
 

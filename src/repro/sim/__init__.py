@@ -10,6 +10,10 @@ this package is that simulator.  It provides
   execution substrate used by the denotational and observable semantics;
 * :mod:`repro.sim.statevector` — a pure-state simulator with trajectory
   sampling, used for shot-based estimation;
+* :mod:`repro.sim.trajectories` — branch-splitting trajectory evaluation of
+  measuring programs: a ``(B, d^n)`` ensemble of sub-normalized pure
+  branches, split per measurement outcome, pruned, coalesced and
+  ``ε``-truncated with a certified error bound;
 * :mod:`repro.sim.kernels` — local tensor-contraction kernels that apply
   k-local operators directly to the target axes of the state tensor, the
   hot path of every simulator above (``embed_operator`` remains as the

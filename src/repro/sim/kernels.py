@@ -56,6 +56,7 @@ __all__ = [
     "expectation_density",
     "expectation_vector",
     "expectation_vector_batch",
+    "measure_branch_vector_batch",
     "reset_vector_batch",
     "branch_probabilities_density",
     "two_factor_expectation_density",
@@ -303,6 +304,29 @@ def two_factor_expectation_vector_batch(
     psi = _as_batch(amplitudes, lead_dim * rest_dim).reshape(-1, lead_dim, rest_dim)
     applied = np.einsum("rj,bcj->bcr", rest_operator, psi)
     return np.real(np.einsum("ac,bar,bcr->b", lead_operator, np.conj(psi), applied))
+
+
+def measure_branch_vector_batch(
+    amplitudes: np.ndarray,
+    dims: Sequence[int],
+    axes: Sequence[int],
+    operators: Sequence[np.ndarray],
+) -> list[np.ndarray]:
+    """Split a ``(B, d^n)`` stack into per-outcome sub-normalized stacks.
+
+    For a measurement ``{M_m}`` on the target axes, outcome ``m``'s stack is
+    ``M_m`` applied to every row: each input branch ``|ψ_b⟩`` contributes
+    the sub-normalized branch ``M_m|ψ_b⟩`` whose squared norm is that
+    branch's Born-rule probability mass, and summing the outer products of
+    all outcome stacks reproduces the density semantics of the measurement
+    exactly.  One broadcasted contraction per outcome — ``O(K · B · 2^k ·
+    2^n)`` total for ``K`` outcomes, the pure-state counterpart of the
+    ``O(K · 2^k · 4^n)`` density branch channels.
+    """
+    return [
+        apply_operator_vector_batch(amplitudes, dims, axes, operator)
+        for operator in operators
+    ]
 
 
 def reset_vector_batch(

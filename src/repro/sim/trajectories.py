@@ -1,0 +1,436 @@
+"""Branch-splitting trajectory simulation of measuring programs.
+
+The pure-state tier of :mod:`repro.sim.pure` refuses every program the
+purity analysis rejects — but a measured branch of a pure state is still an
+*ensemble of sub-normalized pure states*: for a measurement ``{M_m}``,
+
+    [[case M = m → P_m]](|ψ⟩⟨ψ|)  =  Σ_m [[P_m]](M_m|ψ⟩⟨ψ|M_m†),
+
+and each ``M_m|ψ⟩`` is again pure.  This module evaluates the defining
+equations of Figure 1b on a *branch ensemble* — a ``(B, d^n)`` stack of
+sub-normalized amplitude vectors representing ``ρ = Σ_b |ψ_b⟩⟨ψ_b|`` — so
+that branching programs stay at ``O(B · 2^k · 2^n)`` per gate instead of
+the density simulator's ``O(2^k · 4^n)``:
+
+* ``case`` splits the stack per outcome
+  (:func:`repro.sim.kernels.measure_branch_vector_batch`), denotes each
+  branch program on its sub-stack, and concatenates the results;
+* ``while(T)`` unrolls: each iteration appends the guard-0 (terminated)
+  branches to the output and feeds the guard-1 branches through the body;
+  the branch still running after ``T`` iterations aborts — exactly the
+  macro expansion of Eq. (3.1).  When an error budget is configured, the
+  unrolling stops early once the *remaining continuing probability mass* is
+  certified below the budget (the dropped readout error is at most that
+  mass times the observable's spectral norm — see ``mass_budget`` below);
+* the additive choice ``+`` stacks both summands' trajectories (its
+  observable semantics is the sum over the compiled multiset,
+  Definition 4.1/5.2);
+* ``q := |0⟩`` resets in one of two exact ways: branches the runtime
+  entanglement check certifies as product-form keep a single trajectory
+  (:func:`repro.sim.kernels.reset_vector_batch`); otherwise the reset
+  channel's Kraus operators ``K_i = |0⟩⟨i|_q`` split every branch into at
+  most ``dim(q)`` sub-branches — still an exact pure-state ensemble;
+* zero-probability branches are pruned at a tolerance, and branches that
+  are identical up to a global phase are coalesced (their masses add:
+  ``|ψ⟩⟨ψ| + c|ψ⟩⟨ψ| = (1+c)|ψ⟩⟨ψ|``).
+
+Every discarded branch's probability mass is accounted in
+:attr:`TrajectoryResult.dropped` per input row, so callers can *certify*
+``|tr(O ρ_exact) − Σ_b ⟨ψ_b|O|ψ_b⟩| ≤ dropped · ‖O‖`` and fall back to the
+density simulator when the bound cannot be met.  The ensemble width is
+capped (:attr:`TrajectoryOptions.max_branches`); exceeding it raises
+:class:`~repro.errors.TrajectoryError`, the signal for the same fallback —
+past ``B ≈ 2^n`` branches the ``O(4^n)`` density representation is the
+cheaper encoding of the mixture anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PurityError, SemanticsError, TrajectoryError
+from repro.lang.ast import (
+    Abort,
+    Case,
+    Init,
+    Program,
+    Seq,
+    Skip,
+    Sum,
+    UnitaryApp,
+    While,
+)
+from repro.lang.gates import bound_gate_matrix
+from repro.lang.parameters import ParameterBinding
+from repro.sim import kernels
+from repro.sim.hilbert import RegisterLayout
+
+__all__ = [
+    "TrajectoryOptions",
+    "TrajectoryResult",
+    "coalesce_branches",
+    "denote_trajectory_batch",
+]
+
+
+@dataclass(frozen=True)
+class TrajectoryOptions:
+    """Tuning knobs of the branch-splitting evaluator.
+
+    ``prune_tol`` is the absolute squared-norm (probability-mass) floor
+    below which a branch is discarded; exact zeros are always discarded
+    (they carry no mass, so dropping them never changes any readout).
+    ``mass_budget`` is the total probability mass the evaluator may discard
+    *per input row* beyond exact zeros — it enables the early ``while``
+    truncation and must be chosen by the caller as
+    ``tolerable readout error / ‖O‖`` for certification.  ``max_branches``
+    caps the ensemble width (``None`` derives ``max(64, d^n)``, the point
+    where the density representation becomes the cheaper encoding);
+    exceeding it raises :class:`~repro.errors.TrajectoryError`.
+    ``coalesce_tol`` bounds ``sin²θ`` of the angle between two branches
+    considered parallel — at the default ``1e-24`` a merge perturbs the
+    represented state by at most ``~1e-12`` of the merged mass.
+    """
+
+    prune_tol: float = 1e-14
+    mass_budget: float = 0.0
+    max_branches: int | None = None
+    coalesce: bool = True
+    coalesce_tol: float = 1e-24
+
+    def key(self) -> tuple:
+        """A hashable identity of everything that affects the output."""
+        return (
+            self.prune_tol,
+            self.mass_budget,
+            self.max_branches,
+            self.coalesce,
+            self.coalesce_tol,
+        )
+
+
+@dataclass
+class TrajectoryResult:
+    """The output ensemble of one trajectory evaluation.
+
+    ``amplitudes`` is the ``(B, d^n)`` stack of surviving sub-normalized
+    branches and ``owners[b]`` the input-row index branch ``b`` descends
+    from — readouts sum ``⟨ψ_b|O|ψ_b⟩`` over the branch axis per owner.
+    ``dropped[r]`` upper-bounds the probability mass discarded from input
+    row ``r`` (pruning below tolerance plus certified ``while``
+    truncation); the readout error it induces is at most ``dropped[r] ·
+    ‖O‖``.  ``branch_peak`` is the widest ensemble seen during evaluation.
+    Treat instances as immutable — they are shared through the denotation
+    cache.
+    """
+
+    amplitudes: np.ndarray
+    owners: np.ndarray
+    dropped: np.ndarray
+    branch_peak: int
+
+
+def _branch_masses(stack: np.ndarray) -> np.ndarray:
+    return np.real(np.einsum("bi,bi->b", np.conj(stack), stack))
+
+
+def coalesce_branches(
+    stack: np.ndarray,
+    owners: np.ndarray,
+    *,
+    tol: float = 1e-24,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge branches of the same owner that are parallel up to a phase.
+
+    Two sub-normalized branches with ``sin²`` of their angle below ``tol``
+    represent (numerically) the same pure state; their outer products add,
+    so the merged branch keeps the representative's direction with the
+    combined probability mass.  Projective measurements of basis-heavy
+    states and symmetric ``+`` summands produce such duplicates routinely —
+    coalescing keeps the ensemble width at the number of *distinct* states
+    rather than the number of syntactic branches.
+    """
+    if stack.shape[0] <= 1:
+        return stack, owners
+    masses = _branch_masses(stack)
+    keep_rows: list[np.ndarray] = []
+    keep_owners: list[int] = []
+    for owner in np.unique(owners):
+        indices = np.flatnonzero(owners == owner)
+        representatives: list[tuple[np.ndarray, float, float]] = []  # (row, row_mass, total)
+        for index in indices:
+            row, mass = stack[index], float(masses[index])
+            for position, (rep, rep_mass, total) in enumerate(representatives):
+                overlap = abs(np.vdot(rep, row)) ** 2
+                scale = rep_mass * mass
+                if scale - overlap <= tol * max(scale, np.finfo(float).tiny):
+                    representatives[position] = (rep, rep_mass, total + mass)
+                    break
+            else:
+                representatives.append((row, mass, mass))
+        for rep, rep_mass, total in representatives:
+            if total != rep_mass:
+                rep = rep * np.sqrt(total / max(rep_mass, np.finfo(float).tiny))
+            keep_rows.append(rep)
+            keep_owners.append(int(owner))
+    if len(keep_rows) == stack.shape[0]:
+        return stack, owners
+    return np.array(keep_rows), np.array(keep_owners, dtype=np.intp)
+
+
+class _Evaluator:
+    def __init__(
+        self,
+        layout: RegisterLayout,
+        binding: ParameterBinding | None,
+        options: TrajectoryOptions,
+        num_inputs: int,
+    ):
+        self.layout = layout
+        self.binding = binding
+        self.options = options
+        self.cap = (
+            options.max_branches
+            if options.max_branches is not None
+            else max(64, layout.total_dim)
+        )
+        self.dropped = np.zeros(num_inputs)
+        self.peak = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _check_cap(self, count: int) -> None:
+        self.peak = max(self.peak, count)
+        if count > self.cap:
+            raise TrajectoryError(
+                f"trajectory ensemble grew to {count} branches, past the cap of "
+                f"{self.cap}; the density representation is the cheaper encoding "
+                "of this mixture"
+            )
+
+    def _prune(
+        self, stack: np.ndarray, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drop (numerically) zero-mass branches, charging their mass."""
+        if stack.shape[0] == 0:
+            return stack, owners
+        masses = _branch_masses(stack)
+        keep = masses > self.options.prune_tol
+        if np.all(keep):
+            return stack, owners
+        lost = ~keep
+        np.add.at(self.dropped, owners[lost], masses[lost])
+        return stack[keep], owners[keep]
+
+    def _compact(
+        self, stacks: list[np.ndarray], owner_lists: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate, coalesce and cap-check a list of partial ensembles."""
+        stacks = [s for s in stacks if s.shape[0]]
+        if not stacks:
+            return self._empty()
+        stack = np.concatenate(stacks) if len(stacks) > 1 else stacks[0]
+        owners = (
+            np.concatenate([o for o in owner_lists if o.shape[0]])
+            if len(owner_lists) > 1
+            else owner_lists[0]
+        )
+        if self.options.coalesce:
+            stack, owners = coalesce_branches(
+                stack, owners, tol=self.options.coalesce_tol
+            )
+        self._check_cap(stack.shape[0])
+        return stack, owners
+
+    def _empty(self) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            np.zeros((0, self.layout.total_dim), dtype=complex),
+            np.zeros(0, dtype=np.intp),
+        )
+
+    # -- the defining equations --------------------------------------------
+
+    def denote(
+        self, program: Program, stack: np.ndarray, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if stack.shape[0] == 0:
+            return stack, owners
+        if isinstance(program, Abort):
+            return self._empty()
+        if isinstance(program, Skip):
+            return stack, owners
+        if isinstance(program, Init):
+            return self._reset(program.qubit, stack, owners)
+        if isinstance(program, UnitaryApp):
+            return (
+                kernels.apply_operator_vector_batch(
+                    stack,
+                    self.layout.dims,
+                    self.layout.axes_of(program.qubits),
+                    bound_gate_matrix(program.gate, self.binding),
+                ),
+                owners,
+            )
+        if isinstance(program, Seq):
+            stack, owners = self.denote(program.first, stack, owners)
+            return self.denote(program.second, stack, owners)
+        if isinstance(program, Case):
+            return self._case(program, stack, owners)
+        if isinstance(program, While):
+            return self._while(program, stack, owners)
+        if isinstance(program, Sum):
+            left = self.denote(program.left, stack, owners)
+            right = self.denote(program.right, stack, owners)
+            return self._compact([left[0], right[0]], [left[1], right[1]])
+        raise SemanticsError(
+            f"{type(program).__name__} is not trajectory-simulable; the simulation "
+            "report (repro.analysis.purity) gates which programs may take this path"
+        )
+
+    def _reset(
+        self, variable: str, stack: np.ndarray, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        axis = self.layout.index(variable)
+        try:
+            return (
+                kernels.reset_vector_batch(stack, self.layout.dims, axis),
+                owners,
+            )
+        except PurityError:
+            # Some branch is entangled with the reset variable: split the
+            # reset channel into its Kraus operators K_i = |0⟩⟨i| — each
+            # K_i|ψ⟩ is pure, and Σ_i K_i|ψ⟩⟨ψ|K_i† is the channel exactly.
+            dim = self.layout.dims[axis]
+            stacks, owner_lists = [], []
+            for source in range(dim):
+                kraus = np.zeros((dim, dim), dtype=complex)
+                kraus[0, source] = 1.0
+                split = kernels.apply_operator_vector_batch(
+                    stack, self.layout.dims, (axis,), kraus
+                )
+                split, split_owners = self._prune(split, owners)
+                stacks.append(split)
+                owner_lists.append(split_owners)
+            return self._compact(stacks, owner_lists)
+
+    def _case(
+        self, program: Case, stack: np.ndarray, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        axes = self.layout.axes_of(program.qubits)
+        outcome_stacks = kernels.measure_branch_vector_batch(
+            stack,
+            self.layout.dims,
+            axes,
+            [program.measurement.operator(m) for m, _ in program.branches],
+        )
+        splits = [self._prune(split, owners) for split in outcome_stacks]
+        self._check_cap(sum(split.shape[0] for split, _ in splits))
+        stacks, owner_lists = [], []
+        for (split, split_owners), (_, branch) in zip(splits, program.branches):
+            if split.shape[0] == 0:
+                continue
+            out_stack, out_owners = self.denote(branch, split, split_owners)
+            stacks.append(out_stack)
+            owner_lists.append(out_owners)
+        return self._compact(stacks, owner_lists)
+
+    def _while(
+        self, program: While, stack: np.ndarray, owners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        axes = self.layout.axes_of(program.qubits)
+        operators = {
+            outcome: program.measurement.operator(outcome) for outcome in (0, 1)
+        }
+        finished_stacks: list[np.ndarray] = []
+        finished_owners: list[np.ndarray] = []
+        for _ in range(program.bound):
+            if stack.shape[0] == 0:
+                break
+            terminated = kernels.apply_operator_vector_batch(
+                stack, self.layout.dims, axes, operators[0]
+            )
+            terminated, terminated_owners = self._prune(terminated, owners)
+            if terminated.shape[0]:
+                finished_stacks.append(terminated)
+                finished_owners.append(terminated_owners)
+            continuing = kernels.apply_operator_vector_batch(
+                stack, self.layout.dims, axes, operators[1]
+            )
+            stack, owners = self._prune(continuing, owners)
+            if self._truncate_while(stack, owners):
+                stack, owners = self._empty()
+                break
+            self._check_cap(
+                sum(s.shape[0] for s in finished_stacks) + stack.shape[0]
+            )
+            stack, owners = self.denote(program.body, stack, owners)
+        # The branch still running after the T-th iteration aborts — its
+        # mass is removed by the semantics itself, not an approximation.
+        return self._compact(finished_stacks, finished_owners)
+
+    def _truncate_while(self, stack: np.ndarray, owners: np.ndarray) -> bool:
+        """Certified early exit: may the continuing branches be discarded?
+
+        Truncating at iteration ``t < T`` only loses the mass that would
+        have *terminated* in iterations ``t..T-1``, which is at most the
+        continuing mass (mass never increases).  The exit engages only when
+        every input row with continuing mass stays within its budget after
+        being charged that mass — otherwise the loop unrolls to its exact
+        bound.
+        """
+        if self.options.mass_budget <= 0.0 or stack.shape[0] == 0:
+            return False
+        row_mass = np.zeros_like(self.dropped)
+        np.add.at(row_mass, owners, _branch_masses(stack))
+        active = row_mass > 0.0
+        if not np.all(
+            self.dropped[active] + row_mass[active] <= self.options.mass_budget
+        ):
+            return False
+        self.dropped += row_mass
+        return True
+
+
+def denote_trajectory_batch(
+    program: Program,
+    layout: RegisterLayout,
+    amplitudes: np.ndarray,
+    binding: ParameterBinding | None = None,
+    *,
+    options: TrajectoryOptions | None = None,
+) -> TrajectoryResult:
+    """Apply ``[[P(θ*)]]`` to a stack of pure inputs by branch splitting.
+
+    Each row of the ``(B, d^n)`` input stack is an independent (possibly
+    sub-normalized) pure input state; the result's ``owners`` maps every
+    output branch back to its input row.  Raises
+    :class:`~repro.errors.TrajectoryError` when the ensemble outgrows the
+    branch cap — the caller's cue to use the density simulator instead.
+    """
+    missing = program.qvars() - set(layout.names)
+    if missing:
+        raise SemanticsError(
+            f"the input state does not carry variables {sorted(missing)} used by the program"
+        )
+    stack = np.asarray(amplitudes, dtype=complex)
+    if stack.ndim != 2 or stack.shape[1] != layout.total_dim:
+        raise SemanticsError(
+            f"batched amplitudes must have shape (B, {layout.total_dim}), got {stack.shape}"
+        )
+    evaluator = _Evaluator(
+        layout,
+        binding,
+        options if options is not None else TrajectoryOptions(),
+        stack.shape[0],
+    )
+    owners = np.arange(stack.shape[0], dtype=np.intp)
+    evaluator._check_cap(stack.shape[0])
+    out_stack, out_owners = evaluator.denote(program, stack, owners)
+    return TrajectoryResult(
+        amplitudes=out_stack,
+        owners=out_owners,
+        dropped=evaluator.dropped,
+        branch_peak=evaluator.peak,
+    )

@@ -4,8 +4,8 @@
   Appendix F.2 at small/medium/large scale with basic/shared/if/while
   control-flow variants: the instances behind Tables 2 and 3;
 * :mod:`repro.vqc.classifier` — the 4-qubit classifiers P1 (no control) and
-  P2 (with control) of Section 8.1 and the boolean labelling task
-  ``f(z) = ¬(z1 ⊕ z4)``;
+  P2 (with control) of Section 8.1, the loop-controlled extension P3, and
+  the boolean labelling task ``f(z) = ¬(z1 ⊕ z4)``;
 * :mod:`repro.vqc.datasets` — boolean-function datasets and input-state
   encoding;
 * :mod:`repro.vqc.training` — loss functions and the gradient-descent
@@ -26,6 +26,7 @@ from repro.vqc.classifier import (
     build_q_layer,
     build_p1,
     build_p2,
+    build_p3,
 )
 from repro.vqc.datasets import (
     paper_label_function,
@@ -52,6 +53,7 @@ __all__ = [
     "build_q_layer",
     "build_p1",
     "build_p2",
+    "build_p3",
     "paper_label_function",
     "boolean_dataset",
     "all_bitstrings",

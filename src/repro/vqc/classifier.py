@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import TrainingError
 from repro.lang.ast import Program
-from repro.lang.builder import case_on_qubit, rx, ry, rz, seq
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, rz, seq
 from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
 from repro.sim.density import DensityState
 from repro.sim.hilbert import RegisterLayout
@@ -99,6 +99,40 @@ def build_p2(
         name="P2 (with control)",
         program=program,
         parameters=theta + phi + psi,
+        data_qubits=DATA_QUBITS,
+        readout_qubit=READOUT_QUBIT,
+    )
+
+
+def build_p3(
+    theta: Sequence[Parameter] | None = None,
+    psi: Sequence[Parameter] | None = None,
+    *,
+    bound: int = 2,
+) -> "BooleanClassifier":
+    """Build the loop-controlled classifier ``P3(Θ, Ψ)``.
+
+    ``P3(Θ, Ψ) = Q(Θ); while(T) M[q1] = 1 do Q(Ψ) done`` — the bounded
+    ``while`` variant of ``P2``: as long as the guard measurement of the
+    first qubit reads 1, another ``Q(Ψ)`` layer runs (at most ``T`` times;
+    the still-running branch then aborts, so predictions are read from the
+    sub-normalized terminated state, exactly the paper's partiality
+    convention).  It exercises the full bounded-while differentiation rules
+    and, on ``backend="auto"``, the branch-splitting trajectory tier with
+    one branch per unrolled loop prefix.
+    """
+    theta = tuple(theta) if theta is not None else ParameterVector("theta", 12).as_tuple()
+    psi = tuple(psi) if psi is not None else ParameterVector("psi", 12).as_tuple()
+    program = seq(
+        [
+            build_q_layer(theta),
+            bounded_while_on_qubit("q1", build_q_layer(psi), bound),
+        ]
+    )
+    return BooleanClassifier(
+        name="P3 (with loop)",
+        program=program,
+        parameters=theta + psi,
         data_qubits=DATA_QUBITS,
         readout_qubit=READOUT_QUBIT,
     )

@@ -3,8 +3,15 @@
 import numpy as np
 from hypothesis import given, settings
 
-from repro.analysis.purity import PurityReport, is_statevector_simulable, purity_report
-from repro.lang.ast import Abort, Init, Skip, Sum
+from repro.analysis.purity import (
+    BRANCH_BOUND_CAP,
+    PurityReport,
+    SimulationClass,
+    is_statevector_simulable,
+    purity_report,
+    simulation_report,
+)
+from repro.lang.ast import Abort, Init, Program, Skip, Sum
 from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, rxx, ry, seq
 from repro.lang.parameters import Parameter, ParameterBinding
 from repro.sim.density import DensityState
@@ -73,6 +80,67 @@ class TestVerdicts:
     def test_memoized_by_identity(self):
         program = seq([rx(THETA, "q1"), ry(THETA, "q2")])
         assert purity_report(program) is purity_report(program)
+
+
+class TestSimulationClasses:
+    def test_circuits_are_pure_with_branch_bound_one(self):
+        program = seq([rx(THETA, "q1"), rxx(0.4, "q1", "q2")])
+        report = simulation_report(program)
+        assert report.simulation_class is SimulationClass.PURE
+        assert report.branch_bound == 1
+        assert not report.additive
+
+    def test_case_is_branching_with_summed_arities(self):
+        program = case_on_qubit("q1", {0: Skip(("q1",)), 1: rx(0.3, "q2")})
+        report = simulation_report(program)
+        assert report.simulation_class is SimulationClass.BRANCHING
+        assert report.branch_bound == 2
+
+    def test_nested_case_bounds_multiply_through_sequencing(self):
+        inner = case_on_qubit("q2", {0: Skip(("q2",)), 1: Skip(("q2",))})
+        outer = case_on_qubit("q1", {0: inner, 1: inner})
+        assert simulation_report(outer).branch_bound == 4
+        assert simulation_report(seq([inner, inner])).branch_bound == 4
+
+    def test_while_bound_is_the_bounded_unrolling(self):
+        # A branch-free body: one terminated branch per unrolled prefix.
+        program = bounded_while_on_qubit("q1", rx(0.3, "q2"), 3)
+        assert simulation_report(program).branch_bound == 3
+        # A case body: Σ_{t<T} 2^t = 1 + 2 + 4.
+        body = case_on_qubit("q2", {0: Skip(("q2",)), 1: rx(0.3, "q2")})
+        nested = bounded_while_on_qubit("q1", body, 3)
+        assert simulation_report(nested).branch_bound == 7
+
+    def test_sum_is_branching_and_flagged_additive(self):
+        program = Sum(rx(THETA, "q1"), ry(THETA, "q1"))
+        report = simulation_report(program)
+        assert report.simulation_class is SimulationClass.BRANCHING
+        assert report.branch_bound == 2
+        assert report.additive
+
+    def test_mid_circuit_init_is_branching_not_density_only(self):
+        # The trajectory tier handles resets (runtime entanglement check or
+        # Kraus split); only unknown nodes are density-only.
+        report = simulation_report(seq([rx(THETA, "q1"), Init("q1")]))
+        assert report.simulation_class is SimulationClass.BRANCHING
+        assert report.branch_bound == 1  # resets are covered by the runtime cap
+
+    def test_unknown_nodes_are_density_only(self):
+        class Mystery(Program):
+            def qvars(self):
+                return frozenset({"q1"})
+
+        report = simulation_report(Mystery())
+        assert report.simulation_class is SimulationClass.DENSITY_ONLY
+
+    def test_branch_bound_saturates(self):
+        body = case_on_qubit("q2", {0: Skip(("q2",)), 1: Skip(("q2",))})
+        program = bounded_while_on_qubit("q1", body, 100)  # 2^100 prefixes
+        assert simulation_report(program).branch_bound == BRANCH_BOUND_CAP
+
+    def test_simulation_report_memoized_by_identity(self):
+        program = case_on_qubit("q1", {0: Skip(("q1",)), 1: Skip(("q1",))})
+        assert simulation_report(program) is simulation_report(program)
 
 
 class TestSoundness:

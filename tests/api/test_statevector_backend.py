@@ -156,7 +156,10 @@ class TestRouting:
         assert value == pytest.approx(reference.value(state, BINDING), abs=1e-10)
         assert np.allclose(gradient, reference.gradient(state, BINDING), atol=1e-10)
 
-    def test_case_program_falls_back_to_density(self):
+    def test_case_program_runs_on_the_trajectory_tier(self):
+        # Since the branch-splitting tier landed, a case program no longer
+        # demotes to density: it splits the trajectory per outcome and the
+        # fallback stays cold.
         program = seq(
             [rx(THETA, "q1"), case_on_qubit("q1", {0: Skip(("q1",)), 1: ry(PHI, "q2")})]
         )
@@ -167,16 +170,18 @@ class TestRouting:
         estimator = Estimator(program, ZZ, backend=backend)
         reference = Estimator(program, ZZ)
         assert estimator.value(state, BINDING) == pytest.approx(
-            reference.value(state, BINDING), abs=1e-12
+            reference.value(state, BINDING), abs=1e-10
         )
-        assert counting.value_calls == 1
-        # The derivative multiset members of a case program also branch, so
-        # every term goes through the exact density readout — and still
-        # matches the reference bit for bit (same arithmetic, same denote).
+        assert counting.value_calls == 0
+        assert backend.tier_for(program) == "trajectory"
+        assert backend.tier_counts["trajectory"] >= 1
+        # The branching members of the derivative multiset take their own
+        # branch ensembles; the readout still matches the density reference.
         grad = estimator.gradient(state, BINDING)
-        assert np.array_equal(grad, reference.gradient(state, BINDING))
+        assert np.allclose(grad, reference.gradient(state, BINDING), atol=1e-10)
+        assert counting.derivative_calls == 0
 
-    def test_while_program_falls_back_to_density(self):
+    def test_while_program_runs_on_the_trajectory_tier(self):
         program = bounded_while_on_qubit("q1", ry(THETA, "q2"), 2)
         counting = _CountingBackend()
         backend = StatevectorBackend(fallback=counting)
@@ -185,9 +190,10 @@ class TestRouting:
         estimator = Estimator(program, ZZ, backend=backend)
         reference = Estimator(program, ZZ)
         assert estimator.value(state, BINDING) == pytest.approx(
-            reference.value(state, BINDING), abs=1e-12
+            reference.value(state, BINDING), abs=1e-10
         )
-        assert counting.value_calls == 1
+        assert counting.value_calls == 0
+        assert backend.tier_for(program) == "trajectory"
 
     def test_mixed_input_state_falls_back(self):
         program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
@@ -269,7 +275,7 @@ class TestStateVectorInputs:
             atol=1e-12,
         )
 
-    def test_statevector_input_on_branching_program_falls_back(self):
+    def test_statevector_input_on_branching_program_matches_density(self):
         from repro.sim.statevector import StateVector
 
         program = seq(

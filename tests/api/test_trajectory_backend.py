@@ -1,0 +1,310 @@
+"""Cross-checks of the branch-splitting trajectory tier on the Estimator seam.
+
+The trajectory tier of :class:`repro.api.StatevectorBackend` must be
+observationally indistinguishable from the exact density path on every
+branching program — values and gradients agree to 1e-10 — and its ``while``
+truncation may only engage when the certified error bound (discarded
+probability mass × observable spectral norm) is below the tolerance;
+everything else demotes to the density fallback per program.  The
+hypothesis suites sweep random ``case``/``while``/``Sum`` programs; the
+directed tests pin the routing, the certification and the fallback.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.additive.compile import compile_additive
+from repro.lang.builder import bounded_while_on_qubit, case_on_qubit, rx, ry, seq, sum_programs
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.trajectories import TrajectoryOptions
+from repro.api import (
+    DenotationCache,
+    Estimator,
+    ExactDensityBackend,
+    StatevectorBackend,
+)
+
+from tests.conftest import binding_strategy, input_state_strategy, program_strategy
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.52, PHI: -0.8})
+
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+LAYOUT = RegisterLayout(("q1", "q2"))
+
+
+class _ExplodingBackend(ExactDensityBackend):
+    """A fallback that fails loudly — proves the trajectory path was taken."""
+
+    def value(self, *args, **kwargs):  # pragma: no cover - must not be hit
+        raise AssertionError("fallback used on a trajectory-simulable program")
+
+    value_batch = None  # any batch use would raise TypeError immediately
+
+    def derivative(self, *args, **kwargs):  # pragma: no cover - must not be hit
+        raise AssertionError("fallback used on a trajectory-simulable program")
+
+
+class _CountingBackend(ExactDensityBackend):
+    """Counts how often the density fallback serves a whole-input request."""
+
+    def __init__(self):
+        self.value_calls = 0
+        self.derivative_calls = 0
+
+    def value(self, *args, **kwargs):
+        self.value_calls += 1
+        return super().value(*args, **kwargs)
+
+    def derivative(self, *args, **kwargs):
+        self.derivative_calls += 1
+        return super().derivative(*args, **kwargs)
+
+
+class TestHypothesisCrossCheck:
+    """Satellite suite: trajectory tier vs exact density on random programs."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        program=program_strategy(max_depth=2),
+        binding=binding_strategy(),
+        state=input_state_strategy(),
+    )
+    def test_values_agree_on_branching_programs(self, program, binding, state):
+        exact = Estimator(program, ZZ)
+        fast = exact.with_backend(StatevectorBackend())
+        assert fast.value(state, binding) == pytest.approx(
+            exact.value(state, binding), abs=1e-10
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        program=program_strategy(max_depth=2, allow_abort=False),
+        binding=binding_strategy(),
+        state=input_state_strategy(),
+    )
+    def test_gradients_agree_on_branching_programs(self, program, binding, state):
+        exact = Estimator(program, ZZ)
+        fast = exact.with_backend(StatevectorBackend())
+        reference = exact.gradient(state, binding)
+        assert np.allclose(fast.gradient(state, binding), reference, atol=1e-10)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        program=program_strategy(max_depth=2, allow_sum=True),
+        binding=binding_strategy(),
+        state=input_state_strategy(),
+    )
+    def test_sum_values_match_the_compiled_multiset(self, program, binding, state):
+        # Reference for additive programs: Σ over Compile(P) of the exact
+        # density value — exactly Definition 4.1/5.2.
+        reference = sum(
+            Estimator(member, ZZ).value(state, binding)
+            for member in compile_additive(program)
+        )
+        fast = Estimator(program, ZZ, backend=StatevectorBackend())
+        assert fast.value(state, binding) == pytest.approx(reference, abs=1e-10)
+        # The density backend agrees through its own additive summation.
+        exact = Estimator(program, ZZ)
+        assert exact.value(state, binding) == pytest.approx(reference, abs=1e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(binding=binding_strategy(), state=input_state_strategy())
+    def test_truncated_while_stays_within_the_certified_bound(self, binding, state):
+        # Continuing mass halves per iteration; epsilon=1e-4 certifies an
+        # early exit long before the exact bound of 30 iterations.
+        program = seq(
+            [rx(THETA, "q1"), bounded_while_on_qubit("q1", rx(np.pi / 2, "q1"), 30)]
+        )
+        epsilon = 1e-4
+        exact = Estimator(program, ZZ).value(state, binding)
+        truncated = Estimator(
+            program, ZZ, backend=StatevectorBackend(epsilon=epsilon)
+        ).value(state, binding)
+        assert abs(truncated - exact) <= epsilon
+
+
+class TestRoutingAndFallback:
+    def test_trajectory_path_used_without_touching_the_fallback(self):
+        program = seq(
+            [rx(THETA, "q1"), case_on_qubit("q1", {0: ry(PHI, "q2"), 1: rx(PHI, "q2")})]
+        )
+        backend = StatevectorBackend(fallback=_ExplodingBackend())
+        estimator = Estimator(program, ZZ, backend=backend)
+        reference = Estimator(program, ZZ)
+        state = DensityState.basis_state(LAYOUT, {})
+        assert estimator.value(state, BINDING) == pytest.approx(
+            reference.value(state, BINDING), abs=1e-10
+        )
+        assert np.allclose(
+            estimator.gradient(state, BINDING), reference.gradient(state, BINDING), atol=1e-10
+        )
+        assert backend.tier_counts["trajectory"] >= 1
+        assert backend.tier_counts["density"] == 0
+
+    def test_mixed_input_on_branching_program_falls_back_per_input(self):
+        program = case_on_qubit("q1", {0: rx(THETA, "q2"), 1: ry(PHI, "q2")})
+        counting = _CountingBackend()
+        backend = StatevectorBackend(fallback=counting)
+        mixed = DensityState(LAYOUT, np.eye(4, dtype=complex) / 4.0)
+        pure = DensityState.basis_state(LAYOUT, {"q1": 1})
+        estimator = Estimator(program, ZZ, backend=backend)
+        reference = Estimator(program, ZZ)
+        values = estimator.values([(pure, BINDING), (mixed, BINDING)])
+        assert np.allclose(
+            values, reference.values([(pure, BINDING), (mixed, BINDING)]), atol=1e-10
+        )
+        assert counting.value_calls == 1  # only the mixed input demoted
+
+    def test_branch_cap_overflow_falls_back_to_density(self):
+        # Doubling branch growth per iteration blows a cap of 4 quickly; the
+        # trajectory attempt aborts and the density fallback serves it.
+        body = seq(
+            [case_on_qubit("q2", {0: rx(0.3, "q2"), 1: ry(0.4, "q2")}), rx(0.7, "q1")]
+        )
+        program = bounded_while_on_qubit("q1", body, 6)
+        counting = _CountingBackend()
+        backend = StatevectorBackend(
+            fallback=counting, trajectory=TrajectoryOptions(max_branches=4)
+        )
+        state = DensityState.from_pure(
+            LAYOUT, np.array([0.6, 0.0, 0.0, 0.8], dtype=complex)
+        )
+        estimator = Estimator(program, ZZ, backend=backend)
+        reference = Estimator(program, ZZ)
+        assert estimator.value(state, None) == pytest.approx(
+            reference.value(state, None), abs=1e-12
+        )
+        assert counting.value_calls == 1
+        # With the default cap the same program stays on the trajectory tier.
+        roomy = StatevectorBackend(fallback=_ExplodingBackend())
+        assert Estimator(program, ZZ, backend=roomy).value(state, None) == pytest.approx(
+            reference.value(state, None), abs=1e-10
+        )
+
+    def test_truncation_never_engages_below_the_certified_bound(self):
+        # Acceptance pin: with a cap too small for the exact unrolling and a
+        # budget too small to certify truncation, the program must demote to
+        # density rather than return an uncertified value.
+        program = bounded_while_on_qubit("q1", rx(np.pi / 2, "q1"), 40)
+        state = DensityState.basis_state(LAYOUT, {"q1": 1})
+        reference = Estimator(program, ZZ).value(state, None)
+
+        counting = _CountingBackend()
+        starved = StatevectorBackend(
+            fallback=counting,
+            epsilon=1e-15,  # certifiable only after ~50 halvings: unreachable
+            trajectory=TrajectoryOptions(max_branches=8, coalesce=False),
+        )
+        value = Estimator(program, ZZ, backend=starved).value(state, None)
+        assert value == pytest.approx(reference, abs=1e-12)
+        assert counting.value_calls == 1  # density served it
+
+        funded = StatevectorBackend(
+            fallback=_ExplodingBackend(),
+            epsilon=1e-1,  # certified truncation engages within the cap
+            trajectory=TrajectoryOptions(max_branches=8, coalesce=False),
+        )
+        approximate = Estimator(program, ZZ, backend=funded).value(state, None)
+        assert abs(approximate - reference) <= 1e-1
+
+    def test_explicit_mass_budget_truncates_without_falling_back(self):
+        # The advanced knob: a caller-configured TrajectoryOptions.mass_budget
+        # must be honored by certification (not demoted to density for doing
+        # exactly what it was asked to).
+        program = bounded_while_on_qubit("q1", rx(np.pi / 2, "q1"), 30)
+        state = DensityState.basis_state(LAYOUT, {"q1": 1})
+        reference = Estimator(program, ZZ).value(state, None)
+        backend = StatevectorBackend(
+            fallback=_ExplodingBackend(),
+            trajectory=TrajectoryOptions(mass_budget=1e-3),
+        )
+        value = Estimator(program, ZZ, backend=backend).value(state, None)
+        assert abs(value - reference) <= 1e-3
+        assert abs(value - reference) > 0.0  # truncation engaged
+
+    def test_derivative_epsilon_budget_is_split_across_branching_members(self):
+        # A derivative column summing m truncated members must stay within
+        # epsilon overall, not m·epsilon.
+        program = seq(
+            [
+                rx(THETA, "q1"),
+                bounded_while_on_qubit("q1", seq([rx(np.pi / 2, "q1"), ry(0.3, "q2")]), 30),
+            ]
+        )
+        state = DensityState.basis_state(LAYOUT, {"q1": 1})
+        epsilon = 1e-3
+        exact = Estimator(program, ZZ).gradient(state, BINDING)
+        loose = Estimator(
+            program, ZZ, backend=StatevectorBackend(epsilon=epsilon)
+        ).gradient(state, BINDING)
+        assert np.all(np.abs(loose - exact) <= epsilon)
+
+    def test_derivative_members_are_routed_individually(self):
+        # P2-shaped program: the derivative multiset of theta mixes
+        # measurement-free members with case gadgets; none may need density.
+        program = seq(
+            [rx(THETA, "q1"), case_on_qubit("q1", {0: ry(PHI, "q2"), 1: rx(PHI, "q2")})]
+        )
+        counting = _CountingBackend()
+        backend = StatevectorBackend(fallback=counting)
+        estimator = Estimator(program, ZZ, backend=backend)
+        reference = Estimator(program, ZZ)
+        state = DensityState.basis_state(LAYOUT, {"q1": 1})
+        assert np.allclose(
+            estimator.gradient(state, BINDING),
+            reference.gradient(state, BINDING),
+            atol=1e-10,
+        )
+        assert counting.derivative_calls == 0
+        assert backend.tier_counts["trajectory"] >= 1
+
+
+class TestCacheAndAttribution:
+    def test_trajectory_results_are_cached_per_input_stack(self):
+        program = case_on_qubit("q1", {0: rx(THETA, "q2"), 1: ry(PHI, "q2")})
+        backend = StatevectorBackend()
+        estimator = Estimator(program, ZZ, backend=backend)
+        state = DensityState.basis_state(LAYOUT, {"q1": 1})
+        estimator.value(state, BINDING)
+        misses = backend.cache.stats.misses
+        estimator.value(state, BINDING)
+        assert backend.cache.stats.misses == misses
+        assert backend.cache.stats.hits >= 1
+
+    def test_different_error_budgets_do_not_share_cache_entries(self):
+        program = bounded_while_on_qubit("q1", rx(np.pi / 2, "q1"), 30)
+        state = DensityState.basis_state(LAYOUT, {"q1": 1})
+        cache = DenotationCache()
+        exact_backend = StatevectorBackend(cache=cache)
+        loose_backend = StatevectorBackend(cache=cache, epsilon=1e-2)
+        exact = Estimator(program, ZZ, backend=exact_backend).value(state, None)
+        loose = Estimator(program, ZZ, backend=loose_backend).value(state, None)
+        assert abs(loose - exact) <= 1e-2
+        assert exact != loose  # the truncated entry is distinct, not reused
+
+    def test_tier_for_matches_the_simulation_classes(self):
+        backend = StatevectorBackend()
+        assert backend.tier_for(seq([rx(THETA, "q1"), ry(PHI, "q2")])) == "pure"
+        assert (
+            backend.tier_for(case_on_qubit("q1", {0: rx(THETA, "q2"), 1: ry(PHI, "q2")}))
+            == "trajectory"
+        )
+        assert (
+            backend.tier_for(sum_programs([rx(THETA, "q1"), ry(PHI, "q1")]))
+            == "trajectory"
+        )
+
+    def test_pickling_preserves_the_trajectory_configuration(self):
+        import pickle
+
+        options = TrajectoryOptions(max_branches=17)
+        backend = StatevectorBackend(epsilon=0.25, trajectory=options)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.epsilon == 0.25
+        assert clone.trajectory.max_branches == 17
+        assert clone.tier_counts == {"pure": 0, "trajectory": 0, "density": 0}

@@ -1,15 +1,15 @@
-"""Unit tests for the Section 8.1 classifiers P1 and P2."""
+"""Unit tests for the Section 8.1 classifiers P1/P2 and the P3 extension."""
 
 import numpy as np
 import pytest
 
 from repro.errors import TrainingError
-from repro.lang.ast import Case, Seq
+from repro.lang.ast import Case, Seq, While
 from repro.lang.parameters import Parameter, ParameterBinding, ParameterVector
 from repro.lang.traversal import contains_case, is_circuit
 from repro.analysis.resources import gate_count
 from repro.baselines.finite_diff import finite_difference_derivative
-from repro.vqc.classifier import BooleanClassifier, build_p1, build_p2, build_q_layer
+from repro.vqc.classifier import BooleanClassifier, build_p1, build_p2, build_p3, build_q_layer
 from repro.vqc.datasets import paper_dataset
 
 
@@ -39,6 +39,21 @@ class TestBuildClassifiers:
         assert contains_case(p2.program)
         assert isinstance(p2.program, Seq)
         assert isinstance(p2.program.second, Case)
+
+    def test_p3_has_a_bounded_while_and_24_parameters(self):
+        p3 = build_p3()
+        assert len(p3.parameters) == 24
+        assert isinstance(p3.program, Seq)
+        assert isinstance(p3.program.second, While)
+        assert p3.program.second.bound == 2
+        assert gate_count(p3.program.second.body) == 12
+
+    def test_p3_predictions_are_sub_normalized_probabilities(self):
+        p3 = build_p3()
+        binding = p3.initial_binding(seed=1, spread=0.6)
+        for bits in ((0, 0, 0, 0), (1, 0, 1, 0), (1, 1, 1, 1)):
+            probability = p3.predict_probability(bits, binding)
+            assert 0.0 <= probability <= 1.0 + 1e-12
 
     def test_p1_and_p2_execute_the_same_number_of_gates_per_run(self):
         """Each run of P2 applies one of the two 12-gate branches: 24 gates, like P1."""

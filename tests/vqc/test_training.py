@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import TrainingError
 from repro.lang.parameters import ParameterBinding
-from repro.vqc.classifier import build_p1, build_p2
+from repro.vqc.classifier import build_p1, build_p2, build_p3
 from repro.vqc.datasets import paper_dataset
 from repro.vqc.training import (
     GradientDescentTrainer,
@@ -128,3 +128,48 @@ class TestTrainer:
         binding = ParameterBinding.zeros(classifier.parameters)
         result = trainer.train(dataset[:2], initial_binding=binding)
         assert len(result.losses) == 2
+
+    def test_p3_trains_and_loses_mass_to_the_abort_branch(self, dataset):
+        classifier = build_p3()
+        trainer = GradientDescentTrainer(
+            classifier, TrainingConfig(epochs=2, learning_rate=0.5, record_accuracy=True)
+        )
+        result = trainer.train(dataset)
+        assert len(result.losses) == 3
+        assert all(np.isfinite(loss) for loss in result.losses)
+        # The readout is taken on the sub-normalized terminated state, so
+        # every prediction is a valid (≤ 1) probability.
+        binding = result.final_binding
+        predictions = trainer.predictions(dataset, binding)
+        assert all(0.0 <= p <= 1.0 + 1e-12 for p in predictions)
+
+
+class TestTrajectoryTierReproducesTheSeedTrajectory:
+    """Acceptance pin: P2/P3 train through ``backend="auto"`` on the
+    branch-splitting trajectory tier and reproduce the exact-density loss
+    trajectory to ≤ 1e-8 (ε-pruning is off by default, so the only
+    divergence is floating-point association across branches)."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return paper_dataset()
+
+    @pytest.mark.parametrize("build", [build_p2, build_p3])
+    def test_auto_matches_exact_density_losses(self, dataset, build):
+        def run(backend):
+            trainer = GradientDescentTrainer(
+                build(),
+                TrainingConfig(
+                    epochs=3, learning_rate=0.5, record_accuracy=True, backend=backend
+                ),
+            )
+            return trainer.train(dataset)
+
+        auto, exact = run("auto"), run("exact-density")
+        assert np.allclose(auto.losses, exact.losses, atol=1e-8)
+        assert auto.accuracies == exact.accuracies
+
+    def test_p2_forward_program_is_attributed_to_the_trajectory_tier(self):
+        classifier = build_p2()
+        trainer = GradientDescentTrainer(classifier, TrainingConfig(epochs=1))
+        assert trainer.estimator.backend.tier_for(classifier.program) == "trajectory"

@@ -1,0 +1,278 @@
+"""The request protocol under load (the PR-5 tentpole).
+
+Three comparisons, all landing in ``BENCH_service.json``:
+
+* **coalesced batch vs per-call loop** — a mixed-tier workload (a
+  measurement-free ladder on the pure tier plus a ``case`` program on the
+  trajectory tier, many input points each) submitted as one request batch
+  through an :class:`~repro.service.EstimatorService` versus the blocking
+  per-call ``Estimator.value`` loop the old seam forced.  Planning folds
+  each program's points into a single batched backend call; the acceptance
+  floor (full mode) is **≥ 2×**.
+* **cache-hit-heavy repeats** — the same workload resubmitted to the warm
+  service (every point already denoted, duplicates coalesced) versus the
+  legacy fresh-estimator-per-call pattern (what the pre-``repro.api``
+  shims did: nothing shared, everything re-simulated).  Floor: **≥ 10×**.
+* **inline vs thread-pool executor** — the same multi-group drain through
+  both executors; results must agree bit for bit (the executors run the
+  identical grouped calls), the timing ratio is recorded (the thread pool
+  needs real cores to win — the CI box has one).
+
+The Figure 6 bit-for-bit pin lives in ``test_bench_estimator_cache.py``:
+training runs through the service's inline executor and must reproduce the
+seed loss trajectory number for number — that assertion now exercises this
+subsystem end to end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, seq
+from repro.lang.parameters import ParameterBinding, ParameterVector
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.statevector import StateVector
+from repro.api import Estimator
+from repro.service import EstimatorService
+
+from benchmarks.conftest import record_result, register_report, smoke_mode
+
+SMOKE = smoke_mode()
+
+#: Register width of the workload programs.
+QUBITS = 4 if SMOKE else 8
+#: Input points per program.
+POINTS = 6 if SMOKE else 24
+#: Warm-service resubmissions of the whole workload.
+REPEATS = 2 if SMOKE else 3
+
+_results: dict[str, dict] = {}
+
+
+def _ladder(num_qubits: int, num_parameters: int = 2, *, branching: bool = False):
+    """A layered circuit; ``branching=True`` adds a measurement-controlled
+    branch so the program routes to the trajectory tier."""
+    qubits = [f"q{i}" for i in range(num_qubits)]
+    parameters = ParameterVector("t", num_parameters).as_tuple()
+    statements = [rx(parameters[i % num_parameters], qubits[i]) for i in range(num_qubits)]
+    statements += [rxx(0.4, qubits[i], qubits[i + 1]) for i in range(num_qubits - 1)]
+    if branching:
+        statements.append(
+            case_on_qubit(qubits[0], {0: ry(parameters[0], qubits[1]), 1: rx(0.7, qubits[1])})
+        )
+    else:
+        statements += [ry(parameters[0], qubits[0])]
+    program = seq(statements)
+    layout = RegisterLayout(qubits)
+    binding = ParameterBinding.from_values(
+        parameters, np.linspace(0.3, 1.1, num_parameters)
+    )
+    observable = np.array([[1, 0], [0, -1]], dtype=complex)
+    return program, layout, binding, observable, qubits
+
+
+def _basis_vectors(layout, count: int) -> list[StateVector]:
+    dim = layout.total_dim
+    vectors = []
+    for index in range(count):
+        amplitudes = np.zeros(dim, dtype=complex)
+        amplitudes[index % dim] = 1.0
+        vectors.append(StateVector(layout, amplitudes))
+    return vectors
+
+
+def _workload():
+    """(estimator factory args, binding, inputs) per program — mixed tiers."""
+    pure = _ladder(QUBITS)
+    branching = _ladder(QUBITS, branching=True)
+    entries = []
+    for program, layout, binding, observable, qubits in (pure, branching):
+        entries.append(
+            {
+                "program": program,
+                "binding": binding,
+                "observable": observable,
+                "targets": (qubits[-1],),
+                "inputs": _basis_vectors(layout, POINTS),
+            }
+        )
+    return entries
+
+
+def _fresh_estimators(entries) -> list[Estimator]:
+    return [
+        Estimator(
+            entry["program"],
+            entry["observable"],
+            targets=entry["targets"],
+            backend="auto",
+        )
+        for entry in entries
+    ]
+
+
+def test_coalesced_batch_vs_per_call_loop():
+    entries = _workload()
+
+    # The blocking per-call loop: held estimators, one .value per point.
+    per_call_estimators = _fresh_estimators(entries)
+    start = time.perf_counter()
+    per_call_values = [
+        [
+            estimator.value(state, entry["binding"])
+            for state in entry["inputs"]
+        ]
+        for estimator, entry in zip(per_call_estimators, entries)
+    ]
+    per_call_s = time.perf_counter() - start
+
+    # The request protocol: every point of every program in one drain.
+    service = EstimatorService("auto")
+    estimators = _fresh_estimators(entries)
+    start = time.perf_counter()
+    handles = [
+        service.submit_many(
+            [
+                estimator.request_value(state, entry["binding"])
+                for state in entry["inputs"]
+            ]
+        )
+        for estimator, entry in zip(estimators, entries)
+    ]
+    service.flush()
+    batched_values = [[handle.result() for handle in batch] for batch in handles]
+    batched_s = time.perf_counter() - start
+
+    for loop_row, batch_row in zip(per_call_values, batched_values):
+        assert np.allclose(loop_row, batch_row, atol=1e-10)
+
+    speedup = per_call_s / batched_s
+    _results["mixed_tier"] = {
+        "qubits": QUBITS,
+        "points_per_program": POINTS,
+        "programs": len(entries),
+        "per_call_s": per_call_s,
+        "coalesced_batch_s": batched_s,
+        "speedup": speedup,
+        "groups": service.stats.groups,
+    }
+    record_result("service", "mixed_tier", _results["mixed_tier"])
+    if not SMOKE:
+        assert speedup >= 2.0, f"coalesced batching won only {speedup:.2f}x"
+
+    # -- cache-hit-heavy repeats vs the legacy per-call pattern ------------
+    warm_s = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        repeat_handles = [
+            service.submit_many(
+                [
+                    estimator.request_value(state, entry["binding"])
+                    for state in entry["inputs"]
+                ]
+            )
+            for estimator, entry in zip(estimators, entries)
+        ]
+        service.flush()
+        for batch in repeat_handles:
+            for handle in batch:
+                handle.result()
+        warm_s = min(warm_s, time.perf_counter() - start)
+
+    # The legacy pattern: a fresh single-call estimator per evaluation
+    # (exactly what the pre-api shims do) — nothing shared, everything
+    # re-simulated.  One pass is enough to time it.
+    start = time.perf_counter()
+    for entry in entries:
+        for state in entry["inputs"]:
+            Estimator(
+                entry["program"],
+                entry["observable"],
+                targets=entry["targets"],
+                backend="auto",
+            ).value(state, entry["binding"])
+    legacy_s = time.perf_counter() - start
+
+    repeat_speedup = legacy_s / warm_s
+    _results["cache_hot_repeats"] = {
+        "warm_service_s": warm_s,
+        "legacy_per_call_s": legacy_s,
+        "speedup": repeat_speedup,
+        "repeats": REPEATS,
+    }
+    record_result("service", "cache_hot_repeats", _results["cache_hot_repeats"])
+    if not SMOKE:
+        assert repeat_speedup >= 10.0, (
+            f"warm service beat the legacy per-call pattern only {repeat_speedup:.1f}x"
+        )
+
+
+def test_inline_vs_thread_executor():
+    entries = _workload()
+
+    def run(executor):
+        service = EstimatorService("auto", executor=executor)
+        estimators = _fresh_estimators(entries)
+        start = time.perf_counter()
+        handles = [
+            service.submit_many(
+                [
+                    estimator.request_value(state, entry["binding"])
+                    for state in entry["inputs"]
+                ]
+                + [
+                    estimator.request_gradient(entry["inputs"][0], entry["binding"])
+                ]
+            )
+            for estimator, entry in zip(estimators, entries)
+        ]
+        service.flush()
+        results = [
+            [np.asarray(handle.result()) for handle in batch] for batch in handles
+        ]
+        elapsed = time.perf_counter() - start
+        service.close()
+        return results, elapsed
+
+    inline_results, inline_s = run("inline")
+    thread_results, thread_s = run("threads")
+    for inline_batch, thread_batch in zip(inline_results, thread_results):
+        for a, b in zip(inline_batch, thread_batch):
+            # The executors run the identical grouped calls: bit for bit.
+            assert np.array_equal(a, b)
+    _results["executors"] = {
+        "inline_s": inline_s,
+        "threads_s": thread_s,
+        "ratio": inline_s / thread_s,
+    }
+    record_result("service", "executors", _results["executors"])
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _report():
+    yield
+    lines = ["workload: %d programs x %d points, %d qubits, mixed pure/trajectory tiers"
+             % (2, POINTS, QUBITS)]
+    mixed = _results.get("mixed_tier")
+    if mixed:
+        lines.append(
+            f"per-call loop {mixed['per_call_s'] * 1e3:9.1f} ms | coalesced batch "
+            f"{mixed['coalesced_batch_s'] * 1e3:9.1f} ms | {mixed['speedup']:5.1f}x "
+            f"({mixed['groups']} backend calls)"
+        )
+    repeats = _results.get("cache_hot_repeats")
+    if repeats:
+        lines.append(
+            f"legacy per-call {repeats['legacy_per_call_s'] * 1e3:7.1f} ms | warm service "
+            f"{repeats['warm_service_s'] * 1e3:9.1f} ms | {repeats['speedup']:5.1f}x"
+        )
+    executors = _results.get("executors")
+    if executors:
+        lines.append(
+            f"inline executor {executors['inline_s'] * 1e3:7.1f} ms | thread pool "
+            f"{executors['threads_s'] * 1e3:9.1f} ms | {executors['ratio']:5.2f}x"
+        )
+    register_report("EstimatorService: request batching and coalescing", "\n".join(lines))

@@ -36,8 +36,13 @@ from repro.api.backends import (
     StatevectorBackend,
 )
 from repro.api.cache import CacheStats, DenotationCache
-from repro.api.estimator import Estimator, ordered_parameters, resolve_backend
-from repro.api.parallel import ParallelBackend
+from repro.api.estimator import (
+    Estimator,
+    backend_spellings,
+    ordered_parameters,
+    resolve_backend,
+)
+from repro.api.parallel import ParallelBackend, ThreadPoolBackend
 
 __all__ = [
     "Backend",
@@ -49,6 +54,8 @@ __all__ = [
     "ParallelBackend",
     "ShotSamplingBackend",
     "StatevectorBackend",
+    "ThreadPoolBackend",
+    "backend_spellings",
     "ordered_parameters",
     "resolve_backend",
 ]

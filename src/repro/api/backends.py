@@ -35,6 +35,7 @@ to fan requests out to worker processes.
 from __future__ import annotations
 
 import abc
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -208,6 +209,23 @@ def _additive_members(program: Program) -> tuple[Program, ...]:
         _ADDITIVE_MEMO.clear()
     _ADDITIVE_MEMO[id(program)] = (program, members)
     return members
+
+
+class _TierCounts(dict):
+    """Per-tier routing counters that survive concurrent bumps.
+
+    ``d[k] += 1`` is a read-modify-write and loses updates when the
+    thread-pool executors drive one backend from several workers; ``bump``
+    takes a lock so the diagnostics stay exact under concurrency.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._lock = threading.Lock()
+
+    def bump(self, key: str) -> None:
+        with self._lock:
+            self[key] = self.get(key, 0) + 1
 
 
 @dataclass(frozen=True)
@@ -452,6 +470,10 @@ class ShotSamplingBackend(Backend):
     target operator and reading Born-rule weights off the reduced density
     matrix of the ancilla + target factors — the full-space observable is
     never formed.
+
+    Additive (``+``) forward programs are supported the same way the
+    deterministic backends support them: the value is the sum over
+    ``Compile(P)``, estimated as one multi-program uniform mixture.
     """
 
     name = "shot-sampling"
@@ -499,7 +521,13 @@ class ShotSamplingBackend(Backend):
             return entry[1], entry[2]
         measurement, eigenvalues = _spectral_decomposition(np.asarray(matrix))
         while len(self._spectral_memo) >= self._SPECTRAL_MEMO_LIMIT:
-            self._spectral_memo.pop(next(iter(self._spectral_memo)))
+            # The memo may be shared between threads (per-group backend
+            # clones are shallow copies): two concurrent evictions can race
+            # to the same oldest key, so a lost race just stops evicting.
+            try:
+                self._spectral_memo.pop(next(iter(self._spectral_memo)))
+            except (KeyError, StopIteration, RuntimeError):
+                break
         self._spectral_memo[id(matrix)] = (matrix, measurement, eigenvalues)
         return measurement, eigenvalues
 
@@ -514,24 +542,37 @@ class ShotSamplingBackend(Backend):
     ) -> float:
         state = _ensure_density(state)
         observable.validate_against(state)
-        output = denote(program, state, binding)
-        if observable.targets is None:
-            rho = output.matrix
+        if simulation_report(program).additive:
+            # The additive choice has no single-superoperator denotation:
+            # its forward value is the sum over ``Compile(P)`` (Definition
+            # 5.2), which is exactly the m-program shape the sampling
+            # scheme was built for — one outcome distribution per member,
+            # summed with the uniform-mixture trick at the O(m²/δ²)
+            # repetition count (the same path the derivative readout takes).
+            members = _additive_members(program)
         else:
-            # Reduce once onto the target factors; the local observable is
-            # then sampled on the small reduced density matrix.
-            axes = output.layout.axes_of(observable.targets)
-            rho = kernels.reduced_density(output.matrix, output.layout.dims, axes)
+            members = (program,)
         measurement, eigenvalues = self._spectral(observable.matrix)
-        probabilities = measurement.probabilities(rho)
-        distribution = normalized_distribution(
-            list(eigenvalues), list(probabilities.values())
-        )
-        # A one-element sum: exactly the single-observable Chernoff estimate
-        # of repro.sim.shots.estimate_expectation, with the decomposition
+        distributions = []
+        for member in members:
+            output = denote(member, state, binding)
+            if observable.targets is None:
+                rho = output.matrix
+            else:
+                # Reduce once onto the target factors; the local observable
+                # is then sampled on the small reduced density matrix.
+                axes = output.layout.axes_of(observable.targets)
+                rho = kernels.reduced_density(output.matrix, output.layout.dims, axes)
+            probabilities = measurement.probabilities(rho)
+            distributions.append(
+                normalized_distribution(list(eigenvalues), list(probabilities.values()))
+            )
+        # For a normal program this is a one-element sum: exactly the
+        # single-observable Chernoff estimate of
+        # repro.sim.shots.estimate_expectation, with the decomposition
         # memoized instead of redone per call.
         return estimate_distribution_sum(
-            [distribution],
+            distributions,
             precision=self.precision,
             confidence=self.confidence,
             rng=self.rng,
@@ -660,7 +701,7 @@ class StatevectorBackend(Backend):
         self._cache = cache if cache is not None else DenotationCache()
         #: How many program-level routings each tier served (diagnostics;
         #: the figure-6 benchmark attributes its timings with this).
-        self.tier_counts = {"pure": 0, "trajectory": 0, "density": 0}
+        self.tier_counts = _TierCounts({"pure": 0, "trajectory": 0, "density": 0})
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"StatevectorBackend(fallback={self.fallback!r})"
@@ -681,7 +722,7 @@ class StatevectorBackend(Backend):
         self.epsilon = state.get("epsilon", 0.0)
         self.trajectory = state.get("trajectory", TrajectoryOptions())
         self._cache = DenotationCache()
-        self.tier_counts = {"pure": 0, "trajectory": 0, "density": 0}
+        self.tier_counts = _TierCounts({"pure": 0, "trajectory": 0, "density": 0})
 
     @property
     def cache(self) -> DenotationCache:
@@ -836,7 +877,7 @@ class StatevectorBackend(Backend):
         inputs = list(inputs)
         tier = self.tier_for(program)
         if tier == "density":
-            self.tier_counts["density"] += 1
+            self.tier_counts.bump("density")
             return self.fallback.value_batch(program, observable, inputs, denote=denote)
         results = [0.0] * len(inputs)
         groups, fallback_indices = self._group_inputs(observable, inputs)
@@ -868,9 +909,9 @@ class StatevectorBackend(Backend):
         # Attribution: count the tier that actually served inputs, and the
         # fallback when any input demoted to it.
         if len(fallback_indices) < len(inputs):
-            self.tier_counts[tier] += 1
+            self.tier_counts.bump(tier)
         if fallback_indices:
-            self.tier_counts["density"] += 1
+            self.tier_counts.bump("density")
             fallback_indices.sort()
             demoted = self.fallback.value_batch(
                 program,
@@ -932,14 +973,14 @@ class StatevectorBackend(Backend):
                 for program in members:
                     tier = self.tier_for(program)
                     if tier == "density":
-                        self.tier_counts["density"] += 1
+                        self.tier_counts.bump("density")
                         demoted_programs.append(program)
                         continue
                     if tier == "pure":
                         try:
                             output = self._run(program, extended_layout, extended, binding)
                         except PurityError:
-                            self.tier_counts["density"] += 1
+                            self.tier_counts.bump("density")
                             demoted_programs.append(program)
                             continue
                         terms = self._derivative_terms(
@@ -955,17 +996,17 @@ class StatevectorBackend(Backend):
                                 program, extended_layout, extended, binding, options
                             )
                         except TrajectoryError:
-                            self.tier_counts["density"] += 1
+                            self.tier_counts.bump("density")
                             demoted_programs.append(program)
                             continue
                         if not np.all(self._certified(result, observable.matrix, options)):
-                            self.tier_counts["density"] += 1
+                            self.tier_counts.bump("density")
                             demoted_programs.append(program)
                             continue
                         terms = self._derivative_branch_sums(
                             result, extended_layout, program_set, observable, len(indices)
                         )
-                    self.tier_counts[tier] += 1
+                    self.tier_counts.bump(tier)
                     for row, index in enumerate(indices):
                         rows[index][column] += float(terms[row])
                 if demoted_programs:
@@ -991,7 +1032,7 @@ class StatevectorBackend(Backend):
                                 denote=denote,
                             )
         if fallback_indices:
-            self.tier_counts["density"] += 1
+            self.tier_counts.bump("density")
             fallback_indices.sort()
             demoted = self.fallback.derivative_batch(
                 program_sets,

@@ -28,10 +28,19 @@ Eviction is LRU with a bounded entry count; an epoch of the Figure 6
 training loop needs one entry per (program, data point), so the default
 bound comfortably holds a full epoch's working set while keeping the worst
 case memory at ``max_entries`` output matrices.
+
+The cache is **thread-safe with single-flight misses**: the entry map and
+the statistics are guarded by one lock, and a miss registers an in-flight
+marker before computing *outside* the lock, so concurrent lookups of the
+same key — the thread-pool executors of :mod:`repro.service` hammer one
+shared cache from every worker — wait for the first computation instead of
+duplicating it.  ``stats.misses`` therefore counts *actual* denotations
+even under contention, and a waiter counts as a hit.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Hashable
@@ -126,6 +135,23 @@ def trajectory_key(layout, amplitudes, options_key: Hashable) -> Hashable:
     )
 
 
+class _InFlight:
+    """A miss being computed right now: waiters block on ``event``.
+
+    The computing thread stores either ``value`` or ``error`` before setting
+    the event; the distinction matters because a raising denotation (the
+    trajectory tier raises :class:`~repro.errors.TrajectoryError` as
+    control flow) must re-raise in every waiter too.
+    """
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
 @dataclass
 class DenotationCache:
     """An LRU map from ``(program, binding, state)`` to the denoted output state."""
@@ -135,9 +161,31 @@ class DenotationCache:
     stats: CacheStats = field(default_factory=CacheStats)
     #: key -> (pinned program, output state); insertion order tracks recency.
     _entries: OrderedDict = field(default_factory=OrderedDict)
+    #: key -> in-flight marker of the thread currently computing that miss.
+    _in_flight: dict = field(default_factory=dict, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    # Locks cannot be pickled; a cache shipped across a process boundary
+    # (nothing does today — StatevectorBackend.__getstate__ drops its cache)
+    # would arrive empty but functional.
+    def __getstate__(self):
+        with self._lock:
+            return {
+                "max_entries": self.max_entries,
+                "max_state_elements": self.max_state_elements,
+            }
+
+    def __setstate__(self, state):
+        self.max_entries = state["max_entries"]
+        self.max_state_elements = state["max_state_elements"]
+        self.stats = CacheStats()
+        self._entries = OrderedDict()
+        self._in_flight = {}
+        self._lock = threading.RLock()
 
     def get_or_compute(
         self,
@@ -215,22 +263,55 @@ class DenotationCache:
         # The key is built lazily: a bypassed (oversized, or cache-disabled)
         # lookup must never pay for hashing the state's bytes.
         if size > self.max_state_elements or self.max_entries <= 0:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return compute()
         key = (id(program), binding_key(binding), make_key())
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return entry[1]
-        self.stats.misses += 1
-        output = compute()
-        while len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = (program, output)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry[1]
+            flight = self._in_flight.get(key)
+            owner = flight is None
+            if owner:
+                # This thread owns the miss: compute outside the lock.
+                flight = _InFlight()
+                self._in_flight[key] = flight
+                self.stats.misses += 1
+        if not owner:
+            # Another thread is computing this key right now: wait it out
+            # (single-flight).  A successful wait counts as a hit; an error
+            # re-raises here exactly as it did in the computing thread.
+            flight.event.wait()
+            with self._lock:
+                if flight.error is not None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            output = compute()
+        except BaseException as error:
+            with self._lock:
+                flight.error = error
+                self._in_flight.pop(key, None)
+            flight.event.set()
+            raise
+        with self._lock:
+            while len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._entries[key] = (program, output)
+            self._in_flight.pop(key, None)
+            flight.value = output
+        flight.event.set()
         return output
 
     def clear(self) -> None:
         """Drop every entry (the statistics keep accumulating)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -56,6 +56,40 @@ EstimatorInput = tuple["DensityState | StateVector", "ParameterBinding | None"]
 BackendSpec = "Backend | str | None"
 
 
+def _make_parallel() -> Backend:
+    from repro.api.parallel import ParallelBackend
+
+    return ParallelBackend(StatevectorBackend())
+
+
+def _make_threads() -> Backend:
+    from repro.api.parallel import ThreadPoolBackend
+
+    return ThreadPoolBackend(StatevectorBackend())
+
+
+#: Canonical backend name -> (aliases, factory).  One registry drives both
+#: resolution and the unknown-name error message, so the two can never
+#: drift apart: every spelling the error lists is accepted, and vice versa.
+_BACKEND_REGISTRY: "dict[str, tuple[tuple[str, ...], object]]" = {
+    "auto": ((), StatevectorBackend),
+    "statevector": ((), StatevectorBackend),
+    "exact-density": (("exact", "density"), ExactDensityBackend),
+    "shot-sampling": (("shots",), ShotSamplingBackend),
+    "parallel": ((), _make_parallel),
+    "threads": (("thread-pool",), _make_threads),
+}
+
+
+def backend_spellings() -> tuple[str, ...]:
+    """Every name :func:`resolve_backend` accepts (canonical + aliases)."""
+    names: list[str] = []
+    for canonical, (aliases, _) in _BACKEND_REGISTRY.items():
+        names.append(canonical)
+        names.extend(aliases)
+    return tuple(names)
+
+
 def resolve_backend(backend: "Backend | str | None") -> Backend:
     """Turn a backend spec — an instance, a name, or ``None`` — into a backend.
 
@@ -72,29 +106,31 @@ def resolve_backend(backend: "Backend | str | None") -> Backend:
       density-matrix readout;
     * ``"shot-sampling"`` (alias ``"shots"``) — the Chernoff-bounded
       sampling scheme at default precision/confidence;
-    * ``"parallel"`` — a process-pool fan-out over the ``"auto"`` tier.
+    * ``"parallel"`` — a process-pool fan-out over the ``"auto"`` tier;
+    * ``"threads"`` (alias ``"thread-pool"``) — the thread-pool fan-out
+      over the ``"auto"`` tier (no fork/pickle, shares the denotation
+      cache across workers; see :class:`~repro.api.ThreadPoolBackend`).
 
     ``None`` defaults to the exact density backend (the reference
     semantics, and the only spelling that never changes arithmetic).
+    An unknown name raises with the full list of valid spellings.
     """
     if backend is None:
         return ExactDensityBackend()
     if isinstance(backend, Backend):
         return backend
     name = str(backend).lower()
-    if name in ("auto", "statevector"):
-        return StatevectorBackend()
-    if name in ("exact-density", "exact", "density"):
-        return ExactDensityBackend()
-    if name in ("shot-sampling", "shots"):
-        return ShotSamplingBackend()
-    if name == "parallel":
-        from repro.api.parallel import ParallelBackend
-
-        return ParallelBackend(StatevectorBackend())
+    for canonical, (aliases, factory) in _BACKEND_REGISTRY.items():
+        if name == canonical or name in aliases:
+            return factory()
+    spellings = ", ".join(
+        f"'{canonical}'"
+        + (f" (aliases {', '.join(repr(a) for a in aliases)})" if aliases else "")
+        for canonical, (aliases, _) in _BACKEND_REGISTRY.items()
+    )
     raise SemanticsError(
         f"unknown backend {backend!r}; expected a Backend instance or one of "
-        "'auto', 'statevector', 'exact-density', 'shot-sampling', 'parallel'"
+        f"{spellings}"
     )
 
 
@@ -145,6 +181,11 @@ class Estimator:
         ``"auto"``, which picks the pure-state statevector tier whenever
         the purity analysis and the input state allow it).  Defaults to
         :class:`~repro.api.backends.ExactDensityBackend`.
+    executor:
+        Where the per-instance service drains — any spec
+        :func:`repro.service.resolve_executor` accepts: ``"inline"``
+        (deterministic, the default — every entry point stays bit-for-bit
+        the direct backend call), ``"threads"`` or ``"processes"``.
     cache_size:
         LRU bound of the denotation cache (``0`` disables caching).
     """
@@ -158,6 +199,7 @@ class Estimator:
         targets: Sequence[str] | None = None,
         parameters: Sequence[Parameter] | None = None,
         backend: "Backend | str | None" = None,
+        executor: object = None,
         cache_size: int = DEFAULT_MAX_ENTRIES,
         program_sets: "Mapping[Parameter, object] | None" = None,
         cache: DenotationCache | None = None,
@@ -168,6 +210,8 @@ class Estimator:
         )
         self.layout = layout
         self.backend = resolve_backend(backend)
+        self._executor_spec = executor
+        self._service = None
         self._parameters = tuple(parameters) if parameters is not None else None
         self._program_sets: dict[Parameter, object] = (
             dict(program_sets) if program_sets is not None else {}
@@ -223,7 +267,93 @@ class Estimator:
         for parameter in self.parameters:
             self.program_set(parameter)
 
-    # -- execution ---------------------------------------------------------
+    # -- the service seam ---------------------------------------------------
+
+    @property
+    def service(self):
+        """The per-instance :class:`~repro.service.EstimatorService`.
+
+        Built lazily around this estimator's backend and denotation cache;
+        every synchronous entry point below is a thin client of it —
+        requests are submitted, the queue is drained, handles are resolved.
+        On the default inline executor the drained calls are exactly the
+        direct backend calls of the pre-service API, bit for bit.  Rebuilt
+        automatically if ``estimator.backend`` is swapped out.
+        """
+        from repro.service import EstimatorService
+
+        if self._service is None or self._service.backend is not self.backend:
+            if self._service is not None:
+                # The old service's queue was submitted against the old
+                # backend: drain it there, then release its workers — a
+                # swap must not leak a thread/process pool per assignment.
+                self._service.close()
+            self._service = EstimatorService(
+                self.backend, executor=self._executor_spec, cache=self._cache
+            )
+        return self._service
+
+    def session(self, *, name: str | None = None, priority: int = 0):
+        """A new :class:`~repro.service.Session` on this estimator's service."""
+        return self.service.session(name=name, priority=priority)
+
+    # -- request factories ---------------------------------------------------
+
+    def request_value(
+        self,
+        state: "DensityState | StateVector",
+        binding: ParameterBinding | None = None,
+        *,
+        priority: int = 0,
+    ):
+        """An :class:`~repro.service.ExecutionRequest` for one forward value.
+
+        Self-contained — it may be submitted to this estimator's own
+        service *or* to any shared :class:`~repro.service.EstimatorService`
+        where it can batch and coalesce with other estimators' requests.
+        """
+        from repro.service import ExecutionRequest
+
+        return ExecutionRequest.value(
+            self.program, self._spec(), state, binding, priority=priority
+        )
+
+    def request_derivative(
+        self,
+        parameter: Parameter,
+        state: "DensityState | StateVector",
+        binding: ParameterBinding | None = None,
+        *,
+        priority: int = 0,
+    ):
+        """A request for one parameter's derivative readout."""
+        from repro.service import ExecutionRequest
+
+        return ExecutionRequest.derivative(
+            self.program_set(parameter), self._spec(), state, binding, priority=priority
+        )
+
+    def request_gradient(
+        self,
+        state: "DensityState | StateVector",
+        binding: ParameterBinding | None = None,
+        parameters: Sequence[Parameter] | None = None,
+        *,
+        priority: int = 0,
+    ):
+        """A request for a whole gradient row along ``parameters``."""
+        from repro.service import ExecutionRequest
+
+        parameters = self.parameters if parameters is None else tuple(parameters)
+        return ExecutionRequest.gradient(
+            [self.program_set(parameter) for parameter in parameters],
+            self._spec(),
+            state,
+            binding,
+            priority=priority,
+        )
+
+    # -- execution (thin synchronous client) --------------------------------
 
     def _spec(self) -> ObservableSpec:
         if self.observable is None:
@@ -242,9 +372,7 @@ class Estimator:
 
     def value(self, state: DensityState, binding: ParameterBinding | None = None) -> float:
         """``tr(O[[P(θ*)]]ρ)`` (Definition 5.1) through the configured backend."""
-        return self.backend.value(
-            self.program, self._spec(), state, binding, denote=self._denote
-        )
+        return float(self.service.submit(self.request_value(state, binding)).result())
 
     def derivative(
         self,
@@ -253,8 +381,10 @@ class Estimator:
         binding: ParameterBinding | None = None,
     ) -> float:
         """One gradient entry: the derivative readout for a single parameter."""
-        return self.backend.derivative(
-            self.program_set(parameter), self._spec(), state, binding, denote=self._denote
+        return float(
+            self.service.submit(
+                self.request_derivative(parameter, state, binding)
+            ).result()
         )
 
     def gradient(
@@ -267,18 +397,15 @@ class Estimator:
 
         ``parameters`` defaults to the estimator's full gradient axis; a
         subset computes (and compiles) only the requested entries.  The
-        whole gradient goes through the backend's ``derivative_batch`` hook
-        as one single-point batch, so batching backends stack the
-        derivative fan-out and parallel backends split the parameter axis
-        across workers; the default hook reproduces the historical
-        per-parameter loop exactly.
+        whole row travels as one :class:`~repro.service.ExecutionRequest`,
+        so the backend's ``derivative_batch`` hook sees a single-point
+        batch exactly as before: batching backends stack the derivative
+        fan-out and parallel backends split the parameter axis across
+        workers; the default hook reproduces the historical per-parameter
+        loop exactly.
         """
-        parameters = self.parameters if parameters is None else tuple(parameters)
-        program_sets = [self.program_set(parameter) for parameter in parameters]
-        rows = self.backend.derivative_batch(
-            program_sets, self._spec(), [(state, binding)], denote=self._denote
-        )
-        return np.array(rows[0], dtype=float)
+        handle = self.service.submit(self.request_gradient(state, binding, parameters))
+        return handle.result()
 
     def value_and_grad(
         self,
@@ -293,12 +420,17 @@ class Estimator:
         )
 
     def values(self, inputs: Iterable[EstimatorInput]) -> np.ndarray:
-        """Batched :meth:`value` over ``(state, binding)`` points."""
+        """Batched :meth:`value` over ``(state, binding)`` points.
+
+        Submitted as one request batch: planning folds the whole batch into
+        a single ``value_batch`` backend call (plus whatever else is queued
+        on the service), in input order.
+        """
         batch = [self._coerce_input(point) for point in inputs]
-        results = self.backend.value_batch(
-            self.program, self._spec(), batch, denote=self._denote
+        handles = self.service.submit_many(
+            [self.request_value(state, binding) for state, binding in batch]
         )
-        return np.array(results, dtype=float)
+        return np.array([handle.result() for handle in handles], dtype=float)
 
     def gradients(
         self,
@@ -308,10 +440,13 @@ class Estimator:
         """Batched :meth:`gradient`: one row per input point."""
         parameters = self.parameters if parameters is None else tuple(parameters)
         batch = [self._coerce_input(point) for point in inputs]
-        program_sets = [self.program_set(parameter) for parameter in parameters]
-        rows = self.backend.derivative_batch(
-            program_sets, self._spec(), batch, denote=self._denote
+        handles = self.service.submit_many(
+            [
+                self.request_gradient(state, binding, parameters)
+                for state, binding in batch
+            ]
         )
+        rows = [handle.result() for handle in handles]
         return np.array(rows, dtype=float).reshape(len(batch), len(parameters))
 
     @staticmethod

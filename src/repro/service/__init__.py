@@ -1,0 +1,61 @@
+"""``repro.service`` — the request-based execution protocol.
+
+The blocking :class:`~repro.api.Backend` seam executes one estimator's
+call at a time; this subsystem redesigns execution around explicit
+*requests* so work can coalesce, reorder and batch **across** callers::
+
+    from repro.api import Estimator
+    from repro.service import EstimatorService, ExecutionRequest
+
+    service = EstimatorService(backend="auto")          # one device, many users
+    e1 = Estimator(p1, observable_1)                    # request factories
+    e2 = Estimator(p2, observable_2)
+
+    with service.session(name="alice") as session:
+        handles = session.submit_many(
+            [e1.request_value(state, binding) for state in batch_1]
+            + [e2.request_gradient(state, binding) for state in batch_2]
+        )
+    # planning grouped same-program requests into single batched backend
+    # calls, coalesced identical points, and drained through the executor
+    values = [handle.result() for handle in handles]
+
+    service.stats.coalesce_rate, service.stats.timings  # telemetry
+
+Executors: ``"inline"`` (deterministic default — bit-for-bit the direct
+backend calls), ``"threads"`` (groups overlap; numpy releases the GIL and
+the shared denotation cache is single-flight), ``"processes"`` (pickled
+groups, uncached workers).
+
+Every :class:`~repro.api.Estimator` is itself a thin synchronous client of
+a per-instance service (``estimator.service`` / ``estimator.session()``),
+so the request protocol is the *only* execution path — not a parallel one.
+"""
+
+from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
+from repro.service.planner import ExecutionPlan, RequestGroup, plan
+from repro.service.executors import (
+    InlineExecutor,
+    ProcessPoolServiceExecutor,
+    ServiceExecutor,
+    ThreadPoolServiceExecutor,
+    resolve_executor,
+)
+from repro.service.service import EstimatorService, ServiceStats, Session
+
+__all__ = [
+    "EstimatorService",
+    "ExecutionPlan",
+    "ExecutionRequest",
+    "InlineExecutor",
+    "ProcessPoolServiceExecutor",
+    "RequestGroup",
+    "RequestKind",
+    "ResultHandle",
+    "ServiceExecutor",
+    "ServiceStats",
+    "Session",
+    "ThreadPoolServiceExecutor",
+    "plan",
+    "resolve_executor",
+]

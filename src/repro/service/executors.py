@@ -1,0 +1,264 @@
+"""Pluggable executors: how an :class:`~repro.service.EstimatorService` drains.
+
+The planner decides *what* runs together (grouped, coalesced backend
+calls); the executor decides *where*:
+
+* :class:`InlineExecutor` — groups run sequentially on the draining
+  thread, in plan order.  Deterministic, zero overhead, and bit-for-bit
+  identical to calling the backend directly: this is the default, and the
+  mode every existing ``Estimator`` entry point keeps its arithmetic on.
+* :class:`ThreadPoolServiceExecutor` — groups run concurrently on a
+  ``ThreadPoolExecutor``.  Safe because the hot path is numpy releasing
+  the GIL (the gate contractions, the batched expectation kernels), and
+  because both the denotation cache (single-flight, see
+  :mod:`repro.api.cache`) and the service's own bookkeeping are
+  lock-guarded.  Workers share the service's cached ``denote`` — a
+  thread, unlike a process, hits the same cache as everyone else.
+* :class:`ProcessPoolServiceExecutor` — groups are pickled to worker
+  processes (the same trade :class:`~repro.api.ParallelBackend` makes):
+  the shared cache cannot cross, so each worker simulates with the plain
+  uncached denotation.  Worth it only when groups are dominated by fresh,
+  large simulation work.
+
+Every executor maps :class:`~repro.service.planner.GroupCall` payloads to
+``(status, payload, seconds)`` triples — one group's failure fails only
+that group's handles, and the per-group wall time feeds the service's
+per-tier telemetry.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.errors import SemanticsError
+from repro.api.backends import Backend, _plain_denote
+from repro.api.parallel import _chunked_clones
+from repro.service.planner import GroupCall
+
+__all__ = [
+    "ServiceExecutor",
+    "InlineExecutor",
+    "ThreadPoolServiceExecutor",
+    "ProcessPoolServiceExecutor",
+    "resolve_executor",
+    "EXECUTOR_SPELLINGS",
+]
+
+#: One executed group: ("ok", results, seconds) or ("error", exception, seconds).
+GroupOutcome = tuple
+
+
+def _draws_samples(backend) -> bool:
+    """Does this backend — or any backend it wraps — draw random samples?
+
+    Coalescing identical requests is only sound when duplicates would have
+    produced the identical number; a sampling backend's duplicates must
+    draw *independent* samples instead.  Wrappers (``ParallelBackend``,
+    ``ThreadPoolBackend``) expose their wrapped backend as ``inner``, the
+    statevector tiers their demotion target as ``fallback`` — both are
+    probed recursively.
+    """
+    if hasattr(backend, "rng"):
+        return True
+    for attribute in ("inner", "fallback"):
+        nested = getattr(backend, attribute, None)
+        if isinstance(nested, Backend) and _draws_samples(nested):
+            return True
+    return False
+
+
+def _call_backends(backend: Backend, count: int) -> "list[Backend] | None":
+    """One backend per group call, with independent RNG streams.
+
+    Concurrent groups over a stochastic backend must not share one
+    generator (unsynchronized draws between threads) nor replay identical
+    snapshots (pickled processes) — the same correlated-samples hazard
+    :func:`repro.api.parallel._chunked_clones` documents.  A backend that
+    exposes its generator is cloned per group; one that draws samples only
+    through a wrapper the cloner cannot reach returns ``None`` — the caller
+    must then drain sequentially.  Deterministic backends are shared as-is.
+    """
+    if hasattr(backend, "rng"):
+        return _chunked_clones(backend, count)
+    if _draws_samples(backend):
+        return None
+    return [backend] * count
+
+
+def _guarded_run(call: GroupCall, backend: Backend, denote) -> GroupOutcome:
+    """Run one group call, capturing its outcome and wall time."""
+    start = time.perf_counter()
+    try:
+        results = call.run(backend, denote)
+    except Exception as error:
+        return ("error", error, time.perf_counter() - start)
+    return ("ok", results, time.perf_counter() - start)
+
+
+class ServiceExecutor(abc.ABC):
+    """Execute a drain's group calls; return outcomes in plan order."""
+
+    #: Human-readable executor identifier (used in stats and reprs).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self, calls: Sequence[GroupCall], backend: Backend, denote: Callable
+    ) -> list[GroupOutcome]:
+        """Execute every call; outcome ``i`` belongs to ``calls[i]``."""
+
+    def shutdown(self) -> None:
+        """Release worker resources (re-created lazily on next use)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"{type(self).__name__}()"
+
+
+class InlineExecutor(ServiceExecutor):
+    """Sequential, deterministic draining on the calling thread (default)."""
+
+    name = "inline"
+
+    def run(self, calls, backend, denote):
+        return [_guarded_run(call, backend, denote) for call in calls]
+
+
+class ThreadPoolServiceExecutor(ServiceExecutor):
+    """Concurrent group execution on a lazily-built thread pool.
+
+    ``max_workers`` defaults to the host's CPU count: the parallelism is
+    real (numpy releases the GIL on the contraction kernels), and threads
+    share the service's denotation cache — concurrent groups that meet on
+    the same ``(program, binding, state)`` single-flight through it.
+    """
+
+    name = "threads"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = (
+            int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        )
+        if self.max_workers < 1:
+            raise SemanticsError("the thread-pool executor needs at least one worker")
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run(self, calls, backend, denote):
+        if len(calls) == 1:  # nothing to overlap; skip the dispatch hop
+            return [_guarded_run(calls[0], backend, denote)]
+        backends = _call_backends(backend, len(calls))
+        if backends is None:  # wrapped sampler: no safe per-group streams
+            return [_guarded_run(call, backend, denote) for call in calls]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_guarded_run, call, clone, denote)
+            for call, clone in zip(calls, backends)
+        ]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ThreadPoolServiceExecutor(max_workers={self.max_workers})"
+
+
+def _process_run(call: GroupCall, backend: Backend) -> GroupOutcome:
+    """Module-level worker (pickled by reference): plain uncached denote."""
+    return _guarded_run(call, backend, _plain_denote)
+
+
+class ProcessPoolServiceExecutor(ServiceExecutor):
+    """Group execution across worker processes.
+
+    The service's cached ``denote`` cannot cross the process boundary, so
+    workers simulate uncached (exactly the :class:`~repro.api.ParallelBackend`
+    trade-off); results flow back pickled.  Prefer the thread pool unless
+    groups are dominated by fresh heavy simulation and cores are plentiful.
+    """
+
+    name = "processes"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = (
+            int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        )
+        if self.max_workers < 1:
+            raise SemanticsError("the process-pool executor needs at least one worker")
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run(self, calls, backend, denote):
+        if len(calls) == 1:
+            # A single group gains nothing from the fork + pickle round
+            # trip — and inline execution keeps the cached denote.
+            return [_guarded_run(calls[0], backend, denote)]
+        backends = _call_backends(backend, len(calls))
+        if backends is None:  # wrapped sampler: no safe per-group streams
+            return [_guarded_run(call, backend, denote) for call in calls]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_process_run, call, clone)
+            for call, clone in zip(calls, backends)
+        ]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"ProcessPoolServiceExecutor(max_workers={self.max_workers})"
+
+
+#: Canonical spelling -> (aliases, factory); resolution and the error
+#: message both read this, so neither can drift (the `_BACKEND_REGISTRY`
+#: convention of :mod:`repro.api.estimator`).
+_EXECUTOR_REGISTRY: "dict[str, tuple[tuple[str, ...], type[ServiceExecutor]]]" = {
+    "inline": ((), InlineExecutor),
+    "threads": (("thread-pool", "thread"), ThreadPoolServiceExecutor),
+    "processes": (("process-pool", "process"), ProcessPoolServiceExecutor),
+}
+
+#: Canonical spelling -> aliases (the registry's public read-only view).
+EXECUTOR_SPELLINGS: dict[str, tuple[str, ...]] = {
+    canonical: aliases for canonical, (aliases, _) in _EXECUTOR_REGISTRY.items()
+}
+
+
+def resolve_executor(executor: "ServiceExecutor | str | None") -> ServiceExecutor:
+    """Turn an executor spec — an instance, a name, or ``None`` — into one.
+
+    ``None`` defaults to the deterministic :class:`InlineExecutor`.
+    """
+    if executor is None:
+        return InlineExecutor()
+    if isinstance(executor, ServiceExecutor):
+        return executor
+    name = str(executor).lower()
+    for canonical, (aliases, factory) in _EXECUTOR_REGISTRY.items():
+        if name == canonical or name in aliases:
+            return factory()
+    spellings = ", ".join(
+        repr(canonical) + (f" (aliases {', '.join(map(repr, aliases))})" if aliases else "")
+        for canonical, aliases in EXECUTOR_SPELLINGS.items()
+    )
+    raise SemanticsError(
+        f"unknown executor {executor!r}; expected a ServiceExecutor instance "
+        f"or one of {spellings}"
+    )

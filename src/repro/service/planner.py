@@ -1,0 +1,212 @@
+"""The ``plan()`` step: queued requests → coalesced, batched backend calls.
+
+Planning does two things the blocking ``Backend`` protocol structurally
+could not:
+
+* **grouping** — requests that share the same compiled work (the same
+  forward program, or the same tuple of derivative multisets) and the same
+  observable become *one* ``value_batch`` / ``derivative_batch`` call, so
+  batch-axis kernels (the statevector tier's broadcasted contractions, the
+  trajectory tier's branch stacks) are fed across submitters — across
+  estimators, sessions and training phases — not just within one call;
+* **coalescing** — two requests whose group *and* evaluation point agree
+  (the same ``(binding, input state)`` under the
+  :mod:`repro.api.cache` key convention) are computed once; the duplicate
+  attaches its handle to the first.  Coalescing is only sound for
+  deterministic backends — the service disables it when the backend draws
+  samples — and is bit-for-bit invisible there: a duplicate batch row would
+  have produced the identical number.
+
+Group order is the scheduling policy: higher priority first, then
+round-robin fairness across sessions (the first request of every session
+outranks the second of any), then submission order.  Everything is
+deterministic — the inline executor replays exactly this order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
+
+from repro.sim.density import DensityState
+from repro.sim.statevector import StateVector
+from repro.api.backends import Backend, ObservableSpec, _plain_denote
+from repro.api.cache import binding_key
+from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lang.parameters import ParameterBinding
+
+__all__ = ["QueueItem", "PlannedRequest", "RequestGroup", "GroupCall", "ExecutionPlan", "plan"]
+
+
+def _state_point_key(state: "DensityState | StateVector") -> Hashable:
+    """Value key of an input state, disjoint between representations.
+
+    A pure ``StateVector`` and its density lift are kept distinct on
+    purpose: they take different arithmetic paths through the backends, and
+    coalescing must never change a single bit of anybody's result.
+    """
+    if isinstance(state, StateVector):
+        return ("sv", state.layout.names, state.layout.dims, state.amplitudes.tobytes())
+    return ("rho", state.layout.names, state.layout.dims, state.matrix.tobytes())
+
+
+def group_key(request: ExecutionRequest) -> Hashable:
+    """Which batched backend call a request belongs to.
+
+    Programs and multisets are keyed by identity (the cache convention —
+    the group pins the objects through its requests), the observable by its
+    matrix object and targets.  A ``DERIVATIVE`` and a ``GRADIENT`` request
+    over the *same* multiset tuple share a group: both are rows of one
+    ``derivative_batch`` call.
+    """
+    if request.kind is RequestKind.VALUE:
+        work = ("value", id(request.program))
+    else:
+        work = ("derivative", tuple(id(s) for s in request.program_sets))
+    return (work, id(request.observable.matrix), request.observable.targets)
+
+
+def coalesce_key(request: ExecutionRequest) -> Hashable:
+    """The evaluation point within a group: ``(binding, state)`` by value."""
+    return (binding_key(request.binding), _state_point_key(request.state))
+
+
+@dataclass
+class QueueItem:
+    """One submitted request waiting in the service queue."""
+
+    request: ExecutionRequest
+    handle: ResultHandle
+    #: Position of this request within its session (drives round-robin
+    #: fairness: rank 0 of every session drains before rank 1 of any).
+    session_rank: int
+    #: Global submission sequence number (the final tiebreaker).
+    seq: int
+
+    @property
+    def sort_key(self):
+        return (-self.request.priority, self.session_rank, self.seq)
+
+
+@dataclass
+class PlannedRequest:
+    """A group row: one evaluation point and every handle awaiting it."""
+
+    request: ExecutionRequest
+    handles: list[ResultHandle] = field(default_factory=list)
+
+
+@dataclass
+class RequestGroup:
+    """One batched backend call and the requests it serves, in batch order."""
+
+    key: Hashable
+    kind: RequestKind
+    rows: list[PlannedRequest] = field(default_factory=list)
+
+    @property
+    def template(self) -> ExecutionRequest:
+        return self.rows[0].request
+
+    @property
+    def request_count(self) -> int:
+        """Requests served, coalesced duplicates included."""
+        return sum(len(row.handles) for row in self.rows)
+
+    def call(self) -> "GroupCall":
+        """The executable (and picklable) payload of this group."""
+        template = self.template
+        return GroupCall(
+            kind=("value" if self.kind is RequestKind.VALUE else "derivative"),
+            program=template.program,
+            program_sets=template.program_sets,
+            observable=template.observable,
+            inputs=[(row.request.state, row.request.binding) for row in self.rows],
+        )
+
+
+@dataclass
+class GroupCall:
+    """The execution payload of one group: backend-call arguments only.
+
+    Deliberately free of handles and service references so a process-pool
+    executor can pickle it to a worker; ``run`` is the single place a
+    group's backend method is chosen.
+    """
+
+    kind: str  # "value" | "derivative"
+    program: object
+    program_sets: "tuple | None"
+    observable: ObservableSpec
+    inputs: "list[tuple[DensityState | StateVector, ParameterBinding | None]]"
+
+    def run(self, backend: Backend, denote: Callable = _plain_denote):
+        """Execute the batched call; returns the raw per-row results."""
+        if self.kind == "value":
+            return backend.value_batch(
+                self.program, self.observable, self.inputs, denote=denote
+            )
+        return backend.derivative_batch(
+            list(self.program_sets), self.observable, self.inputs, denote=denote
+        )
+
+
+@dataclass
+class ExecutionPlan:
+    """The ordered groups of one drain, plus what planning saved."""
+
+    groups: list[RequestGroup]
+    #: Requests served by another identical request's computation.
+    coalesced: int = 0
+    #: Requests planned in total (coalesced ones included).
+    requests: int = 0
+
+    @property
+    def batched(self) -> int:
+        """Requests that shared their backend call with at least one other."""
+        return sum(
+            group.request_count
+            for group in self.groups
+            if group.request_count > 1
+        )
+
+
+def plan(items: Sequence[QueueItem], *, coalesce: bool = True) -> ExecutionPlan:
+    """Order, group and coalesce a queue snapshot into an execution plan.
+
+    ``coalesce=False`` (stochastic backends) keeps every request as its own
+    batch row — duplicates must draw independent samples — while grouping
+    still applies: a sampling backend's ``*_batch`` default runs its rows
+    sequentially through the same readout code a per-call loop would.
+    """
+    ordered = sorted(items, key=lambda item: item.sort_key)
+    groups: dict[Hashable, RequestGroup] = {}
+    points: dict[tuple[Hashable, Hashable], PlannedRequest] = {}
+    coalesced = 0
+    for item in ordered:
+        key = group_key(item.request)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = RequestGroup(key=key, kind=item.request.kind)
+        row = None
+        if coalesce:
+            point = (key, coalesce_key(item.request))
+            row = points.get(point)
+            # DERIVATIVE and GRADIENT rows resolve to different shapes from
+            # the same batch row, so they may share one; VALUE only matches
+            # VALUE (the group key already separates the two families).
+            if row is None:
+                points[point] = row = PlannedRequest(item.request)
+                group.rows.append(row)
+            else:
+                coalesced += 1
+        else:
+            row = PlannedRequest(item.request)
+            group.rows.append(row)
+        row.handles.append(item.handle)
+    ordered_groups = list(groups.values())
+    return ExecutionPlan(
+        groups=ordered_groups, coalesced=coalesced, requests=len(ordered)
+    )

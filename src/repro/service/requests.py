@@ -1,0 +1,225 @@
+"""Requests, not calls: the value types of the execution protocol.
+
+The :class:`~repro.api.Backend` protocol is a *blocking, one-estimator-at-
+a-time* seam: whoever calls ``value_batch`` decides the batch, and two
+callers can never share one.  The service layer replaces the call with a
+value — an :class:`ExecutionRequest` carries everything the paper's
+execution phase (Section 7) needs to run one readout: the program (or the
+compiled derivative multiset(s)), the observable, the input state, the
+parameter point, and a scheduling priority.  Submitting a request returns a
+:class:`ResultHandle` immediately; the service's planner is then free to
+coalesce, reorder and batch requests *across* submitters before anything
+executes.
+
+This is the submit → handle → result shape every mainstream estimator API
+converged on, and the one representation that survives every later scaling
+direction (thread pools today, sharding and remote workers tomorrow)
+without another breaking change.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import SemanticsError
+from repro.lang.ast import Program
+from repro.lang.parameters import ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.statevector import StateVector
+from repro.api.backends import ObservableSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.autodiff.execution import DerivativeProgramSet
+
+__all__ = ["RequestKind", "ExecutionRequest", "ResultHandle"]
+
+
+class RequestKind(enum.Enum):
+    """What a request asks the backend to compute."""
+
+    #: ``tr(O[[P(θ*)]]ρ)`` — one forward readout; resolves to a float.
+    VALUE = "value"
+    #: One multiset's derivative readout; resolves to a float.
+    DERIVATIVE = "derivative"
+    #: A whole gradient row (one multiset per parameter); resolves to a
+    #: float ndarray of shape ``(len(program_sets),)``.
+    GRADIENT = "gradient"
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """One unit of executable work, self-contained and immutable.
+
+    ``program`` carries the forward program of a :attr:`RequestKind.VALUE`
+    request; ``program_sets`` carries the compiled derivative multiset(s)
+    of a :attr:`RequestKind.DERIVATIVE` (exactly one) or
+    :attr:`RequestKind.GRADIENT` (one per parameter of the gradient axis)
+    request.  ``priority`` orders draining — higher drains earlier; ties
+    preserve round-robin fairness across sessions, then submission order.
+    """
+
+    kind: RequestKind
+    observable: ObservableSpec
+    state: "DensityState | StateVector"
+    binding: ParameterBinding | None = None
+    program: Program | None = None
+    program_sets: "tuple[DerivativeProgramSet, ...] | None" = None
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.kind is RequestKind.VALUE:
+            if self.program is None or self.program_sets is not None:
+                raise SemanticsError(
+                    "a value request carries exactly a forward program "
+                    "(program=..., no program_sets)"
+                )
+        else:
+            # An *empty* tuple is legal for GRADIENT: the gradient of an
+            # unparameterized program is an empty row.
+            if self.program is not None or self.program_sets is None:
+                raise SemanticsError(
+                    f"a {self.kind.value} request carries derivative program "
+                    "sets (program_sets=..., no forward program)"
+                )
+            if self.kind is RequestKind.DERIVATIVE and len(self.program_sets) != 1:
+                raise SemanticsError(
+                    "a derivative request carries exactly one program set; "
+                    "use a gradient request for a whole row"
+                )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def value(
+        cls,
+        program: Program,
+        observable: "ObservableSpec | object",
+        state: "DensityState | StateVector",
+        binding: ParameterBinding | None = None,
+        *,
+        priority: int = 0,
+    ) -> "ExecutionRequest":
+        """A forward-value request for ``tr(O[[P(θ*)]]ρ)``."""
+        return cls(
+            RequestKind.VALUE,
+            ObservableSpec.coerce(observable),
+            state,
+            binding,
+            program=program,
+            priority=priority,
+        )
+
+    @classmethod
+    def derivative(
+        cls,
+        program_set: "DerivativeProgramSet",
+        observable: "ObservableSpec | object",
+        state: "DensityState | StateVector",
+        binding: ParameterBinding | None = None,
+        *,
+        priority: int = 0,
+    ) -> "ExecutionRequest":
+        """A single-multiset derivative-readout request."""
+        return cls(
+            RequestKind.DERIVATIVE,
+            ObservableSpec.coerce(observable),
+            state,
+            binding,
+            program_sets=(program_set,),
+            priority=priority,
+        )
+
+    @classmethod
+    def gradient(
+        cls,
+        program_sets: "Sequence[DerivativeProgramSet]",
+        observable: "ObservableSpec | object",
+        state: "DensityState | StateVector",
+        binding: ParameterBinding | None = None,
+        *,
+        priority: int = 0,
+    ) -> "ExecutionRequest":
+        """A whole-gradient-row request (one multiset per parameter)."""
+        return cls(
+            RequestKind.GRADIENT,
+            ObservableSpec.coerce(observable),
+            state,
+            binding,
+            program_sets=tuple(program_sets),
+            priority=priority,
+        )
+
+
+class ResultHandle:
+    """The future half of ``submit()``: resolves once the request executes.
+
+    Handles are created by the service; callers only read them.
+    :meth:`result` triggers a drain of the owning service's queue when the
+    request is still pending (the deterministic inline default executes the
+    whole plan right there), then blocks until this request's group has
+    been executed — by whichever executor the service was built with.
+    """
+
+    __slots__ = ("request", "_service", "_event", "_value", "_error")
+
+    def __init__(self, request: ExecutionRequest, service):
+        self.request = request
+        self._service = service
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Has the request executed (successfully or not)?"""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """The request's result — a float, or a gradient row for
+        :attr:`RequestKind.GRADIENT` requests.
+
+        Drains the owning service if this request is still queued, waits up
+        to ``timeout`` seconds (forever by default), and re-raises the
+        executing backend's exception if the request failed.
+        """
+        if not self._event.is_set():
+            self._service.flush()
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"the {self.request.kind.value} request did not resolve "
+                f"within {timeout} seconds"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The exception the request failed with, or ``None`` on success.
+
+        Only the handle's own wait expiring raises; a request that *failed
+        with* a ``TimeoutError`` has it returned like any other error.
+        """
+        if not self._event.is_set():
+            self._service.flush()
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"the {self.request.kind.value} request did not resolve "
+                f"within {timeout} seconds"
+            )
+        return self._error
+
+    # -- service-side completion --------------------------------------------
+
+    def _fulfill(self, value) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        state = "done" if self.done() else "pending"
+        return f"ResultHandle({self.request.kind.value}, {state})"

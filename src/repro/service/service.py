@@ -1,0 +1,324 @@
+"""`EstimatorService`: the async, cross-estimator execution engine.
+
+The service owns a queue of :class:`~repro.service.ExecutionRequest`\\ s, a
+shared :class:`~repro.api.cache.DenotationCache`, one
+:class:`~repro.api.Backend`, and a pluggable
+:class:`~repro.service.executors.ServiceExecutor`.  ``submit()`` /
+``submit_many()`` return :class:`~repro.service.ResultHandle`\\ s
+immediately; a drain — triggered by :meth:`EstimatorService.flush`, or
+lazily by the first ``result()`` call — plans the *whole* queue
+(:func:`repro.service.planner.plan`: group by compiled work + observable,
+coalesce by the denotation-cache point key, order by priority and
+round-robin session fairness) and executes the resulting batched backend
+calls through the executor.
+
+Because planning spans the queue, work coalesces *across* estimators: two
+estimators over the same program, a training loop's loss/accuracy/gradient
+phases, or two sessions of different users feed one ``value_batch`` /
+``derivative_batch`` call and hit one cache.  On the default inline
+executor the drained calls are exactly the calls the thin
+:class:`~repro.api.Estimator` client used to make directly — bit for bit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.semantics import denotational
+from repro.api.cache import CacheStats, DenotationCache
+from repro.api.backends import Backend
+from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
+from repro.service.planner import ExecutionPlan, QueueItem, RequestGroup, plan
+from repro.service.executors import ServiceExecutor, _draws_samples, resolve_executor
+
+__all__ = ["ServiceStats", "Session", "EstimatorService"]
+
+
+@dataclass
+class ServiceStats:
+    """Telemetry of one service: what the queue did and what planning saved."""
+
+    #: Requests submitted / resolved successfully / failed.
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Requests served by another identical request's computation.
+    coalesced: int = 0
+    #: Requests that shared their backend call with at least one other.
+    batched: int = 0
+    #: Batched backend calls executed, and drains that produced them.
+    groups: int = 0
+    drains: int = 0
+    #: Execution seconds per tier: ``"value/pure"``, ``"value/trajectory"``,
+    #: ``"value/<backend name>"``, ``"derivative/<backend name>"``, …
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of submitted requests served without their own compute."""
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+    @property
+    def batch_rate(self) -> float:
+        """Fraction of submitted requests that rode a shared backend call."""
+        return self.batched / self.submitted if self.submitted else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters and timings."""
+        self.submitted = self.completed = self.failed = 0
+        self.coalesced = self.batched = self.groups = self.drains = 0
+        self.timings = {}
+
+
+class Session:
+    """One submitter's view of a service: its fairness lane and priority.
+
+    Sessions exist so *competing* callers can share one service without
+    starving each other: the planner drains rank ``n`` of every session
+    before rank ``n+1`` of any (round-robin), with ``priority`` breaking
+    ties upward.  A session adds its own ``priority`` to every request it
+    submits.  Usable as a context manager — leaving the block flushes, so
+    every handle taken inside is resolved.
+    """
+
+    def __init__(self, service: "EstimatorService", *, name: str | None = None, priority: int = 0):
+        self.service = service
+        self.name = name if name is not None else f"session-{id(self):x}"
+        self.priority = int(priority)
+        self._rank = 0
+
+    def submit(self, request: ExecutionRequest) -> ResultHandle:
+        """Queue one request; returns its handle immediately."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Iterable[ExecutionRequest]) -> list[ResultHandle]:
+        """Queue a batch of requests atomically; handles in request order.
+
+        The batch enters the queue under consecutive fairness ranks, so a
+        competing session's concurrent batch interleaves with it instead of
+        landing wholly before or after.
+        """
+        return self.service._enqueue(self, list(requests))
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.service.flush()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"Session({self.name!r}, priority={self.priority})"
+
+
+class EstimatorService:
+    """Request queue + planner + executor over one :class:`~repro.api.Backend`.
+
+    Parameters
+    ----------
+    backend:
+        The execution scheme draining the queue — an instance or any name
+        :func:`repro.api.resolve_backend` accepts (``"auto"``,
+        ``"exact-density"``, …).  Defaults to the exact density backend.
+    executor:
+        Where groups execute — an instance or any name
+        :func:`repro.service.resolve_executor` accepts: ``"inline"``
+        (deterministic, default), ``"threads"``, ``"processes"``.
+    cache:
+        The shared :class:`~repro.api.cache.DenotationCache`.  An
+        :class:`~repro.api.Estimator` hands its own cache to its
+        per-instance service, so direct calls and submitted requests hit
+        the same entries.
+    coalesce:
+        Whether identical pending requests share one computation.  Defaults
+        to ``True`` for deterministic backends and ``False`` for sampling
+        backends (duplicates must draw independent samples).
+    """
+
+    def __init__(
+        self,
+        backend: "Backend | str | None" = None,
+        *,
+        executor: "ServiceExecutor | str | None" = None,
+        cache: DenotationCache | None = None,
+        coalesce: bool | None = None,
+    ):
+        from repro.api.estimator import resolve_backend
+
+        self.backend = resolve_backend(backend)
+        self.executor = resolve_executor(executor)
+        self._cache = cache if cache is not None else DenotationCache()
+        # Sampling backends (wrapped ones included) must not coalesce:
+        # duplicates have to draw independent samples.
+        self.coalesce = (
+            bool(coalesce) if coalesce is not None else not _draws_samples(self.backend)
+        )
+        self.stats = ServiceStats()
+        self._lock = threading.RLock()
+        self._queue: list[QueueItem] = []
+        self._seq = 0
+        self._default_session = Session(self, name="default")
+
+    # -- submission ----------------------------------------------------------
+
+    def session(self, *, name: str | None = None, priority: int = 0) -> Session:
+        """A new fairness lane on this service."""
+        return Session(self, name=name, priority=priority)
+
+    def submit(self, request: ExecutionRequest) -> ResultHandle:
+        """Queue one request on the default session."""
+        return self._default_session.submit(request)
+
+    def submit_many(self, requests: Iterable[ExecutionRequest]) -> list[ResultHandle]:
+        """Queue many requests on the default session."""
+        return self._default_session.submit_many(requests)
+
+    def _enqueue(self, session: Session, requests: Sequence[ExecutionRequest]) -> list[ResultHandle]:
+        handles = [ResultHandle(request, self) for request in requests]
+        with self._lock:
+            for request, handle in zip(requests, handles):
+                if session.priority:
+                    request = ExecutionRequest(
+                        request.kind,
+                        request.observable,
+                        request.state,
+                        request.binding,
+                        program=request.program,
+                        program_sets=request.program_sets,
+                        priority=request.priority + session.priority,
+                    )
+                    handle.request = request
+                self._queue.append(
+                    QueueItem(
+                        request=request,
+                        handle=handle,
+                        session_rank=session._rank,
+                        seq=self._seq,
+                    )
+                )
+                session._rank += 1
+                self._seq += 1
+                self.stats.submitted += 1
+        return handles
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for the next drain."""
+        with self._lock:
+            return len(self._queue)
+
+    # -- the cache seam ------------------------------------------------------
+
+    @property
+    def cache(self) -> DenotationCache:
+        """The shared denotation cache (thread-safe, single-flight)."""
+        return self._cache
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Shortcut for ``service.cache.stats``."""
+        return self._cache.stats
+
+    def _denote(self, program, state, binding):
+        return self._cache.get_or_compute(
+            program, state, binding, lambda: denotational.denote(program, state, binding)
+        )
+
+    # -- draining ------------------------------------------------------------
+
+    def plan_pending(self) -> ExecutionPlan:
+        """Plan the current queue *without* executing (introspection only).
+
+        The queue is left untouched; this answers "what would a drain do" —
+        how many groups, how much coalescing — for tests and dashboards.
+        """
+        with self._lock:
+            items = list(self._queue)
+        return plan(items, coalesce=self.coalesce)
+
+    def flush(self) -> None:
+        """Drain the whole queue through the executor; returns when done.
+
+        Called automatically by the first ``result()`` on a pending handle.
+        Concurrent flushes are safe: each drains the snapshot it atomically
+        took, and a handle queued in another thread's snapshot simply waits
+        for that drain.
+        """
+        with self._lock:
+            if not self._queue:
+                return
+            items, self._queue = self._queue, []
+        execution_plan = plan(items, coalesce=self.coalesce)
+        groups = execution_plan.groups
+        calls = [group.call() for group in groups]
+        with self._lock:
+            self.stats.drains += 1
+            self.stats.groups += len(groups)
+            self.stats.coalesced += execution_plan.coalesced
+            self.stats.batched += execution_plan.batched
+        try:
+            outcomes = self.executor.run(calls, self.backend, self._denote)
+        except BaseException as error:
+            # Catastrophic executor failure (not a group's own exception —
+            # those are captured per group): fail every handle so no caller
+            # blocks forever, then re-raise.
+            for group in groups:
+                self._fail_group(group, error)
+            raise
+        for group, (status, payload, seconds) in zip(groups, outcomes):
+            tier = self._tier_key(group)
+            with self._lock:
+                self.stats.timings[tier] = self.stats.timings.get(tier, 0.0) + seconds
+            if status == "ok":
+                self._fulfill_group(group, payload)
+            else:
+                self._fail_group(group, payload)
+
+    def _tier_key(self, group: RequestGroup) -> str:
+        """Telemetry key of a group: its executing tier when the backend
+        exposes routing (:meth:`~repro.api.StatevectorBackend.tier_for`),
+        its backend name otherwise."""
+        if group.kind is RequestKind.VALUE:
+            program = group.template.program
+            if hasattr(self.backend, "tier_for"):
+                return f"value/{self.backend.tier_for(program)}"
+            return f"value/{self.backend.name}"
+        return f"derivative/{self.backend.name}"
+
+    def _fulfill_group(self, group: RequestGroup, results) -> None:
+        count = 0
+        for row, raw in zip(group.rows, results):
+            for handle in row.handles:
+                kind = handle.request.kind
+                if kind is RequestKind.VALUE:
+                    handle._fulfill(float(raw))
+                elif kind is RequestKind.DERIVATIVE:
+                    handle._fulfill(float(raw[0]))
+                else:
+                    handle._fulfill(np.array(raw, dtype=float))
+                count += 1
+        with self._lock:
+            self.stats.completed += count
+
+    def _fail_group(self, group: RequestGroup, error: BaseException) -> None:
+        count = 0
+        for row in group.rows:
+            for handle in row.handles:
+                handle._fail(error)
+                count += 1
+        with self._lock:
+            self.stats.failed += count
+
+    def close(self) -> None:
+        """Flush the queue, then release the executor's workers."""
+        self.flush()
+        self.executor.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"EstimatorService(backend={self.backend.name!r}, "
+            f"executor={self.executor.name!r}, queue_depth={self.queue_depth})"
+        )

@@ -95,6 +95,16 @@ class TrainingConfig:
             raise TrainingError("the learning rate must be positive")
         if self.loss not in ("squared", "nll"):
             raise TrainingError(f"unknown loss {self.loss!r}; expected 'squared' or 'nll'")
+        # Validate the backend spec eagerly — the same resolution the
+        # estimator applies later, so a typo fails at configuration time
+        # with the full list of valid spellings instead of mid-training.
+        from repro.api import resolve_backend
+        from repro.errors import SemanticsError
+
+        try:
+            resolve_backend(self.backend)
+        except SemanticsError as error:
+            raise TrainingError(str(error)) from error
 
 
 @dataclass
@@ -129,17 +139,26 @@ class GradientDescentTrainer:
     paper's transform → compile → execute pipeline for every parameter.
     All evaluations run through an :class:`~repro.api.Estimator` sharing
     the classifier's compiled derivative multisets and denotation cache;
-    the whole dataset is handed to the estimator's batched
-    ``values``/``gradients`` entry points, so backends that support
-    stacking (the default ``backend="auto"`` statevector tier) advance all
-    data points through each gate together, and the loss, the accuracy and
-    the gradient weights of one epoch all reuse a single forward pass.
+    each epoch's work is submitted as *request batches* on a
+    :class:`~repro.service.Session` of the estimator's execution service
+    (one batch of forward-value requests, one batch of gradient-row
+    requests), so the planner hands whole-dataset batches to backends that
+    support stacking (the default ``backend="auto"`` statevector tier
+    advances all data points through each gate together), and the loss,
+    the accuracy and the gradient weights of one epoch all reuse a single
+    forward pass.
     """
 
     def __init__(self, classifier: BooleanClassifier, config: TrainingConfig | None = None):
         self.classifier = classifier
         self.config = config if config is not None else TrainingConfig()
         self.estimator: Estimator = classifier.estimator(self.config.backend)
+        #: The trainer's lane on the estimator's execution service: each
+        #: epoch's forward pass and gradient fan-out travel as *request
+        #: batches* through it, so the planner folds them into single
+        #: batched backend calls — and coalesces them with whatever else
+        #: (another trainer, an evaluation loop) shares the service.
+        self.session = self.estimator.session(name="vqc-training")
 
     @property
     def program_sets(self) -> tuple[DerivativeProgramSet, ...]:
@@ -154,16 +173,23 @@ class GradientDescentTrainer:
     def predictions(self, dataset: Dataset, binding: ParameterBinding) -> list[float]:
         """The classifier output ``l_θ(z)`` for every data point.
 
-        One batched ``values`` call: stacking backends simulate the whole
-        dataset through each gate with a single broadcasted contraction.
-        Inputs are fed as pure statevectors — the pure tier reads the
-        amplitudes directly and the density backends lift on entry, so no
-        path pays an avoidable ``O(4^n)`` construction.
+        One request batch through the training session: the service plans
+        the whole dataset into a single ``value_batch`` backend call, so
+        stacking backends simulate every data point through each gate with
+        a single broadcasted contraction.  Inputs are fed as pure
+        statevectors — the pure tier reads the amplitudes directly and the
+        density backends lift on entry, so no path pays an avoidable
+        ``O(4^n)`` construction.
         """
-        inputs = [
-            (self.classifier.input_statevector(bits), binding) for bits, _ in dataset
-        ]
-        return [float(value) for value in self.estimator.values(inputs)]
+        handles = self.session.submit_many(
+            [
+                self.estimator.request_value(
+                    self.classifier.input_statevector(bits), binding
+                )
+                for bits, _ in dataset
+            ]
+        )
+        return [float(handle.result()) for handle in handles]
 
     def loss(self, dataset: Dataset, binding: ParameterBinding) -> float:
         """Evaluate the configured loss on the whole dataset."""
@@ -202,12 +228,13 @@ class GradientDescentTrainer:
         dataset: Dataset,
         binding: ParameterBinding,
     ) -> np.ndarray:
-        """Chain-rule gradient via one batched ``gradients`` call.
+        """Chain-rule gradient via one request batch of gradient rows.
 
         Data points whose loss weight is (numerically) zero are dropped
-        before the batch is built — they contribute nothing; the rest go to
-        the backend as a single ``derivative_batch`` fan-out, one gradient
-        row per surviving point, combined in dataset order.
+        before the batch is built — they contribute nothing; the rest are
+        submitted together through the training session, so the planner
+        feeds them to the backend as a single ``derivative_batch`` fan-out,
+        one gradient row per surviving point, combined in dataset order.
         """
         parameters = self.classifier.parameters
         gradient = np.zeros(len(parameters), dtype=float)
@@ -223,13 +250,18 @@ class GradientDescentTrainer:
         active = [index for index, weight in enumerate(weights) if abs(weight) >= 1e-15]
         if not active:
             return gradient
-        inputs = [
-            (self.classifier.input_statevector(dataset[index][0]), binding)
-            for index in active
-        ]
-        rows = self.estimator.gradients(inputs, parameters)
-        for position, index in enumerate(active):
-            gradient += weights[index] * rows[position]
+        handles = self.session.submit_many(
+            [
+                self.estimator.request_gradient(
+                    self.classifier.input_statevector(dataset[index][0]),
+                    binding,
+                    parameters,
+                )
+                for index in active
+            ]
+        )
+        for weight_index, handle in zip(active, handles):
+            gradient += weights[weight_index] * handle.result()
         return gradient
 
     # -- the training loop ----------------------------------------------------------

@@ -103,6 +103,42 @@ class TestSampledAgainstExact:
         state = DensityState.basis_state(layout, {"t1": 1})
         _cross_check(program, np.diag([1.0, -1.0]), state, targets=["q1"], seed=5)
 
+    def test_additive_forward_program_full_observable(self):
+        """The additive ``+`` forward value samples the sum over Compile(P)
+        — the multi-program uniform mixture — instead of raising."""
+        from repro.lang.builder import sum_programs
+
+        layout = RegisterLayout(["q1", "q2"])
+        program = sum_programs(
+            [seq([rx(THETA, "q1")]), seq([ry(PHI, "q2"), rxx(0.3, "q1", "q2")])]
+        )
+        state = DensityState.basis_state(layout, {"q2": 1})
+        exact = Estimator(program, pauli_observable("ZZ"))
+        sampled = exact.with_backend(
+            ShotSamplingBackend(
+                precision=PRECISION, confidence=0.95, rng=np.random.default_rng(6)
+            )
+        )
+        reference = exact.value(state, BINDING)
+        # The m=2 mixture widens the estimate's range to [-m, m] scaled back,
+        # but the Chernoff bound still guarantees the precision target.
+        assert abs(sampled.value(state, BINDING) - reference) < PRECISION
+
+    def test_additive_forward_program_local_observable(self):
+        from repro.lang.builder import sum_programs
+
+        layout = RegisterLayout(["q1", "q2"])
+        program = sum_programs([seq([rx(THETA, "q1")]), seq([ry(PHI, "q1")])])
+        state = DensityState.basis_state(layout, {})
+        exact = Estimator(program, np.diag([1.0, -1.0]), targets=["q1"])
+        sampled = exact.with_backend(
+            ShotSamplingBackend(
+                precision=PRECISION, confidence=0.95, rng=np.random.default_rng(7)
+            )
+        )
+        reference = exact.value(state, BINDING)
+        assert abs(sampled.value(state, BINDING) - reference) < PRECISION
+
 
 class TestSampledLocalTargetsShim:
     """Satellite: ``evaluate_sampled`` now accepts ``targets`` like ``evaluate``."""

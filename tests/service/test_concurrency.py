@@ -1,0 +1,250 @@
+"""Thread-safety of the shared cache and the service under real contention.
+
+Three guarantees, hammered from many threads:
+
+* the :class:`~repro.api.cache.DenotationCache` computes every unique key
+  exactly once (single-flight) and never tears its statistics;
+* one :class:`~repro.service.EstimatorService` accepts concurrent
+  submitters and resolves every handle with the right number, with exact
+  bookkeeping;
+* the thread-pool executor is *observationally identical* to the inline
+  one — the hypothesis sweep asserts bit-for-bit equality, because both
+  executors run the very same grouped backend calls.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.lang.builder import rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import (
+    DenotationCache,
+    Estimator,
+    StatevectorBackend,
+    ThreadPoolBackend,
+)
+from repro.service import EstimatorService
+
+from tests.conftest import binding_strategy, input_state_strategy, program_strategy
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.52, PHI: -0.8})
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+THREADS = 8
+ROUNDS = 60
+
+
+def _program(shift: float = 0.0):
+    return seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(0.4 + shift, "q2")])
+
+
+def _state(index: int = 0) -> DensityState:
+    return DensityState.basis_state(LAYOUT, {"q1": index % 2, "q2": (index // 2) % 2})
+
+
+def _hammer(worker, count: int = THREADS):
+    """Run ``worker`` on ``count`` threads through a start barrier."""
+    barrier = threading.Barrier(count)
+    errors = []
+
+    def run():
+        try:
+            barrier.wait()
+            worker()
+        except BaseException as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    threads = [threading.Thread(target=run) for _ in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestCacheUnderContention:
+    def test_single_flight_means_one_compute_per_key(self):
+        cache = DenotationCache()
+        programs = [_program(0.01 * i) for i in range(10)]
+        state = _state()
+        computes = []
+        compute_lock = threading.Lock()
+
+        def compute(program):
+            with compute_lock:
+                computes.append(program)
+            return state  # any object; the cache stores what compute returns
+
+        def worker():
+            for round_index in range(ROUNDS):
+                program = programs[round_index % len(programs)]
+                result = cache.get_or_compute(
+                    program, state, BINDING, lambda p=program: compute(p)
+                )
+                assert result is state
+
+        _hammer(worker)
+        # No duplicate denotes beyond the coalescing guarantee: every key
+        # computed exactly once, no matter how many threads raced on it.
+        assert len(computes) == len(programs)
+        assert cache.stats.misses == len(programs)
+        assert cache.stats.hits == THREADS * ROUNDS - len(programs)
+        assert cache.stats.lookups == THREADS * ROUNDS
+
+    def test_waiters_reraise_the_computing_threads_error(self):
+        cache = DenotationCache()
+        program = _program()
+        state = _state()
+        gate = threading.Barrier(THREADS)
+        failures = []
+        failures_lock = threading.Lock()
+
+        def compute():
+            raise RuntimeError("deterministic failure")
+
+        def worker():
+            gate.wait()
+            try:
+                cache.get_or_compute(program, state, None, compute)
+            except RuntimeError:
+                with failures_lock:
+                    failures.append(1)
+
+        _hammer(worker)
+        assert len(failures) == THREADS  # owner and every waiter alike
+
+    def test_eviction_stays_consistent_under_contention(self):
+        cache = DenotationCache(max_entries=4)
+        programs = [_program(0.01 * i) for i in range(16)]
+        state = _state()
+
+        def worker():
+            for round_index in range(ROUNDS):
+                program = programs[round_index % len(programs)]
+                cache.get_or_compute(program, state, BINDING, lambda: state)
+
+        _hammer(worker)
+        assert len(cache) <= 4
+        assert cache.stats.lookups == THREADS * ROUNDS
+        assert cache.stats.hits + cache.stats.misses == cache.stats.lookups
+
+
+class TestServiceUnderContention:
+    @pytest.mark.parametrize("executor", ["inline", "threads"])
+    def test_concurrent_submitters_get_exact_books(self, executor):
+        service = EstimatorService("auto", executor=executor)
+        estimator = Estimator(_program(), ZZ)
+        expected = {
+            index: Estimator(_program(), ZZ, backend="exact-density").value(
+                _state(index), BINDING
+            )
+            for index in range(4)
+        }
+        per_thread = 20
+
+        def worker():
+            session = service.session()
+            handles = session.submit_many(
+                [
+                    estimator.request_value(_state(index % 4), BINDING)
+                    for index in range(per_thread)
+                ]
+            )
+            for index, handle in enumerate(handles):
+                assert handle.result() == pytest.approx(expected[index % 4], abs=1e-10)
+
+        _hammer(worker)
+        service.close()
+        total = THREADS * per_thread
+        assert service.stats.submitted == total
+        assert service.stats.completed == total
+        assert service.stats.failed == 0
+        # No torn stats: every request is accounted for exactly once.
+        assert service.stats.coalesced <= total - 4
+
+    def test_one_cache_many_threads_no_duplicate_denotes(self):
+        backend = StatevectorBackend()
+        service = EstimatorService(backend, executor="threads")
+        estimator = Estimator(_program(), ZZ)
+
+        def worker():
+            handles = service.submit_many(
+                [estimator.request_value(_state(index % 4), BINDING) for index in range(8)]
+            )
+            for handle in handles:
+                handle.result()
+
+        _hammer(worker)
+        service.close()
+        # The pure tier stacks each drain's unique points into one batch;
+        # every distinct (program, binding, stack) is denoted at most once
+        # per distinct stack composition, and repeats are hits.
+        stats = backend.cache.stats
+        assert stats.hits + stats.misses == stats.lookups
+
+
+class TestInlineVsThreadExecutors:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        program=program_strategy(allow_controls=True, allow_init=True),
+        binding=binding_strategy(),
+        state=input_state_strategy(),
+    )
+    def test_executors_agree_bit_for_bit(self, program, binding, state):
+        """Inline and thread-pool executors run the same grouped calls —
+        on any program the router handles, every number must be identical."""
+        results = {}
+        for executor in ("inline", "threads"):
+            service = EstimatorService("auto", executor=executor)
+            estimator = Estimator(program, ZZ)
+            handles = service.submit_many(
+                [estimator.request_value(state, binding)]
+                + [estimator.request_gradient(state, binding)]
+            )
+            results[executor] = [np.asarray(handle.result()) for handle in handles]
+            service.close()
+        for inline_result, threaded_result in zip(results["inline"], results["threads"]):
+            assert np.array_equal(inline_result, threaded_result)
+
+    def test_multi_group_drain_agrees_bit_for_bit(self):
+        programs = [_program(0.05 * i) for i in range(6)]
+        states = [_state(i) for i in range(4)]
+
+        def run(executor):
+            service = EstimatorService("auto", executor=executor)
+            estimators = [Estimator(p, ZZ) for p in programs]
+            handles = service.submit_many(
+                [e.request_value(s, BINDING) for e in estimators for s in states]
+            )
+            out = [handle.result() for handle in handles]
+            service.close()
+            return out
+
+        assert run("inline") == run("threads")
+
+    def test_thread_pool_backend_matches_inline_within_1e12(self):
+        """The ``"threads"`` *backend* chunks batches across workers, which
+        may change BLAS batch shapes — agreement to ≤ 1e-12 is the contract
+        (and in practice the rows are bitwise equal)."""
+        inline = Estimator(_program(), ZZ, backend=StatevectorBackend())
+        threaded_backend = ThreadPoolBackend(StatevectorBackend(), max_workers=4)
+        threaded = Estimator(_program(), ZZ, backend=threaded_backend)
+        inputs = [(_state(i % 4), BINDING) for i in range(16)]
+        try:
+            assert np.allclose(
+                threaded.values(inputs), inline.values(inputs), atol=1e-12, rtol=0
+            )
+            assert np.allclose(
+                threaded.gradients(inputs), inline.gradients(inputs), atol=1e-12, rtol=0
+            )
+        finally:
+            threaded_backend.shutdown()

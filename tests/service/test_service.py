@@ -1,0 +1,373 @@
+"""Semantics of the request-based execution protocol (`repro.service`).
+
+The service must be *observationally invisible* on the inline executor —
+every number identical to the direct backend call — while actually
+restructuring execution: grouping same-work requests into one batched
+backend call, coalescing identical points, ordering by priority and
+round-robin session fairness, and containing failures to their group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SemanticsError, TrainingError
+from repro.lang.builder import rx, rxx, ry, seq, case_on_qubit
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import (
+    Estimator,
+    ExactDensityBackend,
+    ShotSamplingBackend,
+    StatevectorBackend,
+    ThreadPoolBackend,
+    backend_spellings,
+    resolve_backend,
+)
+from repro.service import (
+    EstimatorService,
+    ExecutionRequest,
+    InlineExecutor,
+    ProcessPoolServiceExecutor,
+    RequestKind,
+    ThreadPoolServiceExecutor,
+    resolve_executor,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.37, PHI: -1.1})
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+
+def _program():
+    return seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(0.4, "q2")])
+
+
+def _branching_program():
+    return seq(
+        [rx(THETA, "q1"), case_on_qubit("q1", {0: ry(PHI, "q2"), 1: rx(PHI, "q2")})]
+    )
+
+
+def _state(index: int = 0) -> DensityState:
+    return DensityState.basis_state(
+        LAYOUT, {"q1": index % 2, "q2": (index // 2) % 2}
+    )
+
+
+class TestExecutionRequest:
+    def test_value_request_requires_a_program(self):
+        with pytest.raises(SemanticsError):
+            ExecutionRequest(RequestKind.VALUE, Estimator(_program(), ZZ)._spec(), _state())
+
+    def test_derivative_request_requires_exactly_one_set(self):
+        estimator = Estimator(_program(), ZZ)
+        sets = tuple(estimator.program_set(p) for p in estimator.parameters)
+        with pytest.raises(SemanticsError):
+            ExecutionRequest(
+                RequestKind.DERIVATIVE, estimator._spec(), _state(), program_sets=sets
+            )
+
+    def test_gradient_request_allows_an_empty_axis(self):
+        request = ExecutionRequest.gradient([], ZZ, _state())
+        assert request.program_sets == ()
+
+    def test_unparameterized_gradient_resolves_to_an_empty_row(self):
+        estimator = Estimator(seq([ry(0.3, "q1"), rxx(0.2, "q1", "q2")]), ZZ)
+        row = estimator.gradient(_state(), None)
+        assert row.shape == (0,)
+
+
+class TestHandles:
+    def test_submit_returns_a_pending_handle(self):
+        service = EstimatorService()
+        estimator = Estimator(_program(), ZZ)
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        assert not handle.done()
+        assert service.queue_depth == 1
+
+    def test_result_drains_and_matches_the_direct_call(self):
+        service = EstimatorService()
+        estimator = Estimator(_program(), ZZ)
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        reference = ExactDensityBackend().value(
+            _program(), estimator._spec(), _state(), BINDING
+        )
+        assert handle.result() == reference
+        assert handle.done()
+        assert service.queue_depth == 0
+
+    def test_flush_resolves_every_handle(self):
+        service = EstimatorService()
+        estimator = Estimator(_program(), ZZ)
+        handles = service.submit_many(
+            [estimator.request_value(_state(i), BINDING) for i in range(4)]
+        )
+        service.flush()
+        assert all(handle.done() for handle in handles)
+
+    def test_exception_is_contained_to_its_group(self):
+        service = EstimatorService()
+        good = Estimator(_program(), ZZ)
+        bad_observable = np.eye(8, dtype=complex)  # wrong dimension
+        bad = Estimator(_program(), bad_observable)
+        bad_handle = service.submit(bad.request_value(_state(), BINDING))
+        good_handle = service.submit(good.request_value(_state(), BINDING))
+        assert bad_handle.exception() is not None
+        with pytest.raises(Exception):
+            bad_handle.result()
+        assert good_handle.result() == pytest.approx(
+            ExactDensityBackend().value(_program(), good._spec(), _state(), BINDING)
+        )
+        assert service.stats.failed == 1
+        assert service.stats.completed == 1
+
+
+class TestPlanning:
+    def test_same_program_value_requests_share_one_group(self):
+        service = EstimatorService()
+        estimator = Estimator(_program(), ZZ)
+        service.submit_many(
+            [estimator.request_value(_state(i), BINDING) for i in range(4)]
+        )
+        plan = service.plan_pending()
+        assert len(plan.groups) == 1
+        assert len(plan.groups[0].rows) == 4
+
+    def test_different_programs_split_groups(self):
+        service = EstimatorService()
+        a = Estimator(_program(), ZZ)
+        b = Estimator(_branching_program(), ZZ)
+        service.submit_many(
+            [a.request_value(_state(), BINDING), b.request_value(_state(), BINDING)]
+        )
+        assert len(service.plan_pending().groups) == 2
+
+    def test_identical_points_coalesce_to_one_computation(self):
+        service = EstimatorService(ExactDensityBackend())
+        estimator = Estimator(_program(), ZZ)
+        request = estimator.request_value(_state(), BINDING)
+        handles = service.submit_many([request, request, request])
+        values = [handle.result() for handle in handles]
+        assert values[0] == values[1] == values[2]
+        assert service.stats.coalesced == 2
+        assert service.stats.coalesce_rate == pytest.approx(2 / 3)
+        # One denotation total: the coalesced rows never reached the backend.
+        assert service.cache_stats.misses == 1
+
+    def test_cross_estimator_coalescing(self):
+        """Two estimators over the same program coalesce on a shared service."""
+        service = EstimatorService(ExactDensityBackend())
+        program = _program()
+        first = Estimator(program, ZZ)
+        second = Estimator(program, ZZ, targets=None)
+        # Same observable *object* is required for a shared group; same
+        # matrix values under different objects stay separate (conservative).
+        shared = first._spec()
+        request_a = ExecutionRequest.value(program, shared, _state(), BINDING)
+        request_b = ExecutionRequest.value(program, shared, _state(), BINDING)
+        handles = service.submit_many([request_a, request_b])
+        assert handles[0].result() == handles[1].result()
+        assert service.stats.coalesced == 1
+        assert second is not first  # the point: distinct clients, one compute
+
+    def test_sampling_backends_do_not_coalesce(self):
+        service = EstimatorService(
+            ShotSamplingBackend(precision=0.4, rng=np.random.default_rng(0))
+        )
+        assert service.coalesce is False
+        estimator = Estimator(_program(), ZZ)
+        request = estimator.request_value(_state(), BINDING)
+        handles = service.submit_many([request, request])
+        results = {handles[0].result(), handles[1].result()}
+        assert service.stats.coalesced == 0
+        assert len(results) == 2  # independent draws
+
+    def test_wrapped_sampling_backends_do_not_coalesce(self):
+        from repro.api import ParallelBackend
+
+        service = EstimatorService(
+            ParallelBackend(ShotSamplingBackend(rng=np.random.default_rng(0)))
+        )
+        assert service.coalesce is False
+
+    def test_derivative_and_gradient_share_a_batch_row(self):
+        service = EstimatorService(ExactDensityBackend())
+        estimator = Estimator(_program(), ZZ)
+        program_set = estimator.program_set(estimator.parameters[0])
+        derivative = ExecutionRequest.derivative(
+            program_set, estimator._spec(), _state(), BINDING
+        )
+        gradient = ExecutionRequest.gradient(
+            [program_set], estimator._spec(), _state(), BINDING
+        )
+        handles = service.submit_many([derivative, gradient])
+        scalar = handles[0].result()
+        row = handles[1].result()
+        assert isinstance(scalar, float)
+        assert row.shape == (1,)
+        assert scalar == row[0]
+        assert service.stats.coalesced == 1
+
+    def test_priority_orders_groups(self):
+        service = EstimatorService()
+        low = Estimator(_program(), ZZ)
+        high = Estimator(_branching_program(), ZZ)
+        service.submit(low.request_value(_state(), BINDING))
+        service.submit(high.request_value(_state(), BINDING, priority=5))
+        plan = service.plan_pending()
+        assert plan.groups[0].template.priority == 5
+
+    def test_sessions_interleave_round_robin(self):
+        service = EstimatorService()
+        estimator = Estimator(_program(), ZZ)
+        alice = service.session(name="alice")
+        bob = service.session(name="bob")
+        # Alice enqueues her whole batch before Bob submits anything…
+        alice.submit_many([estimator.request_value(_state(i), BINDING) for i in range(3)])
+        bob.submit_many([estimator.request_value(_state(3), BINDING)])
+        plan = service.plan_pending()
+        rows = plan.groups[0].rows
+        # …but Bob's first request drains right after Alice's first: rank 0
+        # of every session outranks rank 1 of any.
+        states = [row.request.state for row in rows]
+        assert states[1].matrix[3, 3] == pytest.approx(1.0)  # bob's |q1=1,q2=1⟩
+
+    def test_session_priority_bumps_requests(self):
+        service = EstimatorService()
+        estimator = Estimator(_program(), ZZ)
+        urgent = service.session(name="urgent", priority=10)
+        handle = urgent.submit(estimator.request_value(_state(), BINDING))
+        assert handle.request.priority == 10
+
+
+class TestExecutors:
+    def test_resolve_executor_names(self):
+        assert isinstance(resolve_executor(None), InlineExecutor)
+        assert isinstance(resolve_executor("inline"), InlineExecutor)
+        assert isinstance(resolve_executor("threads"), ThreadPoolServiceExecutor)
+        assert isinstance(resolve_executor("thread-pool"), ThreadPoolServiceExecutor)
+        assert isinstance(resolve_executor("processes"), ProcessPoolServiceExecutor)
+        instance = InlineExecutor()
+        assert resolve_executor(instance) is instance
+
+    def test_resolve_executor_unknown_name_lists_spellings(self):
+        with pytest.raises(SemanticsError, match="inline.*threads.*processes"):
+            resolve_executor("bogus")
+
+    def test_thread_executor_matches_inline_bitwise(self):
+        programs = [_program(), _branching_program()]
+        states = [_state(i) for i in range(4)]
+
+        def run(executor):
+            service = EstimatorService("auto", executor=executor)
+            estimators = [Estimator(p, ZZ) for p in programs]
+            handles = service.submit_many(
+                [e.request_value(s, BINDING) for e in estimators for s in states]
+                + [e.request_gradient(s, BINDING) for e in estimators for s in states[:2]]
+            )
+            results = [handle.result() for handle in handles]
+            service.close()
+            return results
+
+        inline, threaded = run("inline"), run("threads")
+        for a, b in zip(inline, threaded):
+            assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_process_executor_matches_inline(self):
+        executor = ProcessPoolServiceExecutor(max_workers=2)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        a = Estimator(_program(), ZZ)
+        b = Estimator(_branching_program(), ZZ)
+        handles = service.submit_many(
+            [a.request_value(_state(i), BINDING) for i in range(2)]
+            + [b.request_value(_state(i), BINDING) for i in range(2)]
+        )
+        try:
+            results = [handle.result() for handle in handles]
+        finally:
+            service.close()
+        inline = EstimatorService(ExactDensityBackend())
+        expected = [
+            h.result()
+            for h in inline.submit_many(
+                [a.request_value(_state(i), BINDING) for i in range(2)]
+                + [b.request_value(_state(i), BINDING) for i in range(2)]
+            )
+        ]
+        assert results == expected
+
+    def test_per_tier_timings_are_recorded(self):
+        service = EstimatorService("auto")
+        pure = Estimator(_program(), ZZ)
+        branching = Estimator(_branching_program(), ZZ)
+        service.submit_many(
+            [
+                pure.request_value(_state(), BINDING),
+                branching.request_value(_state(), BINDING),
+                pure.request_gradient(_state(), BINDING),
+            ]
+        )
+        service.flush()
+        assert "value/pure" in service.stats.timings
+        assert "value/trajectory" in service.stats.timings
+        assert "derivative/statevector" in service.stats.timings
+
+
+class TestEstimatorClient:
+    def test_estimator_entry_points_share_the_service_cache(self):
+        estimator = Estimator(_program(), ZZ)
+        estimator.value(_state(), BINDING)
+        misses = estimator.cache_stats.misses
+        handle = estimator.service.submit(estimator.request_value(_state(), BINDING))
+        assert handle.result() == pytest.approx(estimator.value(_state(), BINDING))
+        assert estimator.cache_stats.misses == misses  # pure cache hits
+
+    def test_service_rebuilds_when_backend_is_swapped(self):
+        estimator = Estimator(_program(), ZZ)
+        first = estimator.service
+        estimator.backend = StatevectorBackend()
+        assert estimator.service is not first
+        assert estimator.service.backend is estimator.backend
+
+    def test_session_factory(self):
+        estimator = Estimator(_program(), ZZ)
+        with estimator.session(name="mine", priority=1) as session:
+            handle = session.submit(estimator.request_value(_state(), BINDING))
+        assert handle.done()
+
+
+class TestBackendSpellings:
+    def test_threads_spec_resolves_to_thread_pool_backend(self):
+        backend = resolve_backend("threads")
+        assert isinstance(backend, ThreadPoolBackend)
+        assert isinstance(backend.inner, StatevectorBackend)
+        assert isinstance(resolve_backend("thread-pool"), ThreadPoolBackend)
+
+    def test_unknown_backend_error_lists_every_spelling(self):
+        with pytest.raises(SemanticsError) as excinfo:
+            resolve_backend("not-a-backend")
+        message = str(excinfo.value)
+        for spelling in backend_spellings():
+            assert spelling in message
+
+    def test_estimator_accepts_threads_backend_spec(self):
+        estimator = Estimator(_program(), ZZ, backend="threads")
+        reference = Estimator(_program(), ZZ, backend="auto")
+        inputs = [(_state(i), BINDING) for i in range(4)]
+        assert np.allclose(
+            estimator.values(inputs), reference.values(inputs), atol=1e-12
+        )
+        estimator.backend.shutdown()
+
+    def test_training_config_validates_backend_spec(self):
+        from repro.vqc.training import TrainingConfig
+
+        with pytest.raises(TrainingError) as excinfo:
+            TrainingConfig(backend="not-a-backend")
+        message = str(excinfo.value)
+        for spelling in backend_spellings():
+            assert spelling in message
+        TrainingConfig(backend="threads")  # every valid spelling passes

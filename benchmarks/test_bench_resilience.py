@@ -1,0 +1,193 @@
+"""What resilience costs (`repro.service.resilience`) — ``BENCH_resilience.json``.
+
+Two numbers, one per direction of the robustness trade:
+
+* **fault-free overhead** — the same workload drained through a plain
+  PR-5-style service and through a fully-armed resilient one (retry
+  policy, circuit breaker, a 30 s deadline on every request).  The
+  resilience machinery is a fast-path no-op when nothing fails — the
+  prune scan finds no doomed handle, the retry loop runs once — so the
+  overhead must stay **≤ 5 %** (asserted in full mode, min-of-interleaved
+  repeats against fresh bindings so neither side rides the cache).
+* **recovery throughput** — the workload under a seeded 10 %-transient
+  :class:`~repro.service.FaultSchedule` with retries enabled: every
+  handle must still resolve to within 1e-10 of the clean run, and the
+  recorded throughput ratio says what surviving that fault rate costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.lang.parameters import ParameterBinding
+from repro.api import Estimator, StatevectorBackend
+from repro.service import (
+    EstimatorService,
+    FaultSchedule,
+    FaultyBackend,
+    RetryPolicy,
+)
+
+from benchmarks.conftest import record_result, register_report, smoke_mode
+from benchmarks.test_bench_service import _basis_vectors, _ladder
+
+SMOKE = smoke_mode()
+
+#: Register width / input points / interleaved timing repeats.
+QUBITS = 4 if SMOKE else 8
+POINTS = 6 if SMOKE else 24
+REPEATS = 2 if SMOKE else 5
+
+_results: dict[str, dict] = {}
+
+
+def _workload():
+    program, layout, binding, observable, qubits = _ladder(QUBITS)
+    return program, tuple(binding), observable, qubits, _basis_vectors(
+        layout, POINTS
+    )
+
+
+def _bindings(parameters, count: int) -> list[ParameterBinding]:
+    """One fresh parameter point per timing pass: every pass simulates."""
+    return [
+        ParameterBinding.from_values(
+            parameters, np.linspace(0.11 + 0.07 * index, 0.9 + 0.05 * index, len(parameters))
+        )
+        for index in range(count)
+    ]
+
+
+def _drain(service, estimator, inputs, binding, *, timeout=None):
+    handles = service.submit_many(
+        [
+            estimator.request_value(state, binding, timeout=timeout)
+            for state in inputs
+        ]
+    )
+    service.flush()
+    return [handle.result() for handle in handles]
+
+
+def _stream(service, estimator, inputs, binding):
+    """Drain point by point — one backend call (one fault draw) per request."""
+    values = []
+    for state in inputs:
+        handle = service.submit(estimator.request_value(state, binding))
+        service.flush()
+        values.append(handle.result())
+    return values
+
+
+def test_fault_free_overhead():
+    program, parameters, observable, qubits, inputs = _workload()
+    estimator = Estimator(program, observable, targets=(qubits[-1],), backend="auto")
+    plain = EstimatorService("auto")
+    resilient = EstimatorService(
+        "auto", retry=RetryPolicy(attempts=3), breaker=True
+    )
+    passes = _bindings(parameters, REPEATS)
+
+    plain_s = resilient_s = float("inf")
+    for binding in passes:
+        start = time.perf_counter()
+        plain_values = _drain(plain, estimator, inputs, binding)
+        plain_s = min(plain_s, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        resilient_values = _drain(
+            resilient, estimator, inputs, binding, timeout=30.0
+        )
+        resilient_s = min(resilient_s, time.perf_counter() - start)
+
+        # Same drains, same numbers — the resilience wrapping is invisible.
+        assert plain_values == resilient_values
+
+    overhead = resilient_s / plain_s - 1.0
+    _results["fault_free_overhead"] = {
+        "qubits": QUBITS,
+        "points": POINTS,
+        "repeats": REPEATS,
+        "plain_s": plain_s,
+        "resilient_s": resilient_s,
+        "overhead_fraction": overhead,
+        "retries": resilient.stats.retries,
+        "timeouts": resilient.stats.timeouts,
+    }
+    record_result("resilience", "fault_free_overhead", _results["fault_free_overhead"])
+    assert resilient.stats.retries == 0
+    assert resilient.stats.timeouts == 0
+    if not SMOKE:
+        assert resilient_s <= plain_s * 1.05 + 0.005, (
+            f"resilience wrapping cost {overhead:.1%} on the fault-free path"
+        )
+
+
+def test_recovery_throughput_under_transient_faults():
+    program, parameters, observable, qubits, inputs = _workload()
+    binding = _bindings(parameters, 1)[0]
+    estimator = Estimator(program, observable, targets=(qubits[-1],), backend="auto")
+
+    clean_service = EstimatorService(StatevectorBackend())
+    start = time.perf_counter()
+    clean_values = _stream(clean_service, estimator, inputs, binding)
+    clean_s = time.perf_counter() - start
+
+    schedule = FaultSchedule.probabilistic(0, transient=0.10)
+    faulty_service = EstimatorService(
+        FaultyBackend(StatevectorBackend(), schedule),
+        retry=RetryPolicy(attempts=6, base_delay=0.0),
+    )
+    start = time.perf_counter()
+    recovered_values = _stream(faulty_service, estimator, inputs, binding)
+    faulty_s = time.perf_counter() - start
+
+    # Recovery must be *exact*: every retried group reproduces the clean
+    # number, no handle is lost to the fault schedule — and the schedule
+    # must actually have fired, or the benchmark measured nothing.
+    assert len(schedule.injected) > 0
+    assert faulty_service.stats.retries > 0
+    assert (
+        np.max(np.abs(np.array(recovered_values) - np.array(clean_values))) <= 1e-10
+    )
+    assert faulty_service.stats.failed == 0
+    assert faulty_service.stats.completed == len(inputs)
+
+    throughput = len(inputs) / faulty_s if faulty_s > 0 else float("inf")
+    _results["recovery_throughput"] = {
+        "transient_rate": 0.10,
+        "seed": 0,
+        "requests": len(inputs),
+        "clean_s": clean_s,
+        "faulty_s": faulty_s,
+        "requests_per_s": throughput,
+        "throughput_ratio": clean_s / faulty_s if faulty_s > 0 else 1.0,
+        "retries": faulty_service.stats.retries,
+        "injected": len(schedule.injected),
+    }
+    record_result(
+        "resilience", "recovery_throughput", _results["recovery_throughput"]
+    )
+
+
+def teardown_module(module):
+    if not _results:
+        return
+    lines = ["resilience overhead and recovery", "-" * 34]
+    fault_free = _results.get("fault_free_overhead")
+    if fault_free:
+        lines.append(
+            f"fault-free overhead: {fault_free['overhead_fraction']:+.1%} "
+            f"(plain {fault_free['plain_s']:.4f}s vs resilient "
+            f"{fault_free['resilient_s']:.4f}s)"
+        )
+    recovery = _results.get("recovery_throughput")
+    if recovery:
+        lines.append(
+            f"10% transient faults: {recovery['requests']} requests recovered "
+            f"exactly, {recovery['retries']} retries, throughput ratio "
+            f"{recovery['throughput_ratio']:.2f}"
+        )
+    register_report("resilience", "\n".join(lines))

@@ -188,6 +188,11 @@ class Estimator:
         the direct backend call), ``"threads"`` or ``"processes"``.
     cache_size:
         LRU bound of the denotation cache (``0`` disables caching).
+    retry:
+        The per-instance service's retry policy — a
+        :class:`~repro.service.RetryPolicy`, an attempt count, or ``None``
+        (no retries, the default).  Transient backend failures re-run only
+        the affected group; see :mod:`repro.service.resilience`.
     """
 
     def __init__(
@@ -203,6 +208,7 @@ class Estimator:
         cache_size: int = DEFAULT_MAX_ENTRIES,
         program_sets: "Mapping[Parameter, object] | None" = None,
         cache: DenotationCache | None = None,
+        retry: object = None,
     ):
         self.program = program
         self.observable = (
@@ -211,6 +217,7 @@ class Estimator:
         self.layout = layout
         self.backend = resolve_backend(backend)
         self._executor_spec = executor
+        self._retry_spec = retry
         self._service = None
         self._parameters = tuple(parameters) if parameters is not None else None
         self._program_sets: dict[Parameter, object] = (
@@ -289,7 +296,10 @@ class Estimator:
                 # swap must not leak a thread/process pool per assignment.
                 self._service.close()
             self._service = EstimatorService(
-                self.backend, executor=self._executor_spec, cache=self._cache
+                self.backend,
+                executor=self._executor_spec,
+                cache=self._cache,
+                retry=self._retry_spec,
             )
         return self._service
 
@@ -305,17 +315,24 @@ class Estimator:
         binding: ParameterBinding | None = None,
         *,
         priority: int = 0,
+        timeout: float | None = None,
     ):
         """An :class:`~repro.service.ExecutionRequest` for one forward value.
 
         Self-contained — it may be submitted to this estimator's own
         service *or* to any shared :class:`~repro.service.EstimatorService`
         where it can batch and coalesce with other estimators' requests.
+        ``timeout`` becomes the request's deadline (absolute from now).
         """
         from repro.service import ExecutionRequest
 
         return ExecutionRequest.value(
-            self.program, self._spec(), state, binding, priority=priority
+            self.program,
+            self._spec(),
+            state,
+            binding,
+            priority=priority,
+            timeout=timeout,
         )
 
     def request_derivative(
@@ -325,12 +342,18 @@ class Estimator:
         binding: ParameterBinding | None = None,
         *,
         priority: int = 0,
+        timeout: float | None = None,
     ):
         """A request for one parameter's derivative readout."""
         from repro.service import ExecutionRequest
 
         return ExecutionRequest.derivative(
-            self.program_set(parameter), self._spec(), state, binding, priority=priority
+            self.program_set(parameter),
+            self._spec(),
+            state,
+            binding,
+            priority=priority,
+            timeout=timeout,
         )
 
     def request_gradient(
@@ -340,6 +363,7 @@ class Estimator:
         parameters: Sequence[Parameter] | None = None,
         *,
         priority: int = 0,
+        timeout: float | None = None,
     ):
         """A request for a whole gradient row along ``parameters``."""
         from repro.service import ExecutionRequest
@@ -351,6 +375,7 @@ class Estimator:
             state,
             binding,
             priority=priority,
+            timeout=timeout,
         )
 
     # -- execution (thin synchronous client) --------------------------------
@@ -370,21 +395,36 @@ class Estimator:
             program, state, binding, lambda: denotational.denote(program, state, binding)
         )
 
-    def value(self, state: DensityState, binding: ParameterBinding | None = None) -> float:
-        """``tr(O[[P(θ*)]]ρ)`` (Definition 5.1) through the configured backend."""
-        return float(self.service.submit(self.request_value(state, binding)).result())
+    def value(
+        self,
+        state: DensityState,
+        binding: ParameterBinding | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> float:
+        """``tr(O[[P(θ*)]]ρ)`` (Definition 5.1) through the configured backend.
+
+        ``timeout`` (here and on every entry point below) bounds the wait:
+        it becomes the request's deadline *and* the result wait, so a
+        request that cannot resolve in time fails with
+        :class:`~repro.errors.DeadlineExceededError`.
+        """
+        handle = self.service.submit(self.request_value(state, binding, timeout=timeout))
+        return float(handle.result(timeout))
 
     def derivative(
         self,
         parameter: Parameter,
         state: DensityState,
         binding: ParameterBinding | None = None,
+        *,
+        timeout: float | None = None,
     ) -> float:
         """One gradient entry: the derivative readout for a single parameter."""
         return float(
             self.service.submit(
-                self.request_derivative(parameter, state, binding)
-            ).result()
+                self.request_derivative(parameter, state, binding, timeout=timeout)
+            ).result(timeout)
         )
 
     def gradient(
@@ -392,6 +432,8 @@ class Estimator:
         state: DensityState,
         binding: ParameterBinding | None = None,
         parameters: Sequence[Parameter] | None = None,
+        *,
+        timeout: float | None = None,
     ) -> np.ndarray:
         """The gradient of the observable semantics along ``parameters``.
 
@@ -404,22 +446,31 @@ class Estimator:
         workers; the default hook reproduces the historical per-parameter
         loop exactly.
         """
-        handle = self.service.submit(self.request_gradient(state, binding, parameters))
-        return handle.result()
+        handle = self.service.submit(
+            self.request_gradient(state, binding, parameters, timeout=timeout)
+        )
+        return handle.result(timeout)
 
     def value_and_grad(
         self,
         state: DensityState,
         binding: ParameterBinding | None = None,
         parameters: Sequence[Parameter] | None = None,
+        *,
+        timeout: float | None = None,
     ) -> tuple[float, np.ndarray]:
         """The value and the gradient at one point, sharing every simulation."""
         return (
-            self.value(state, binding),
-            self.gradient(state, binding, parameters),
+            self.value(state, binding, timeout=timeout),
+            self.gradient(state, binding, parameters, timeout=timeout),
         )
 
-    def values(self, inputs: Iterable[EstimatorInput]) -> np.ndarray:
+    def values(
+        self,
+        inputs: Iterable[EstimatorInput],
+        *,
+        timeout: float | None = None,
+    ) -> np.ndarray:
         """Batched :meth:`value` over ``(state, binding)`` points.
 
         Submitted as one request batch: planning folds the whole batch into
@@ -428,25 +479,30 @@ class Estimator:
         """
         batch = [self._coerce_input(point) for point in inputs]
         handles = self.service.submit_many(
-            [self.request_value(state, binding) for state, binding in batch]
+            [
+                self.request_value(state, binding, timeout=timeout)
+                for state, binding in batch
+            ]
         )
-        return np.array([handle.result() for handle in handles], dtype=float)
+        return np.array([handle.result(timeout) for handle in handles], dtype=float)
 
     def gradients(
         self,
         inputs: Iterable[EstimatorInput],
         parameters: Sequence[Parameter] | None = None,
+        *,
+        timeout: float | None = None,
     ) -> np.ndarray:
         """Batched :meth:`gradient`: one row per input point."""
         parameters = self.parameters if parameters is None else tuple(parameters)
         batch = [self._coerce_input(point) for point in inputs]
         handles = self.service.submit_many(
             [
-                self.request_gradient(state, binding, parameters)
+                self.request_gradient(state, binding, parameters, timeout=timeout)
                 for state, binding in batch
             ]
         )
-        rows = [handle.result() for handle in handles]
+        rows = [handle.result(timeout) for handle in handles]
         return np.array(rows, dtype=float).reshape(len(batch), len(parameters))
 
     @staticmethod
@@ -474,6 +530,7 @@ class Estimator:
             parameters=self._parameters,
             backend=backend,
             cache=self._cache,
+            retry=self._retry_spec,
         )
         # Share the lazily-grown compile cache itself, not a snapshot, so
         # multisets compiled through either estimator serve both.
@@ -493,6 +550,25 @@ class Estimator:
     def clear_cache(self) -> None:
         """Drop every cached denotation (compile-time artifacts are kept)."""
         self._cache.clear()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the lazily-built per-instance service, if any.
+
+        Drains its queue and shuts its executor's worker pools down
+        deterministically instead of leaving them to the garbage collector;
+        a closed estimator rebuilds the service lazily on next use.
+        """
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+
+    def __enter__(self) -> "Estimator":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         observable = self.observable.name if self.observable is not None else "∅"

@@ -100,3 +100,76 @@ class LogicError(ReproError):
 
 class TrainingError(ReproError):
     """A variational training loop was configured incorrectly."""
+
+
+class ServiceError(ReproError):
+    """A request failed inside the execution-service layer.
+
+    This branch classifies failures for the retry machinery of
+    :mod:`repro.service.resilience`: the class attribute ``retryable``
+    says whether re-running the same work can succeed.  Infrastructure
+    hiccups (a worker died, an injected transient fault) are retryable;
+    deadline/cancellation outcomes and exhausted retry budgets are final
+    by construction.
+    """
+
+    #: Whether re-executing the failed work may succeed.  Overridden by
+    #: subclasses; :func:`is_retryable` reads it off any exception.
+    retryable: bool = False
+
+
+class CancelledError(ServiceError):
+    """The request was cancelled before its group executed.
+
+    Raised by :meth:`~repro.service.ResultHandle.result` after a
+    successful :meth:`~repro.service.ResultHandle.cancel`.  Final: the
+    caller asked for the work not to happen.
+    """
+
+
+class DeadlineExceededError(ServiceError, TimeoutError):
+    """The request's deadline passed before it produced a result.
+
+    Doubles as a :class:`TimeoutError` so callers that guarded
+    ``handle.result(timeout=...)`` with the builtin keep working.  Final:
+    a blown deadline must not silently retry into even more lateness.
+    """
+
+
+class TransientServiceError(ServiceError):
+    """A failure that is expected to succeed when the work is re-run.
+
+    The base class of every injected transient fault
+    (:mod:`repro.service.faults`) and the marker a custom backend or
+    executor raises to opt a failure into the service's retry budget.
+    """
+
+    retryable = True
+
+
+class RetryExhaustedError(ServiceError):
+    """A retryable failure kept failing until the retry budget ran out.
+
+    ``last_error`` (also chained as ``__cause__``) is the final underlying
+    failure; ``attempts`` is how many times the group ran in total.
+    """
+
+    def __init__(self, message: str, *, attempts: int, last_error: BaseException):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Classify an exception for the service's retry machinery.
+
+    The ``retryable`` attribute wins when present (every
+    :class:`ServiceError` carries one); otherwise only
+    :class:`ConnectionError` — the transport failures a future remote
+    worker surfaces — is considered transient.  Everything else (user
+    errors, semantic errors, deadline/cancellation outcomes) is final.
+    """
+    flag = getattr(error, "retryable", None)
+    if flag is not None:
+        return bool(flag)
+    return isinstance(error, ConnectionError)

@@ -30,6 +30,17 @@ groups, uncached workers).
 Every :class:`~repro.api.Estimator` is itself a thin synchronous client of
 a per-instance service (``estimator.service`` / ``estimator.session()``),
 so the request protocol is the *only* execution path — not a parallel one.
+
+Failure is part of the protocol (:mod:`repro.service.resilience`):
+requests carry deadlines (``timeout=`` on the factories,
+``handle.cancel()``), a :class:`RetryPolicy` re-runs failed groups within
+a bounded, seeded-backoff budget, and a :class:`CircuitBreaker` degrades
+pooled executors to the inline one when the pool itself dies.  The
+seedable harness in :mod:`repro.service.faults` (:class:`FaultSchedule`,
+:class:`FaultyBackend`, :class:`FaultyExecutor`) makes all of it testable:
+inject transient faults within the retry budget and every handle resolves
+to the fault-free number; inject beyond it and the failure is a typed
+:class:`~repro.errors.ServiceError` while unaffected groups complete.
 """
 
 from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
@@ -41,21 +52,47 @@ from repro.service.executors import (
     ThreadPoolServiceExecutor,
     resolve_executor,
 )
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    deadline_after,
+    resolve_breaker,
+    resolve_retry,
+)
+from repro.service.faults import (
+    FaultSchedule,
+    FaultyBackend,
+    FaultyExecutor,
+    InjectedCrash,
+    InjectedFatalFault,
+    InjectedFault,
+)
 from repro.service.service import EstimatorService, ServiceStats, Session
 
 __all__ = [
+    "CircuitBreaker",
     "EstimatorService",
     "ExecutionPlan",
     "ExecutionRequest",
+    "FaultSchedule",
+    "FaultyBackend",
+    "FaultyExecutor",
+    "InjectedCrash",
+    "InjectedFatalFault",
+    "InjectedFault",
     "InlineExecutor",
     "ProcessPoolServiceExecutor",
     "RequestGroup",
     "RequestKind",
     "ResultHandle",
+    "RetryPolicy",
     "ServiceExecutor",
     "ServiceStats",
     "Session",
     "ThreadPoolServiceExecutor",
+    "deadline_after",
     "plan",
+    "resolve_breaker",
     "resolve_executor",
+    "resolve_retry",
 ]

@@ -114,6 +114,12 @@ class ServiceExecutor(abc.ABC):
     def shutdown(self) -> None:
         """Release worker resources (re-created lazily on next use)."""
 
+    def __enter__(self) -> "ServiceExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"{type(self).__name__}()"
 

@@ -1,0 +1,331 @@
+"""Seedable fault injection: *prove* failure behavior instead of hoping.
+
+A verifier has to reason about both the presence and the absence of bugs;
+the resilience layer likewise needs evidence for both directions — that
+transient faults within the retry budget are invisible (every handle
+resolves to the fault-free number), and that faults beyond it fail with
+*typed* errors while unaffected groups still complete.  This module makes
+failure reproducible enough to assert:
+
+* :class:`FaultSchedule` — a thread-safe decision stream: scripted
+  (crash-on-Nth-call), seeded-probabilistic (iid rates per call), or a
+  per-group transient *burst* (the first ``n`` calls of each distinct
+  work unit fail, then it heals — the shape that encodes "within/beyond
+  the retry budget" exactly).  Every injection is recorded in
+  ``schedule.injected`` for assertions and telemetry.
+* :class:`FaultyBackend` — wraps any :class:`~repro.api.Backend`;
+  consults the schedule once per (batched) backend call — i.e. once per
+  planned group per attempt — and injects a transient/fatal exception or
+  a delay before delegating.  Transparent otherwise: ``tier_for``,
+  ``rng`` (sampling detection) and every other attribute pass through to
+  the wrapped backend.
+* :class:`FaultyExecutor` — wraps a
+  :class:`~repro.service.ServiceExecutor`; a ``"crash"`` action raises
+  from ``run()`` itself, simulating a dying thread/process pool — the
+  failure class the circuit breaker and inline degradation exist for.
+
+The injected exception types live here (not in :mod:`repro.errors`)
+because they are harness artifacts, but they subclass the
+:class:`~repro.errors.ServiceError` branch so the retry classification
+treats them exactly like real infrastructure faults.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import SemanticsError, ServiceError, TransientServiceError
+from repro.api.backends import Backend, _plain_denote
+from repro.service.executors import InlineExecutor, ServiceExecutor
+
+__all__ = [
+    "TRANSIENT",
+    "FATAL",
+    "DELAY",
+    "CRASH",
+    "InjectedFault",
+    "InjectedFatalFault",
+    "InjectedCrash",
+    "FaultSchedule",
+    "FaultyBackend",
+    "FaultyExecutor",
+]
+
+#: Schedule actions: fail-retryably, fail-finally, stall, kill the executor.
+TRANSIENT = "transient"
+FATAL = "fatal"
+DELAY = "delay"
+CRASH = "crash"
+
+_ACTIONS = (TRANSIENT, FATAL, DELAY, CRASH)
+
+
+class InjectedFault(TransientServiceError):
+    """An injected *transient* failure — retryable by classification."""
+
+
+class InjectedFatalFault(ServiceError):
+    """An injected permanent failure — never retried."""
+
+
+class InjectedCrash(RuntimeError):
+    """An injected executor death (the pool-broke failure class).
+
+    Deliberately *not* a :class:`~repro.errors.ServiceError`: a real dying
+    pool raises whatever the stdlib raises, and the degradation path must
+    not depend on the error being one of ours.
+    """
+
+
+class FaultSchedule:
+    """A thread-safe stream of injection decisions, one per intercepted call.
+
+    Build one through the constructors —
+
+    ``FaultSchedule.scripted([None, "transient", None, "crash"])``
+        consumed in call order: call 1 clean, call 2 fails transiently,
+        call 4 crashes the executor; exhausted scripts inject nothing
+        (the schedule "heals").
+    ``FaultSchedule.probabilistic(seed, transient=0.1, ...)``
+        iid per call from a ``numpy`` generator seeded once — the same
+        seed replays the same fault pattern over the same call sequence.
+    ``FaultSchedule.transient_burst(failures)``
+        the first ``failures`` calls of each distinct work unit raise
+        transiently, after which that unit heals; a mapping assigns a
+        budget per work unit in *first-seen call order* (unit 0 is the
+        first distinct group the drain executes).  ``transient_burst(k)``
+        with a retry budget of ``attempts > k`` is exactly "within
+        budget"; ``attempts <= k`` is exactly "beyond budget".
+
+    ``next_action(key)`` advances the stream; ``injected`` records every
+    ``(call_index, key, action)`` taken, and ``calls`` counts all
+    intercepted calls — both for post-hoc assertions.
+    """
+
+    def __init__(
+        self,
+        *,
+        script: "Sequence[str | None] | None" = None,
+        rng: "np.random.Generator | None" = None,
+        transient_rate: float = 0.0,
+        fatal_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_s: float = 1e-4,
+        burst: "int | Mapping[int, int] | None" = None,
+    ):
+        modes = sum(spec is not None for spec in (script, rng, burst))
+        if modes != 1:
+            raise SemanticsError(
+                "a FaultSchedule takes exactly one of script=, rng= "
+                "(probabilistic rates), or burst=; use the constructors"
+            )
+        if script is not None:
+            for action in script:
+                if action is not None and action not in _ACTIONS:
+                    raise SemanticsError(
+                        f"unknown scripted action {action!r}; expected one of "
+                        f"{_ACTIONS} or None"
+                    )
+        rates = (transient_rate, fatal_rate, delay_rate)
+        if any(rate < 0 for rate in rates) or sum(rates) > 1.0:
+            raise SemanticsError("fault rates must be non-negative and sum to <= 1")
+        self._script = list(script) if script is not None else None
+        self._rng = rng
+        self._rates = rates
+        self.delay_s = float(delay_s)
+        self._burst = burst
+        #: First-seen order of distinct work keys (burst mode bookkeeping).
+        self._key_index: dict[Hashable, int] = {}
+        self._key_calls: dict[Hashable, int] = {}
+        self._lock = threading.Lock()
+        #: Intercepted calls so far (injections and clean passes alike).
+        self.calls = 0
+        #: Every injection taken: ``(call_index, key, action)``.
+        self.injected: list[tuple[int, Hashable, str]] = []
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def scripted(cls, actions: "Sequence[str | None]") -> "FaultSchedule":
+        """Inject exactly ``actions[i]`` on intercepted call ``i``."""
+        return cls(script=actions)
+
+    @classmethod
+    def probabilistic(
+        cls,
+        seed: "int | np.random.Generator | None" = None,
+        *,
+        transient: float = 0.1,
+        fatal: float = 0.0,
+        delay: float = 0.0,
+        delay_s: float = 1e-4,
+    ) -> "FaultSchedule":
+        """Seeded iid injection at the given per-call rates."""
+        rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        return cls(
+            rng=rng,
+            transient_rate=transient,
+            fatal_rate=fatal,
+            delay_rate=delay,
+            delay_s=delay_s,
+        )
+
+    @classmethod
+    def transient_burst(cls, failures: "int | Mapping[int, int]") -> "FaultSchedule":
+        """The first ``failures`` calls of each distinct work unit fail.
+
+        An ``int`` applies one budget to every unit; a mapping assigns
+        budgets by first-seen unit index (missing indices inject nothing).
+        """
+        if isinstance(failures, int) and failures < 0:
+            raise SemanticsError("a burst budget must be non-negative")
+        return cls(burst=failures)
+
+    # -- the decision stream -------------------------------------------------
+
+    def next_action(self, key: Hashable) -> "str | None":
+        """The injection decision for one intercepted call on ``key``."""
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            if self._script is not None:
+                action = self._script[index] if index < len(self._script) else None
+            elif self._burst is not None:
+                unit = self._key_index.setdefault(key, len(self._key_index))
+                seen = self._key_calls.get(key, 0)
+                self._key_calls[key] = seen + 1
+                if isinstance(self._burst, int):
+                    budget = self._burst
+                else:
+                    budget = int(self._burst.get(unit, 0))
+                action = TRANSIENT if seen < budget else None
+            else:
+                draw = float(self._rng.random())
+                transient, fatal, delay = self._rates
+                if draw < transient:
+                    action = TRANSIENT
+                elif draw < transient + fatal:
+                    action = FATAL
+                elif draw < transient + fatal + delay:
+                    action = DELAY
+                else:
+                    action = None
+            if action is not None:
+                self.injected.append((index, key, action))
+            return action
+
+    def raise_or_delay(self, key: Hashable) -> None:
+        """Consult the schedule and act: raise the injected exception,
+        sleep the injected delay, or do nothing."""
+        action = self.next_action(key)
+        if action is None:
+            return
+        if action == TRANSIENT:
+            raise InjectedFault(f"injected transient fault (call {self.calls - 1})")
+        if action == FATAL:
+            raise InjectedFatalFault(f"injected fatal fault (call {self.calls - 1})")
+        if action == CRASH:
+            raise InjectedCrash(f"injected crash (call {self.calls - 1})")
+        time.sleep(self.delay_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        mode = (
+            "scripted"
+            if self._script is not None
+            else "burst" if self._burst is not None else "probabilistic"
+        )
+        return f"FaultSchedule({mode}, calls={self.calls}, injected={len(self.injected)})"
+
+
+class FaultyBackend(Backend):
+    """Wrap any backend; inject scheduled faults before each delegated call.
+
+    The schedule is consulted once per batched call — exactly once per
+    planned group per attempt under the service — keyed by the group's
+    work (the forward program, or the derivative multiset tuple), so a
+    burst schedule fails *the same group* repeatedly, the shape retries
+    must absorb.  Everything else is transparent: results are the wrapped
+    backend's bit for bit, and attribute access (``tier_for``, ``rng``,
+    ``fallback``…) passes through — a ``FaultyBackend`` around a sampling
+    backend still disables coalescing, and around the statevector tiers
+    still reports per-tier timings.
+    """
+
+    def __init__(self, inner: Backend, schedule: FaultSchedule):
+        self.inner = inner
+        self.schedule = schedule
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"faulty({self.inner.name})"
+
+    def __getattr__(self, attribute: str):
+        if attribute in ("inner", "schedule"):  # guard partially-built instances
+            raise AttributeError(attribute)
+        return getattr(self.inner, attribute)
+
+    # -- delegated calls with injection -------------------------------------
+
+    def value(self, program, observable, state, binding, *, denote=_plain_denote):
+        self.schedule.raise_or_delay(("value", id(program)))
+        return self.inner.value(program, observable, state, binding, denote=denote)
+
+    def derivative(self, program_set, observable, state, binding, *, denote=_plain_denote):
+        self.schedule.raise_or_delay(("derivative", (id(program_set),)))
+        return self.inner.derivative(
+            program_set, observable, state, binding, denote=denote
+        )
+
+    def value_batch(self, program, observable, inputs, *, denote=_plain_denote):
+        self.schedule.raise_or_delay(("value", id(program)))
+        return self.inner.value_batch(program, observable, inputs, denote=denote)
+
+    def derivative_batch(self, program_sets, observable, inputs, *, denote=_plain_denote):
+        self.schedule.raise_or_delay(
+            ("derivative", tuple(id(program_set) for program_set in program_sets))
+        )
+        return self.inner.derivative_batch(
+            program_sets, observable, inputs, denote=denote
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"FaultyBackend({self.inner!r}, {self.schedule!r})"
+
+
+class FaultyExecutor(ServiceExecutor):
+    """Wrap an executor; a scheduled ``"crash"`` raises from ``run()``.
+
+    This is the pool-death simulator: the service sees the same shape a
+    broken :class:`~concurrent.futures.ProcessPoolExecutor` produces — the
+    whole drain's ``run`` raising — and must degrade the drain to the
+    inline executor, then trip the circuit breaker after enough
+    consecutive crashes.  ``"delay"`` stalls the drain; transient/fatal
+    actions also raise from ``run`` (at this seam every failure is
+    drain-level by definition).
+    """
+
+    def __init__(self, inner: "ServiceExecutor | None" = None, *, schedule: FaultSchedule):
+        self.inner = inner if inner is not None else InlineExecutor()
+        self.schedule = schedule
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"faulty({self.inner.name})"
+
+    def run(self, calls, backend, denote):
+        action = self.schedule.next_action(("run",))
+        if action == DELAY:
+            time.sleep(self.schedule.delay_s)
+        elif action is not None:
+            raise InjectedCrash(f"injected executor crash (call {self.schedule.calls - 1})")
+        return self.inner.run(calls, backend, denote)
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"FaultyExecutor({self.inner!r}, {self.schedule!r})"

@@ -115,6 +115,11 @@ class RequestGroup:
         """Requests served, coalesced duplicates included."""
         return sum(len(row.handles) for row in self.rows)
 
+    def subset(self, rows: "list[PlannedRequest]") -> "RequestGroup":
+        """This group restricted to ``rows`` (deadline/cancellation pruning
+        drops batch rows without disturbing the surviving ones' order)."""
+        return RequestGroup(key=self.key, kind=self.kind, rows=rows)
+
     def call(self) -> "GroupCall":
         """The executable (and picklable) payload of this group."""
         template = self.template

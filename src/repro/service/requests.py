@@ -24,12 +24,13 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import SemanticsError
+from repro.errors import DeadlineExceededError, SemanticsError
 from repro.lang.ast import Program
 from repro.lang.parameters import ParameterBinding
 from repro.sim.density import DensityState
 from repro.sim.statevector import StateVector
 from repro.api.backends import ObservableSpec
+from repro.service.resilience import deadline_after
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.autodiff.execution import DerivativeProgramSet
@@ -59,6 +60,11 @@ class ExecutionRequest:
     :attr:`RequestKind.GRADIENT` (one per parameter of the gradient axis)
     request.  ``priority`` orders draining — higher drains earlier; ties
     preserve round-robin fairness across sessions, then submission order.
+    ``deadline`` is an absolute :func:`time.monotonic` instant (the request
+    factories accept the relative ``timeout=`` spelling); a request whose
+    deadline passes before its group starts executing fails with
+    :class:`~repro.errors.DeadlineExceededError` — cooperatively, at
+    execution boundaries, never by interrupting a running kernel.
     """
 
     kind: RequestKind
@@ -68,6 +74,7 @@ class ExecutionRequest:
     program: Program | None = None
     program_sets: "tuple[DerivativeProgramSet, ...] | None" = None
     priority: int = 0
+    deadline: float | None = None
 
     def __post_init__(self):
         if self.kind is RequestKind.VALUE:
@@ -101,6 +108,7 @@ class ExecutionRequest:
         binding: ParameterBinding | None = None,
         *,
         priority: int = 0,
+        timeout: float | None = None,
     ) -> "ExecutionRequest":
         """A forward-value request for ``tr(O[[P(θ*)]]ρ)``."""
         return cls(
@@ -110,6 +118,7 @@ class ExecutionRequest:
             binding,
             program=program,
             priority=priority,
+            deadline=deadline_after(timeout),
         )
 
     @classmethod
@@ -121,6 +130,7 @@ class ExecutionRequest:
         binding: ParameterBinding | None = None,
         *,
         priority: int = 0,
+        timeout: float | None = None,
     ) -> "ExecutionRequest":
         """A single-multiset derivative-readout request."""
         return cls(
@@ -130,6 +140,7 @@ class ExecutionRequest:
             binding,
             program_sets=(program_set,),
             priority=priority,
+            deadline=deadline_after(timeout),
         )
 
     @classmethod
@@ -141,6 +152,7 @@ class ExecutionRequest:
         binding: ParameterBinding | None = None,
         *,
         priority: int = 0,
+        timeout: float | None = None,
     ) -> "ExecutionRequest":
         """A whole-gradient-row request (one multiset per parameter)."""
         return cls(
@@ -150,6 +162,7 @@ class ExecutionRequest:
             binding,
             program_sets=tuple(program_sets),
             priority=priority,
+            deadline=deadline_after(timeout),
         )
 
 
@@ -163,7 +176,14 @@ class ResultHandle:
     been executed — by whichever executor the service was built with.
     """
 
-    __slots__ = ("request", "_service", "_event", "_value", "_error")
+    __slots__ = (
+        "request",
+        "_service",
+        "_event",
+        "_value",
+        "_error",
+        "_cancel_requested",
+    )
 
     def __init__(self, request: ExecutionRequest, service):
         self.request = request
@@ -171,10 +191,29 @@ class ResultHandle:
         self._event = threading.Event()
         self._value = None
         self._error: BaseException | None = None
+        self._cancel_requested = False
 
     def done(self) -> bool:
         """Has the request executed (successfully or not)?"""
         return self._event.is_set()
+
+    def cancel(self) -> bool:
+        """Ask for the request not to run; ``False`` if already done.
+
+        A request still in the service queue is failed with
+        :class:`~repro.errors.CancelledError` immediately.  One already
+        planned is cancelled best-effort: the flag is honored at the next
+        execution boundary if its group has not started — a group mid-run
+        completes (its coalesced siblings want the result), and the handle
+        then resolves normally.
+        """
+        return self._service._cancel(self)
+
+    def cancelled(self) -> bool:
+        """Did the request fail with a cancellation?"""
+        from repro.errors import CancelledError
+
+        return self.done() and isinstance(self._error, CancelledError)
 
     def result(self, timeout: float | None = None):
         """The request's result — a float, or a gradient row for
@@ -187,7 +226,7 @@ class ResultHandle:
         if not self._event.is_set():
             self._service.flush()
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            raise DeadlineExceededError(
                 f"the {self.request.kind.value} request did not resolve "
                 f"within {timeout} seconds"
             )
@@ -204,7 +243,7 @@ class ResultHandle:
         if not self._event.is_set():
             self._service.flush()
         if not self._event.wait(timeout):
-            raise TimeoutError(
+            raise DeadlineExceededError(
                 f"the {self.request.kind.value} request did not resolve "
                 f"within {timeout} seconds"
             )

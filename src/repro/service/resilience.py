@@ -1,0 +1,208 @@
+"""Fault-tolerance policy objects for the service layer.
+
+The request pipeline (:mod:`repro.service.service`) stays correct when
+nothing fails; this module defines *what the service does when something
+does*:
+
+* :class:`RetryPolicy` — a bounded per-group retry budget with
+  exponential backoff and seeded jitter.  The planner's groups are the
+  retry unit: when a batched backend call fails with a retryable error
+  (see :func:`repro.errors.is_retryable`), only *that* group re-runs —
+  its coalesced siblings keep their single computation, other groups of
+  the same drain are untouched, and a fault-free drain takes exactly the
+  PR-5 code path (no sleeps, no extra calls, bit for bit).
+* :class:`CircuitBreaker` — consecutive-failure bookkeeping for the
+  *executor* seam.  A thread/process pool that dies mid-drain is a
+  different failure class from a group's own exception: the service
+  degrades the affected drain to the inline executor (handles still
+  resolve), and after ``threshold`` consecutive pool failures trips the
+  breaker — the service swaps to the inline executor permanently and
+  records the transition in :class:`~repro.service.ServiceStats`.
+* :func:`deadline_after` — the absolute-monotonic deadline convention of
+  :attr:`~repro.service.ExecutionRequest.deadline`.  Deadlines are
+  cooperative: they are checked at execution boundaries (before a group
+  starts and between retry attempts), never by interrupting a running
+  kernel — so a request that expires while queued or while backing off
+  fails with :class:`~repro.errors.DeadlineExceededError` instead of
+  consuming another attempt.
+
+Jitter draws go through :mod:`repro.sim.rng`, so one ``repro.sim.rng.seed``
+call makes an entire run — sampling backends, fault schedules and backoff
+alike — reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SemanticsError, is_retryable
+from repro.sim import rng as _rng
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "deadline_after",
+    "resolve_retry",
+    "resolve_breaker",
+]
+
+
+def deadline_after(timeout: "float | None") -> "float | None":
+    """The absolute monotonic deadline ``timeout`` seconds from now.
+
+    ``None`` means no deadline.  This is the value
+    :attr:`~repro.service.ExecutionRequest.deadline` carries; request
+    factories accept the relative ``timeout=`` spelling and convert here.
+    """
+    if timeout is None:
+        return None
+    return time.monotonic() + float(timeout)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter.
+
+    Parameters
+    ----------
+    attempts:
+        Total executions a group may consume, the first one included —
+        ``attempts=1`` never retries, ``attempts=3`` allows two retries.
+    base_delay:
+        Backoff before the first retry, in seconds.  ``0.0`` retries
+        immediately (the mode the deterministic test suites use).
+    multiplier / max_delay:
+        The backoff before retry ``n`` is
+        ``min(max_delay, base_delay * multiplier**(n-1))``.
+    jitter:
+        Fractional jitter: the slept delay is the backoff scaled by a
+        uniform draw from ``[1 - jitter, 1 + jitter]``.  Draws come from
+        ``rng`` — or the shared :mod:`repro.sim.rng` default, so a
+        ``repro.sim.rng.seed(...)`` call makes backoff reproducible.
+    classify:
+        Predicate deciding which errors are worth re-running; defaults to
+        :func:`repro.errors.is_retryable` (the ``retryable`` attribute of
+        the :class:`~repro.errors.ServiceError` branch).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    rng: "np.random.Generator | None" = None
+    classify: "Callable[[BaseException], bool] | None" = None
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise SemanticsError("a retry policy needs at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise SemanticsError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise SemanticsError("the backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SemanticsError("jitter is a fraction in [0, 1]")
+
+    def retryable(self, error: BaseException) -> bool:
+        """Is this failure worth another attempt under this policy?"""
+        classify = self.classify if self.classify is not None else is_retryable
+        return bool(classify(error))
+
+    def delay(self, failures: int) -> float:
+        """Seconds to back off after ``failures`` consecutive failures (≥ 1)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (failures - 1))
+        if raw <= 0.0:
+            return 0.0
+        if not self.jitter:
+            return raw
+        scale = 1.0 + self.jitter * _rng.resolve(self.rng).uniform(-1.0, 1.0)
+        return max(0.0, raw * scale)
+
+
+def resolve_retry(retry: "RetryPolicy | int | None") -> "RetryPolicy | None":
+    """Turn a retry spec into a policy: ``None`` (no retries), an attempt
+    count (default backoff), or a full :class:`RetryPolicy`."""
+    if retry is None:
+        return None
+    if isinstance(retry, RetryPolicy):
+        return retry
+    if isinstance(retry, bool):  # bool is an int; reject the ambiguity
+        raise SemanticsError("retry takes a RetryPolicy, an attempt count, or None")
+    if isinstance(retry, int):
+        return RetryPolicy(attempts=retry)
+    raise SemanticsError(
+        f"unknown retry spec {retry!r}; expected a RetryPolicy, an attempt "
+        "count, or None"
+    )
+
+
+class CircuitBreaker:
+    """Consecutive-failure counter guarding the pooled executors.
+
+    The service records one failure per drain whose ``executor.run`` call
+    itself raised (a dead pool — not a group's own exception, which is
+    contained per group) and one success per drain that ran; reaching
+    ``threshold`` consecutive failures trips the breaker, at which point
+    the service falls back to the inline executor permanently.
+    """
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise SemanticsError("a circuit breaker needs a threshold of at least 1")
+        self.threshold = int(threshold)
+        self.consecutive_failures = 0
+        #: Total failures/trips observed (telemetry; never reset by success).
+        self.failures = 0
+        self.trips = 0
+
+    def record_success(self) -> None:
+        """A drain executed on the guarded executor: reset the streak."""
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """A pool-level failure; returns ``True`` when this one trips."""
+        self.consecutive_failures += 1
+        self.failures += 1
+        if self.consecutive_failures == self.threshold:
+            self.trips += 1
+            return True
+        return False
+
+    @property
+    def tripped(self) -> bool:
+        """Has the streak reached the threshold?"""
+        return self.consecutive_failures >= self.threshold
+
+    def reset(self) -> None:
+        """Clear the streak (telemetry totals are kept)."""
+        self.consecutive_failures = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"CircuitBreaker(threshold={self.threshold}, "
+            f"consecutive_failures={self.consecutive_failures})"
+        )
+
+
+def resolve_breaker(
+    breaker: "CircuitBreaker | int | bool | None",
+) -> "CircuitBreaker | None":
+    """Turn a breaker spec into one: ``None``/``True`` (default breaker),
+    ``False`` (degradation disabled — pool failures fail their handles and
+    re-raise, the PR-5 behavior), a threshold, or an instance."""
+    if breaker is None or breaker is True:
+        return CircuitBreaker()
+    if breaker is False:
+        return None
+    if isinstance(breaker, CircuitBreaker):
+        return breaker
+    if isinstance(breaker, int):
+        return CircuitBreaker(threshold=breaker)
+    raise SemanticsError(
+        f"unknown breaker spec {breaker!r}; expected a CircuitBreaker, a "
+        "threshold, True/None (default), or False (disabled)"
+    )

@@ -23,17 +23,36 @@ executor the drained calls are exactly the calls the thin
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import CancelledError, DeadlineExceededError, RetryExhaustedError
 from repro.semantics import denotational
 from repro.api.cache import CacheStats, DenotationCache
 from repro.api.backends import Backend
 from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
-from repro.service.planner import ExecutionPlan, QueueItem, RequestGroup, plan
-from repro.service.executors import ServiceExecutor, _draws_samples, resolve_executor
+from repro.service.planner import (
+    ExecutionPlan,
+    PlannedRequest,
+    QueueItem,
+    RequestGroup,
+    plan,
+)
+from repro.service.executors import (
+    InlineExecutor,
+    ServiceExecutor,
+    _draws_samples,
+    resolve_executor,
+)
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    resolve_breaker,
+    resolve_retry,
+)
 
 __all__ = ["ServiceStats", "Session", "EstimatorService"]
 
@@ -53,6 +72,20 @@ class ServiceStats:
     #: Batched backend calls executed, and drains that produced them.
     groups: int = 0
     drains: int = 0
+    #: Group re-executions the retry policy spent (one per group per round).
+    retries: int = 0
+    #: Handles failed by a blown deadline / by cancellation.
+    timeouts: int = 0
+    cancelled: int = 0
+    #: Drains degraded to the inline executor after a pool-level failure,
+    #: and circuit-breaker trips (the permanent swap to inline).
+    degraded: int = 0
+    trips: int = 0
+    #: Failure counts per exception type name (handle failures and
+    #: drain-level executor errors alike).
+    errors: dict = field(default_factory=dict)
+    #: Permanent executor swaps as ``(from_name, to_name)`` pairs.
+    executor_transitions: list = field(default_factory=list)
     #: Execution seconds per tier: ``"value/pure"``, ``"value/trajectory"``,
     #: ``"value/<backend name>"``, ``"derivative/<backend name>"``, …
     timings: dict = field(default_factory=dict)
@@ -71,6 +104,10 @@ class ServiceStats:
         """Zero all counters and timings."""
         self.submitted = self.completed = self.failed = 0
         self.coalesced = self.batched = self.groups = self.drains = 0
+        self.retries = self.timeouts = self.cancelled = 0
+        self.degraded = self.trips = 0
+        self.errors = {}
+        self.executor_transitions = []
         self.timings = {}
 
 
@@ -136,6 +173,21 @@ class EstimatorService:
         Whether identical pending requests share one computation.  Defaults
         to ``True`` for deterministic backends and ``False`` for sampling
         backends (duplicates must draw independent samples).
+    retry:
+        What a drain does when a group's backend call fails with a
+        retryable error (:func:`repro.errors.is_retryable`) — a
+        :class:`~repro.service.RetryPolicy`, an attempt count, or ``None``
+        (the default: fail the group's handles immediately, the PR-5
+        behavior).  Only the failed groups re-run; a fault-free drain is
+        bit-for-bit unaffected.
+    breaker:
+        Guard on the *executor* seam: when a thread/process pool itself
+        dies mid-drain, the drain degrades to the inline executor (handles
+        still resolve), and after ``threshold`` consecutive pool failures
+        the breaker trips — the service swaps to inline permanently.
+        Takes a :class:`~repro.service.CircuitBreaker`, a threshold,
+        ``None``/``True`` (default breaker), or ``False`` (disabled: a
+        pool failure fails the drain's handles and re-raises).
     """
 
     def __init__(
@@ -145,6 +197,8 @@ class EstimatorService:
         executor: "ServiceExecutor | str | None" = None,
         cache: DenotationCache | None = None,
         coalesce: bool | None = None,
+        retry: "RetryPolicy | int | None" = None,
+        breaker: "CircuitBreaker | int | bool | None" = None,
     ):
         from repro.api.estimator import resolve_backend
 
@@ -156,6 +210,8 @@ class EstimatorService:
         self.coalesce = (
             bool(coalesce) if coalesce is not None else not _draws_samples(self.backend)
         )
+        self.retry = resolve_retry(retry)
+        self.breaker = resolve_breaker(breaker)
         self.stats = ServiceStats()
         self._lock = threading.RLock()
         self._queue: list[QueueItem] = []
@@ -189,6 +245,7 @@ class EstimatorService:
                         program=request.program,
                         program_sets=request.program_sets,
                         priority=request.priority + session.priority,
+                        deadline=request.deadline,
                     )
                     handle.request = request
                 self._queue.append(
@@ -246,6 +303,16 @@ class EstimatorService:
         Concurrent flushes are safe: each drains the snapshot it atomically
         took, and a handle queued in another thread's snapshot simply waits
         for that drain.
+
+        A drain is a prune → execute → retry loop: before each round,
+        cancelled and deadline-expired handles are failed with their typed
+        error (cooperative — a running group is never interrupted); after
+        each round, groups that failed retryably re-run under the service's
+        :class:`~repro.service.RetryPolicy` — only those groups, so their
+        coalesced siblings keep the single computation and untouched groups
+        never re-execute.  With no retry policy and no expiring handles the
+        loop runs exactly once over exactly the planned calls: the
+        fault-free path is the PR-5 path, bit for bit.
         """
         with self._lock:
             if not self._queue:
@@ -253,29 +320,182 @@ class EstimatorService:
             items, self._queue = self._queue, []
         execution_plan = plan(items, coalesce=self.coalesce)
         groups = execution_plan.groups
-        calls = [group.call() for group in groups]
         with self._lock:
             self.stats.drains += 1
             self.stats.groups += len(groups)
             self.stats.coalesced += execution_plan.coalesced
             self.stats.batched += execution_plan.batched
+        pending = groups
+        attempt = 1
+        while pending:
+            runnable = [
+                live
+                for live in (self._prune_group(group) for group in pending)
+                if live is not None
+            ]
+            if not runnable:
+                return
+            outcomes = self._run_groups(runnable)
+            retry_next = []
+            for group, (status, payload, seconds) in zip(runnable, outcomes):
+                tier = self._tier_key(group)
+                with self._lock:
+                    self.stats.timings[tier] = (
+                        self.stats.timings.get(tier, 0.0) + seconds
+                    )
+                if status == "ok":
+                    self._fulfill_group(group, payload)
+                elif self._should_retry(payload, attempt):
+                    retry_next.append(group)
+                else:
+                    self._fail_group(group, self._final_error(payload, attempt))
+            if not retry_next:
+                return
+            with self._lock:
+                self.stats.retries += len(retry_next)
+            delay = self.retry.delay(attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            pending = retry_next
+            attempt += 1
+
+    def _run_groups(self, groups: "list[RequestGroup]") -> list:
+        """One execution round; per-group outcomes, or degrade on pool death."""
+        calls = [group.call() for group in groups]
         try:
             outcomes = self.executor.run(calls, self.backend, self._denote)
-        except BaseException as error:
-            # Catastrophic executor failure (not a group's own exception —
-            # those are captured per group): fail every handle so no caller
-            # blocks forever, then re-raise.
+        except (KeyboardInterrupt, SystemExit) as error:
+            # Never swallow Ctrl-C / interpreter shutdown: fail the
+            # in-flight handles so no caller blocks forever, then let the
+            # signal propagate.
             for group in groups:
                 self._fail_group(group, error)
             raise
-        for group, (status, payload, seconds) in zip(groups, outcomes):
-            tier = self._tier_key(group)
+        except BaseException as error:
+            if self.breaker is None or isinstance(self.executor, InlineExecutor):
+                # Degradation disabled, or nothing to degrade *to*:
+                # fail every handle and re-raise (the PR-5 contract).
+                for group in groups:
+                    self._fail_group(group, error)
+                raise
+            return self._degrade(groups, calls, error)
+        if self.breaker is not None:
+            self.breaker.record_success()
+        return outcomes
+
+    def _degrade(self, groups, calls, error: BaseException) -> list:
+        """A pooled executor died mid-drain: re-run the round inline.
+
+        Safe to re-run wholesale — group results are deterministic and the
+        single-flight cache absorbs any work the dying pool did finish.
+        Reaching the breaker's threshold of consecutive pool failures trips
+        it: the service swaps to the inline executor permanently.
+        """
+        with self._lock:
+            self.stats.degraded += 1
+            name = type(error).__name__
+            self.stats.errors[name] = self.stats.errors.get(name, 0) + 1
+        if self.breaker.record_failure():
+            old = self.executor
+            self.executor = InlineExecutor()
             with self._lock:
-                self.stats.timings[tier] = self.stats.timings.get(tier, 0.0) + seconds
-            if status == "ok":
-                self._fulfill_group(group, payload)
-            else:
-                self._fail_group(group, payload)
+                self.stats.trips += 1
+                self.stats.executor_transitions.append((old.name, self.executor.name))
+            try:
+                old.shutdown()
+            except Exception:  # a broken pool may refuse even shutdown
+                pass
+        fallback = InlineExecutor()
+        try:
+            return fallback.run(calls, self.backend, self._denote)
+        except BaseException as inline_error:
+            for group in groups:
+                self._fail_group(group, inline_error)
+            raise
+
+    def _prune_group(self, group: RequestGroup) -> "RequestGroup | None":
+        """Fail this group's cancelled/expired handles; the rest may run.
+
+        Returns the group unchanged (same object — the fault-free path
+        stays identical) when nothing was pruned, a :meth:`subset` when
+        some rows survive, ``None`` when the whole group dropped out.
+        """
+        now = time.monotonic()
+
+        def doomed(handle: ResultHandle) -> bool:
+            deadline = handle.request.deadline
+            return handle._cancel_requested or (
+                deadline is not None and now >= deadline
+            )
+
+        if not any(
+            doomed(handle) for row in group.rows for handle in row.handles
+        ):
+            return group
+        live_rows = []
+        for row in group.rows:
+            live_handles = []
+            for handle in row.handles:
+                if handle._cancel_requested:
+                    with self._lock:
+                        self.stats.cancelled += 1
+                    self._fail_handle(
+                        handle,
+                        CancelledError(
+                            f"the {handle.request.kind.value} request was "
+                            "cancelled before its group executed"
+                        ),
+                    )
+                elif (
+                    handle.request.deadline is not None
+                    and now >= handle.request.deadline
+                ):
+                    with self._lock:
+                        self.stats.timeouts += 1
+                    self._fail_handle(
+                        handle,
+                        DeadlineExceededError(
+                            f"the {handle.request.kind.value} request's "
+                            "deadline passed before its group executed"
+                        ),
+                    )
+                else:
+                    live_handles.append(handle)
+            if live_handles:
+                live_rows.append(PlannedRequest(row.request, live_handles))
+        if not live_rows:
+            return None
+        return group.subset(live_rows)
+
+    def _should_retry(self, error: BaseException, attempt: int) -> bool:
+        return (
+            self.retry is not None
+            and attempt < self.retry.attempts
+            and self.retry.retryable(error)
+        )
+
+    def _final_error(self, error: BaseException, attempt: int) -> BaseException:
+        """The error a group's handles fail with once retrying is over.
+
+        A retryable failure that consumed the whole budget is wrapped in
+        :class:`~repro.errors.RetryExhaustedError` (the caller should know
+        retrying happened and ran out); anything else — including every
+        failure when no retry policy is set — passes through unchanged.
+        """
+        if (
+            self.retry is not None
+            and self.retry.attempts > 1
+            and attempt >= self.retry.attempts
+            and self.retry.retryable(error)
+        ):
+            exhausted = RetryExhaustedError(
+                f"the group still failed after {attempt} attempts: {error}",
+                attempts=attempt,
+                last_error=error,
+            )
+            exhausted.__cause__ = error
+            return exhausted
+        return error
 
     def _tier_key(self, group: RequestGroup) -> str:
         """Telemetry key of a group: its executing tier when the backend
@@ -303,19 +523,59 @@ class EstimatorService:
         with self._lock:
             self.stats.completed += count
 
+    def _fail_handle(self, handle: ResultHandle, error: BaseException) -> None:
+        handle._fail(error)
+        with self._lock:
+            self.stats.failed += 1
+            name = type(error).__name__
+            self.stats.errors[name] = self.stats.errors.get(name, 0) + 1
+
     def _fail_group(self, group: RequestGroup, error: BaseException) -> None:
-        count = 0
         for row in group.rows:
             for handle in row.handles:
-                handle._fail(error)
-                count += 1
+                self._fail_handle(handle, error)
+
+    # -- cancellation --------------------------------------------------------
+
+    def _cancel(self, handle: ResultHandle) -> bool:
+        """Service half of :meth:`~repro.service.ResultHandle.cancel`."""
         with self._lock:
-            self.stats.failed += count
+            if handle.done():
+                return False
+            removed = False
+            for index, item in enumerate(self._queue):
+                if item.handle is handle:
+                    del self._queue[index]
+                    removed = True
+                    break
+            if not removed:
+                # Already snapshotted by a drain in flight: best effort —
+                # the flag is honored at the next prune boundary if the
+                # handle's group has not started executing.
+                handle._cancel_requested = True
+                return True
+            self.stats.cancelled += 1
+        self._fail_handle(
+            handle,
+            CancelledError(
+                f"the {handle.request.kind.value} request was cancelled "
+                "while queued"
+            ),
+        )
+        return True
+
+    # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
         """Flush the queue, then release the executor's workers."""
         self.flush()
         self.executor.shutdown()
+
+    def __enter__(self) -> "EstimatorService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (

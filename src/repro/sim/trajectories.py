@@ -163,9 +163,17 @@ def coalesce_branches(
         for index in indices:
             row, mass = stack[index], float(masses[index])
             for position, (rep, rep_mass, total) in enumerate(representatives):
-                overlap = abs(np.vdot(rep, row)) ** 2
-                scale = rep_mass * mass
-                if scale - overlap <= tol * max(scale, np.finfo(float).tiny):
+                # sin²θ is measured as the residual of projecting `row`
+                # onto the representative, ‖row − proj(row)‖² = mass·sin²θ.
+                # The algebraically equivalent `rep_mass·mass − |⟨rep,row⟩|²`
+                # cancels catastrophically: for branches differing by a
+                # ~1e-9 component the overlap rounds to the full mass and
+                # the test merges states that are measurably distinct.
+                projection = np.vdot(rep, row) / max(rep_mass, np.finfo(float).tiny)
+                residual = row - projection * rep
+                if float(np.vdot(residual, residual).real) <= tol * max(
+                    mass, np.finfo(float).tiny
+                ):
                     representatives[position] = (rep, rep_mass, total + mass)
                     break
             else:

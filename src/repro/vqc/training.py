@@ -78,6 +78,14 @@ class TrainingConfig:
     batched statevector tier and everything else through the exact density
     simulator; pass ``"exact-density"`` to reproduce the historical
     all-density arithmetic bit for bit.
+
+    ``retry`` and ``timeout`` make long runs survivable on flaky execution
+    substrates: ``retry`` (a :class:`~repro.service.RetryPolicy`, an
+    attempt count, or ``None``) re-runs an epoch batch's failed groups
+    within a bounded budget — a retried epoch produces the identical
+    numbers, so the loss history is unchanged — and ``timeout`` bounds
+    every request of every epoch (seconds; a blown deadline aborts the run
+    with :class:`~repro.errors.DeadlineExceededError` instead of hanging).
     """
 
     epochs: int = 200
@@ -87,6 +95,8 @@ class TrainingConfig:
     initial_spread: float = 0.1
     record_accuracy: bool = True
     backend: object = "auto"
+    retry: object = None
+    timeout: float | None = None
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -95,14 +105,19 @@ class TrainingConfig:
             raise TrainingError("the learning rate must be positive")
         if self.loss not in ("squared", "nll"):
             raise TrainingError(f"unknown loss {self.loss!r}; expected 'squared' or 'nll'")
-        # Validate the backend spec eagerly — the same resolution the
-        # estimator applies later, so a typo fails at configuration time
-        # with the full list of valid spellings instead of mid-training.
+        if self.timeout is not None and self.timeout <= 0:
+            raise TrainingError("the per-request timeout must be positive seconds")
+        # Validate the backend and retry specs eagerly — the same
+        # resolution the estimator/service apply later, so a typo fails at
+        # configuration time with the full list of valid spellings instead
+        # of mid-training.
         from repro.api import resolve_backend
         from repro.errors import SemanticsError
+        from repro.service import resolve_retry
 
         try:
             resolve_backend(self.backend)
+            resolve_retry(self.retry)
         except SemanticsError as error:
             raise TrainingError(str(error)) from error
 
@@ -153,6 +168,13 @@ class GradientDescentTrainer:
         self.classifier = classifier
         self.config = config if config is not None else TrainingConfig()
         self.estimator: Estimator = classifier.estimator(self.config.backend)
+        if self.config.retry is not None:
+            from repro.service import resolve_retry
+
+            # The classifier's estimator (and its service) may predate this
+            # trainer; apply the configured policy to the live service so
+            # every epoch batch drains under it.
+            self.estimator.service.retry = resolve_retry(self.config.retry)
         #: The trainer's lane on the estimator's execution service: each
         #: epoch's forward pass and gradient fan-out travel as *request
         #: batches* through it, so the planner folds them into single
@@ -184,12 +206,14 @@ class GradientDescentTrainer:
         handles = self.session.submit_many(
             [
                 self.estimator.request_value(
-                    self.classifier.input_statevector(bits), binding
+                    self.classifier.input_statevector(bits),
+                    binding,
+                    timeout=self.config.timeout,
                 )
                 for bits, _ in dataset
             ]
         )
-        return [float(handle.result()) for handle in handles]
+        return [float(handle.result(self.config.timeout)) for handle in handles]
 
     def loss(self, dataset: Dataset, binding: ParameterBinding) -> float:
         """Evaluate the configured loss on the whole dataset."""
@@ -256,12 +280,13 @@ class GradientDescentTrainer:
                     self.classifier.input_statevector(dataset[index][0]),
                     binding,
                     parameters,
+                    timeout=self.config.timeout,
                 )
                 for index in active
             ]
         )
         for weight_index, handle in zip(active, handles):
-            gradient += weights[weight_index] * handle.result()
+            gradient += weights[weight_index] * handle.result(self.config.timeout)
         return gradient
 
     # -- the training loop ----------------------------------------------------------

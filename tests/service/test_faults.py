@@ -1,0 +1,308 @@
+"""The fault-injection harness, and what it proves (`repro.service.faults`).
+
+Two directions of evidence, per schedule mode:
+
+* deterministic bursts — under any per-group transient budget *within* the
+  retry policy's attempts, every submitted request (values, derivatives,
+  gradients, a whole VQC training epoch) resolves within 1e-10 of the
+  fault-free run; one fault *beyond* the budget fails with a typed
+  ``ServiceError`` while the other groups of the same plan complete;
+* seeded probabilistic schedules (the CI seed matrix sets
+  ``REPRO_FAULT_SEED``) — every handle either matches the fault-free value
+  or fails typed, and the service's accounting stays coherent.
+
+Plus the planner-isolation satellite: a group failing mid-batch fails
+exactly its coalesced handles, leaves sibling groups' results intact, and
+releases the denotation cache's single-flight markers.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RetryExhaustedError, SemanticsError, ServiceError
+from repro.lang.builder import rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import Estimator, ExactDensityBackend
+from repro.api.backends import _plain_denote
+from repro.service import (
+    EstimatorService,
+    FaultSchedule,
+    FaultyBackend,
+    InjectedFatalFault,
+    InjectedFault,
+    RetryPolicy,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.37, PHI: -1.1})
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+def _program():
+    return seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(0.4, "q2")])
+
+
+def _state(index: int = 0) -> DensityState:
+    return DensityState.basis_state(LAYOUT, {"q1": index % 2, "q2": (index // 2) % 2})
+
+
+@pytest.fixture(scope="module")
+def estimator() -> Estimator:
+    return Estimator(_program(), ZZ)
+
+
+@pytest.fixture(scope="module")
+def clean(estimator):
+    """Fault-free reference numbers for every request kind."""
+    reference = Estimator(_program(), ZZ)
+    theta = reference.parameters[0]
+    return {
+        "value": reference.value(_state(), BINDING),
+        "derivative": reference.derivative(theta, _state(), BINDING),
+        "gradient": reference.gradient(_state(), BINDING),
+    }
+
+
+class TestFaultSchedule:
+    def test_exactly_one_mode(self):
+        with pytest.raises(SemanticsError):
+            FaultSchedule()
+        with pytest.raises(SemanticsError):
+            FaultSchedule(script=["transient"], burst=1)
+
+    def test_scripted_actions_are_validated(self):
+        with pytest.raises(SemanticsError):
+            FaultSchedule.scripted(["explode"])
+
+    def test_scripted_heals_past_the_end(self):
+        schedule = FaultSchedule.scripted(["transient"])
+        assert schedule.next_action("a") == "transient"
+        assert schedule.next_action("a") is None
+        assert schedule.injected == [(0, "a", "transient")]
+
+    def test_probabilistic_is_seed_reproducible(self):
+        schedule_a = FaultSchedule.probabilistic(11, transient=0.4)
+        schedule_b = FaultSchedule.probabilistic(11, transient=0.4)
+        draws_a = [schedule_a.next_action(i) for i in range(50)]
+        draws_b = [schedule_b.next_action(i) for i in range(50)]
+        assert draws_a == draws_b
+        assert "transient" in draws_a  # 50 draws at 0.4: some fault fired
+
+    def test_probabilistic_rates_are_validated(self):
+        with pytest.raises(SemanticsError):
+            FaultSchedule.probabilistic(0, transient=0.8, fatal=0.4)
+
+    def test_burst_counts_per_work_unit_in_first_seen_order(self):
+        schedule = FaultSchedule.transient_burst({0: 1, 1: 2})
+        assert schedule.next_action("b") == "transient"  # unit 0: "b"
+        assert schedule.next_action("a") == "transient"  # unit 1: "a"
+        assert schedule.next_action("b") is None  # unit 0 budget spent
+        assert schedule.next_action("a") == "transient"
+        assert schedule.next_action("a") is None
+
+    def test_burst_budget_is_validated(self):
+        with pytest.raises(SemanticsError):
+            FaultSchedule.transient_burst(-1)
+
+
+class TestWithinBudget:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        budgets=st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=2),
+        )
+    )
+    def test_every_request_kind_resolves_to_the_fault_free_number(
+        self, estimator, clean, budgets
+    ):
+        # Three groups in plan order — value, single derivative, gradient
+        # row — each failing transiently `budgets[i]` times.  All budgets
+        # are < attempts, so every handle must resolve as if nothing
+        # happened.
+        schedule = FaultSchedule.transient_burst(dict(enumerate(budgets)))
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        theta = estimator.parameters[0]
+        value = service.submit(estimator.request_value(_state(), BINDING))
+        derivative = service.submit(
+            estimator.request_derivative(theta, _state(), BINDING)
+        )
+        gradient = service.submit(estimator.request_gradient(_state(), BINDING))
+        assert abs(value.result() - clean["value"]) <= 1e-10
+        assert abs(derivative.result() - clean["derivative"]) <= 1e-10
+        assert np.max(np.abs(gradient.result() - clean["gradient"])) <= 1e-10
+        assert len(schedule.injected) == sum(budgets)
+        assert service.stats.failed == 0
+        assert service.stats.completed == 3
+
+    def test_beyond_budget_fails_typed_while_other_groups_complete(
+        self, estimator, clean
+    ):
+        schedule = FaultSchedule.transient_burst({0: 5})
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        doomed = service.submit(estimator.request_value(_state(), BINDING))
+        survivor = service.submit(estimator.request_gradient(_state(), BINDING))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            doomed.result()
+        assert isinstance(excinfo.value, ServiceError)
+        assert isinstance(excinfo.value.last_error, InjectedFault)
+        assert np.max(np.abs(survivor.result() - clean["gradient"])) <= 1e-10
+        assert service.stats.completed == 1
+        assert service.stats.failed == 1
+
+
+class _FailsMidBatch(ExactDensityBackend):
+    """Denotes its first input, then dies — a worker crashing mid-group.
+
+    The first input's denotation has already entered the service's cache
+    through the supplied ``denote`` when the failure hits, so this is the
+    shape that would poison single-flight markers if the cache's error
+    path were wrong.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.remaining_failures = 1
+
+    def value_batch(self, program, observable, inputs, *, denote=_plain_denote):
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            state, binding = inputs[0]
+            denote(program, state, binding)
+            raise InjectedFatalFault("mid-batch failure after one denotation")
+        return super().value_batch(program, observable, inputs, denote=denote)
+
+
+class TestFailureIsolation:
+    def test_one_group_fails_only_its_coalesced_handles(self, estimator, clean):
+        service = EstimatorService(_FailsMidBatch())
+        # Two identical requests coalesce into one batch row, two handles.
+        first = service.submit(estimator.request_value(_state(), BINDING))
+        twin = service.submit(estimator.request_value(_state(), BINDING))
+        sibling = service.submit(estimator.request_gradient(_state(), BINDING))
+        with pytest.raises(InjectedFatalFault):
+            first.result()
+        with pytest.raises(InjectedFatalFault):
+            twin.result()
+        assert np.max(np.abs(sibling.result() - clean["gradient"])) <= 1e-10
+        assert service.stats.coalesced == 1
+        assert service.stats.failed == 2
+        assert service.stats.completed == 1
+
+    def test_single_flight_markers_are_released_and_rerequest_succeeds(
+        self, estimator, clean
+    ):
+        service = EstimatorService(_FailsMidBatch())
+        doomed = service.submit(estimator.request_value(_state(), BINDING))
+        with pytest.raises(InjectedFatalFault):
+            doomed.result()
+        # No poisoned keys: every single-flight marker was cleaned up …
+        assert service.cache._in_flight == {}
+        # … and the same work re-requested on the same service resolves
+        # (no deadlock on the cache), reusing the denotation the failed
+        # group did complete.
+        hits_before = service.cache_stats.hits
+        retried = service.submit(estimator.request_value(_state(), BINDING))
+        assert abs(retried.result() - clean["value"]) <= 1e-10
+        assert service.cache_stats.hits == hits_before + 1
+
+
+class TestSeededScheduleMatrix:
+    def test_probabilistic_faults_resolve_or_fail_typed(self, estimator, clean):
+        seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+        schedule = FaultSchedule.probabilistic(seed, transient=0.15, fatal=0.05)
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+        )
+        theta = estimator.parameters[0]
+        expectations = []
+        for index in range(4):
+            state = _state(index)
+            reference = Estimator(_program(), ZZ)
+            expectations.append(
+                (
+                    service.submit(estimator.request_value(state, BINDING)),
+                    reference.value(state, BINDING),
+                )
+            )
+            expectations.append(
+                (
+                    service.submit(
+                        estimator.request_derivative(theta, state, BINDING)
+                    ),
+                    reference.derivative(theta, state, BINDING),
+                )
+            )
+        resolved = failed = 0
+        for handle, expected in expectations:
+            try:
+                observed = handle.result()
+            except ServiceError:
+                failed += 1
+            else:
+                resolved += 1
+                assert abs(observed - expected) <= 1e-10
+        assert resolved + failed == len(expectations)
+        assert service.stats.completed == resolved
+        assert service.stats.failed == failed
+        assert service.stats.submitted == len(expectations)
+
+
+class TestVQCTrainingUnderFaults:
+    def test_one_epoch_matches_the_fault_free_run(self):
+        from repro.vqc.classifier import build_p1
+        from repro.vqc.datasets import paper_dataset
+        from repro.vqc.training import GradientDescentTrainer, TrainingConfig
+
+        dataset = paper_dataset()[:2]
+        base = dict(epochs=1, seed=0, record_accuracy=False)
+
+        clean_trainer = GradientDescentTrainer(
+            build_p1(), TrainingConfig(backend="auto", **base)
+        )
+        clean_result = clean_trainer.train(dataset)
+
+        schedule = FaultSchedule.transient_burst(1)
+        from repro.api import StatevectorBackend
+
+        faulty_trainer = GradientDescentTrainer(
+            build_p1(),
+            TrainingConfig(
+                backend=FaultyBackend(StatevectorBackend(), schedule),
+                retry=RetryPolicy(attempts=2, base_delay=0.0),
+                **base,
+            ),
+        )
+        faulty_result = faulty_trainer.train(dataset)
+
+        assert len(schedule.injected) > 0  # faults actually fired
+        assert faulty_trainer.estimator.service.stats.retries > 0
+        assert len(faulty_result.losses) == len(clean_result.losses)
+        for faulty_loss, clean_loss in zip(
+            faulty_result.losses, clean_result.losses
+        ):
+            assert abs(faulty_loss - clean_loss) <= 1e-10
+
+    def test_retry_spec_is_validated_at_configuration_time(self):
+        from repro.errors import TrainingError
+        from repro.vqc.training import TrainingConfig
+
+        with pytest.raises(TrainingError):
+            TrainingConfig(retry="thrice")
+        with pytest.raises(TrainingError):
+            TrainingConfig(timeout=0.0)

@@ -1,0 +1,402 @@
+"""Deadlines, cancellation, retries, and degradation (`repro.service.resilience`).
+
+Failure behavior is part of the service contract: a blown deadline or a
+cancellation fails with its *typed* error while sibling groups complete; a
+transient fault within the retry budget is invisible (the handle resolves
+to the fault-free number); beyond the budget the failure is wrapped in
+``RetryExhaustedError``; a dying executor pool degrades the drain to the
+inline executor and eventually trips the circuit breaker.  And with no
+policy configured, everything is bit-for-bit the PR-5 behavior.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    RetryExhaustedError,
+    SemanticsError,
+    ServiceError,
+    TransientServiceError,
+    is_retryable,
+)
+from repro.lang.builder import rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import Estimator, ExactDensityBackend
+from repro.service import (
+    CircuitBreaker,
+    EstimatorService,
+    FaultSchedule,
+    FaultyBackend,
+    FaultyExecutor,
+    InjectedCrash,
+    InjectedFatalFault,
+    InjectedFault,
+    InlineExecutor,
+    RetryPolicy,
+    ThreadPoolServiceExecutor,
+    deadline_after,
+    resolve_breaker,
+    resolve_retry,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.37, PHI: -1.1})
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+
+def _program():
+    return seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(0.4, "q2")])
+
+
+def _state(index: int = 0) -> DensityState:
+    return DensityState.basis_state(LAYOUT, {"q1": index % 2, "q2": (index // 2) % 2})
+
+
+@pytest.fixture(scope="module")
+def estimator() -> Estimator:
+    return Estimator(_program(), ZZ)
+
+
+@pytest.fixture(scope="module")
+def clean_value(estimator) -> float:
+    return Estimator(_program(), ZZ).value(_state(), BINDING)
+
+
+class TestPolicyObjects:
+    def test_retry_policy_validates(self):
+        with pytest.raises(SemanticsError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(SemanticsError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(SemanticsError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(SemanticsError):
+            RetryPolicy(jitter=1.5)
+
+    def test_backoff_is_bounded_and_zero_stays_zero(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.3, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(5) == pytest.approx(0.3)
+        assert RetryPolicy(base_delay=0.0).delay(1) == 0.0
+
+    def test_jitter_stays_within_the_fraction(self):
+        policy = RetryPolicy(
+            base_delay=0.1,
+            multiplier=1.0,
+            jitter=0.5,
+            rng=np.random.default_rng(3),
+        )
+        for failures in range(1, 20):
+            assert 0.05 <= policy.delay(failures) <= 0.15
+
+    def test_resolve_retry_spellings(self):
+        assert resolve_retry(None) is None
+        policy = RetryPolicy(attempts=5)
+        assert resolve_retry(policy) is policy
+        assert resolve_retry(4).attempts == 4
+        with pytest.raises(SemanticsError):
+            resolve_retry(True)  # bool is an int — reject the ambiguity
+        with pytest.raises(SemanticsError):
+            resolve_retry("thrice")
+
+    def test_resolve_breaker_spellings(self):
+        assert resolve_breaker(None).threshold == CircuitBreaker().threshold
+        assert resolve_breaker(True) is not None
+        assert resolve_breaker(False) is None
+        assert resolve_breaker(7).threshold == 7
+        breaker = CircuitBreaker(2)
+        assert resolve_breaker(breaker) is breaker
+        with pytest.raises(SemanticsError):
+            resolve_breaker("maybe")
+
+    def test_breaker_trips_on_the_threshold_streak(self):
+        breaker = CircuitBreaker(threshold=2)
+        assert not breaker.record_failure()
+        breaker.record_success()  # streak resets
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # second consecutive: trips
+        assert breaker.tripped
+        assert breaker.trips == 1
+        assert breaker.failures == 3
+
+    def test_error_classification(self):
+        assert is_retryable(InjectedFault("x"))
+        assert is_retryable(TransientServiceError("x"))
+        assert is_retryable(ConnectionError("x"))
+        assert not is_retryable(InjectedFatalFault("x"))
+        assert not is_retryable(DeadlineExceededError("x"))
+        assert not is_retryable(CancelledError("x"))
+        assert not is_retryable(ValueError("x"))
+
+    def test_deadline_after(self):
+        assert deadline_after(None) is None
+        assert deadline_after(10.0) > time.monotonic()
+
+
+class TestDeadlines:
+    def test_expired_request_fails_typed_while_siblings_complete(
+        self, estimator, clean_value
+    ):
+        service = EstimatorService(ExactDensityBackend())
+        expired = service.submit(
+            estimator.request_value(_state(), BINDING, timeout=0.0)
+        )
+        alive = service.submit(estimator.request_value(_state(), BINDING))
+        time.sleep(0.005)  # let the zero deadline pass before the drain
+        with pytest.raises(DeadlineExceededError):
+            expired.result()
+        assert alive.result() == clean_value
+        assert service.stats.timeouts == 1
+        assert service.stats.errors.get("DeadlineExceededError") == 1
+
+    def test_deadline_is_a_timeout_error_too(self, estimator):
+        service = EstimatorService(ExactDensityBackend())
+        handle = service.submit(
+            estimator.request_value(_state(), BINDING, timeout=0.0)
+        )
+        time.sleep(0.005)
+        with pytest.raises(TimeoutError):  # backward-compatible spelling
+            handle.result()
+
+    def test_deadline_bounds_the_retry_loop(self, estimator):
+        # The first attempt fails transiently; the backoff sleep outlives
+        # the deadline, so the retry round prunes the handle instead of
+        # re-running it to exhaustion.
+        schedule = FaultSchedule.transient_burst(10)
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=10, base_delay=0.6, jitter=0.0),
+        )
+        handle = service.submit(
+            estimator.request_value(_state(), BINDING, timeout=0.25)
+        )
+        with pytest.raises(DeadlineExceededError):
+            handle.result()
+        assert service.stats.retries == 1
+        assert service.stats.timeouts == 1
+        assert len(schedule.injected) == 1  # the deadline stopped attempt 2
+
+    def test_wait_expiry_raises_the_typed_error(self, estimator):
+        from repro.service import ResultHandle
+
+        class NeverDrains:
+            def flush(self):
+                pass
+
+        handle = ResultHandle(
+            estimator.request_value(_state(), BINDING), NeverDrains()
+        )
+        with pytest.raises(DeadlineExceededError):
+            handle.result(timeout=0.01)
+        with pytest.raises(DeadlineExceededError):
+            handle.exception(timeout=0.01)
+
+
+class TestCancellation:
+    def test_cancel_from_the_queue(self, estimator, clean_value):
+        service = EstimatorService(ExactDensityBackend())
+        doomed = service.submit(estimator.request_value(_state(), BINDING))
+        alive = service.submit(estimator.request_value(_state(1), BINDING))
+        assert doomed.cancel() is True
+        assert service.queue_depth == 1
+        with pytest.raises(CancelledError):
+            doomed.result()
+        assert doomed.cancelled()
+        alive.result()
+        assert service.stats.cancelled == 1
+        assert service.stats.errors.get("CancelledError") == 1
+
+    def test_cancel_after_completion_is_refused(self, estimator, clean_value):
+        service = EstimatorService(ExactDensityBackend())
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        assert handle.result() == clean_value
+        assert handle.cancel() is False
+        assert not handle.cancelled()
+        assert service.stats.cancelled == 0
+
+
+class TestRetries:
+    def test_transient_fault_within_budget_is_invisible(
+        self, estimator, clean_value
+    ):
+        schedule = FaultSchedule.transient_burst(1)
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=2, base_delay=0.0),
+        )
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        assert handle.result() == clean_value  # bit-identical, not just close
+        assert service.stats.retries == 1
+        assert service.stats.completed == 1
+        assert service.stats.failed == 0
+
+    def test_no_policy_fails_fast_with_the_raw_error(self, estimator):
+        schedule = FaultSchedule.transient_burst(1)
+        service = EstimatorService(FaultyBackend(ExactDensityBackend(), schedule))
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        with pytest.raises(InjectedFault) as excinfo:
+            handle.result()
+        assert not isinstance(excinfo.value, RetryExhaustedError)
+        assert service.stats.retries == 0
+
+    def test_fatal_fault_is_not_retried(self, estimator):
+        schedule = FaultSchedule.scripted(["fatal"])
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=5, base_delay=0.0),
+        )
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        with pytest.raises(InjectedFatalFault):
+            handle.result()
+        assert service.stats.retries == 0
+        assert schedule.calls == 1  # exactly one execution
+
+    def test_exhausted_budget_wraps_the_last_error(self, estimator, clean_value):
+        schedule = FaultSchedule.transient_burst({0: 99})
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        doomed = service.submit(estimator.request_value(_state(), BINDING))
+        sibling = service.submit(estimator.request_gradient(_state(), BINDING))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            doomed.result()
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last_error, InjectedFault)
+        assert excinfo.value.__cause__ is excinfo.value.last_error
+        assert isinstance(excinfo.value, ServiceError)
+        # The sibling group of the same drain completed untouched.
+        assert sibling.result().shape == (2,)
+        assert service.stats.retries == 2
+        assert service.stats.errors.get("RetryExhaustedError") == 1
+
+    def test_only_the_failed_group_reruns(self, estimator, clean_value):
+        # Two groups; the value group fails twice, the gradient group is
+        # clean and must execute exactly once.
+        schedule = FaultSchedule.transient_burst({0: 2})
+        service = EstimatorService(
+            FaultyBackend(ExactDensityBackend(), schedule),
+            retry=RetryPolicy(attempts=3, base_delay=0.0),
+        )
+        value = service.submit(estimator.request_value(_state(), BINDING))
+        gradient = service.submit(estimator.request_gradient(_state(), BINDING))
+        assert value.result() == clean_value
+        gradient.result()
+        value_calls = [key for _, key, _ in schedule.injected]
+        assert schedule.calls == 4  # value×3 (2 faults + success) + gradient×1
+        assert all(key[0] == "value" for key in value_calls)
+
+
+class TestDegradation:
+    def test_pool_death_degrades_then_trips(self, estimator, clean_value):
+        schedule = FaultSchedule.scripted(["crash", "crash", None])
+        service = EstimatorService(
+            ExactDensityBackend(),
+            executor=FaultyExecutor(schedule=schedule),
+            breaker=2,
+        )
+        first = service.submit(estimator.request_value(_state(), BINDING))
+        assert first.result() == clean_value  # drain 1: degraded inline
+        assert service.stats.degraded == 1
+        assert service.stats.trips == 0
+        assert service.executor.name == "faulty(inline)"
+
+        second = service.submit(estimator.request_value(_state(1), BINDING))
+        second.result()  # drain 2: second consecutive crash trips
+        assert service.stats.degraded == 2
+        assert service.stats.trips == 1
+        assert isinstance(service.executor, InlineExecutor)
+        assert service.stats.executor_transitions == [("faulty(inline)", "inline")]
+
+        third = service.submit(estimator.request_value(_state(2), BINDING))
+        third.result()  # drain 3: permanently inline, no further degrading
+        assert service.stats.degraded == 2
+        assert service.stats.errors.get("InjectedCrash") == 2
+
+    def test_breaker_disabled_keeps_the_fail_and_raise_contract(self, estimator):
+        schedule = FaultSchedule.scripted(["crash"])
+        service = EstimatorService(
+            ExactDensityBackend(),
+            executor=FaultyExecutor(schedule=schedule),
+            breaker=False,
+        )
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        with pytest.raises(InjectedCrash):
+            service.flush()
+        assert isinstance(handle.exception(), InjectedCrash)
+
+    def test_keyboard_interrupt_is_not_swallowed(self, estimator):
+        class InterruptingBackend(ExactDensityBackend):
+            def value_batch(self, program, observable, inputs, **kwargs):
+                raise KeyboardInterrupt()
+
+        service = EstimatorService(InterruptingBackend(), breaker=True)
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        with pytest.raises(KeyboardInterrupt):
+            service.flush()
+        # The in-flight handle was failed first, so no caller can hang.
+        assert handle.done()
+        assert isinstance(handle._error, KeyboardInterrupt)
+
+
+class TestLifecycle:
+    def test_service_context_manager_shuts_the_pool_down(self, estimator):
+        executor = ThreadPoolServiceExecutor(max_workers=1)
+        with EstimatorService(ExactDensityBackend(), executor=executor) as service:
+            handle = service.submit(estimator.request_value(_state(), BINDING))
+            handle.result()
+        assert executor._pool is None
+
+    def test_close_flushes_pending_work(self, estimator, clean_value):
+        service = EstimatorService(ExactDensityBackend())
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        service.close()
+        assert handle.done()
+        assert handle.result() == clean_value
+
+    def test_estimator_context_manager_closes_its_service(self):
+        executor = ThreadPoolServiceExecutor(max_workers=1)
+        with Estimator(_program(), ZZ, executor=executor) as inner:
+            inner.value(_state(), BINDING)
+            assert inner._service is not None
+        assert inner._service is None
+        assert executor._pool is None
+
+    def test_executor_context_manager(self):
+        with ThreadPoolServiceExecutor(max_workers=1) as executor:
+            executor._ensure_pool()
+        assert executor._pool is None
+
+
+class TestFaultFreeBitCompatibility:
+    def test_resilient_service_is_bit_identical_without_faults(self, estimator):
+        plain = EstimatorService(ExactDensityBackend())
+        resilient = EstimatorService(
+            ExactDensityBackend(),
+            retry=RetryPolicy(attempts=3),
+            breaker=True,
+        )
+        for index in range(4):
+            state = _state(index)
+            a = plain.submit(estimator.request_value(state, BINDING)).result()
+            b = resilient.submit(
+                estimator.request_value(state, BINDING, timeout=30.0)
+            ).result()
+            assert a == b
+            ga = plain.submit(estimator.request_gradient(state, BINDING)).result()
+            gb = resilient.submit(
+                estimator.request_gradient(state, BINDING, timeout=30.0)
+            ).result()
+            assert np.array_equal(ga, gb)
+        assert resilient.stats.retries == 0
+        assert resilient.stats.degraded == 0
+        assert resilient.stats.timeouts == 0

@@ -251,6 +251,144 @@ def test_inline_vs_thread_executor():
     record_result("service", "executors", _results["executors"])
 
 
+#: Concurrent sessions in the worker bench — each with its own,
+#: content-distinct program, so every round drains one group per client.
+#: (Identical content would let the client-side result store serve three
+#: clients from the fourth's answers — a fine property, but it starves
+#: the wire of EXECUTEs and turns the kill storm into a no-op.)
+WORKER_CLIENTS = 4
+
+
+def _worker_rounds():
+    """Per-round bindings: distinct parameter points so every round really
+    crosses the wire (the client's result store would otherwise serve
+    repeats without dispatching — a different benchmark)."""
+    base, layout, binding, observable, qubits = _ladder(QUBITS)
+    programs = [
+        seq([base, ry(0.11 * (client + 1), qubits[0])])
+        for client in range(WORKER_CLIENTS)
+    ]
+    parameters = sorted(binding, key=lambda p: p.name)
+    rounds = 2 if SMOKE else 6
+    points = 4 if SMOKE else 10
+    bindings = [
+        ParameterBinding.from_values(
+            parameters,
+            np.linspace(0.3, 1.1, len(parameters)) + 0.05 * round_index,
+        )
+        for round_index in range(rounds)
+    ]
+    states = _basis_vectors(layout, points)
+    return programs, observable, qubits, bindings, states
+
+
+def _drain_workers(executor, programs, observable, qubits, bindings, states):
+    """Run the many-client workload through one executor; return
+    (values, wall seconds, latencies, failed count)."""
+    service = EstimatorService("auto", executor=executor)
+    estimators = [
+        Estimator(program, observable, targets=(qubits[-1],), backend="auto")
+        for program in programs
+    ]
+    sessions = [
+        service.session(name=f"client-{index}")
+        for index in range(len(estimators))
+    ]
+    values, latencies, failed = [], [], 0
+    start = time.perf_counter()
+    for binding in bindings:
+        handles = [
+            session.submit(estimator.request_value(state, binding))
+            for session, estimator in zip(sessions, estimators)
+            for state in states
+        ]
+        service.flush()
+        for handle in handles:
+            try:
+                values.append(handle.result(timeout=300))
+            except Exception:
+                failed += 1
+                values.append(None)
+            latencies.append((handle.done_at or 0.0) - handle.submitted_at)
+    elapsed = time.perf_counter() - start
+    service.close()
+    return values, elapsed, latencies, failed
+
+
+def test_worker_pool_throughput_and_recovery():
+    from repro.service import (
+        RetryPolicy,
+        SupervisorPolicy,
+        WorkerFaultPlan,
+        WorkerPoolServiceExecutor,
+    )
+
+    programs, observable, qubits, bindings, states = _worker_rounds()
+    total = len(programs) * len(bindings) * len(states)
+
+    # Reference bits off the deterministic inline executor.
+    reference, _, _, _ = _drain_workers(
+        None, programs, observable, qubits, bindings, states
+    )
+
+    policy = SupervisorPolicy(call_timeout=120.0, redispatch_limit=5)
+    fault_free = WorkerPoolServiceExecutor(max_workers=2, policy=policy)
+    clean_values, clean_s, clean_latencies, clean_failed = _drain_workers(
+        fault_free, programs, observable, qubits, bindings, states
+    )
+
+    # 10% of EXECUTEs kill the worker mid-batch, every generation: the
+    # supervisor must respawn and re-dispatch until the bits come back.
+    storm_policy = SupervisorPolicy(
+        restart=RetryPolicy(attempts=4, base_delay=0.01, max_delay=0.1, jitter=0.0),
+        call_timeout=120.0,
+        redispatch_limit=5,
+    )
+    plans = {
+        slot: WorkerFaultPlan(kill_rate=0.10, seed=7 + slot, every_generation=True)
+        for slot in range(2)
+    }
+    killer = WorkerPoolServiceExecutor(
+        max_workers=2, policy=storm_policy, fault_plans=plans
+    )
+    faulty_values, faulty_s, faulty_latencies, faulty_failed = _drain_workers(
+        killer, programs, observable, qubits, bindings, states
+    )
+    crashes = killer.telemetry["crashes"]
+    redispatches = killer.telemetry["redispatches"]
+
+    # Bit-identical under supervision — with and without the kill storm.
+    assert clean_failed == 0 and faulty_failed == 0
+    assert clean_values == reference
+    assert faulty_values == reference
+
+    clean_throughput = total / clean_s
+    faulty_throughput = total / faulty_s
+    _results["workers"] = {
+        "requests": total,
+        "sessions": WORKER_CLIENTS,
+        "rounds": len(bindings),
+        "clean_s": clean_s,
+        "clean_throughput_rps": clean_throughput,
+        "clean_latency_p50_ms": float(np.percentile(clean_latencies, 50) * 1e3),
+        "clean_latency_p95_ms": float(np.percentile(clean_latencies, 95) * 1e3),
+        "kill_rate": 0.10,
+        "faulty_s": faulty_s,
+        "faulty_throughput_rps": faulty_throughput,
+        "faulty_latency_p50_ms": float(np.percentile(faulty_latencies, 50) * 1e3),
+        "faulty_latency_p95_ms": float(np.percentile(faulty_latencies, 95) * 1e3),
+        "crashes": crashes,
+        "redispatches": redispatches,
+        "recovery_throughput_ratio": faulty_throughput / clean_throughput,
+    }
+    record_result("service", "workers", _results["workers"])
+    if not SMOKE:
+        # Recovery is allowed to cost (respawns, re-dispatched groups,
+        # backoff sleeps) but not to collapse: a conservative floor.
+        ratio = faulty_throughput / clean_throughput
+        assert ratio >= 0.15, f"kill-storm throughput collapsed to {ratio:.2f}x"
+
+
 @pytest.fixture(scope="module", autouse=True)
 def _report():
     yield
@@ -274,5 +412,14 @@ def _report():
         lines.append(
             f"inline executor {executors['inline_s'] * 1e3:7.1f} ms | thread pool "
             f"{executors['threads_s'] * 1e3:9.1f} ms | {executors['ratio']:5.2f}x"
+        )
+    workers = _results.get("workers")
+    if workers:
+        lines.append(
+            f"worker pool {workers['clean_throughput_rps']:7.1f} req/s "
+            f"(p95 {workers['clean_latency_p95_ms']:.1f} ms) | 10%-kill storm "
+            f"{workers['faulty_throughput_rps']:7.1f} req/s "
+            f"({workers['crashes']} crashes, {workers['redispatches']} re-dispatches, "
+            f"{workers['recovery_throughput_ratio']:.2f}x)"
         )
     register_report("EstimatorService: request batching and coalescing", "\n".join(lines))

@@ -147,6 +147,62 @@ class TransientServiceError(ServiceError):
     retryable = True
 
 
+class WireProtocolError(ServiceError):
+    """A remote worker violated the wire protocol.
+
+    Raised when a frame fails its CRC check, is truncated, carries an
+    unknown message type, or answers a request it was never sent.  *Not*
+    retryable: a protocol violation means the worker (or the channel) is
+    corrupting data, and re-running the same work through it could
+    silently produce a wrong number — the one failure mode the service
+    must never convert into a retry.  The supervisor kills the offending
+    worker instead.
+    """
+
+
+class WorkerCrashError(TransientServiceError):
+    """A remote worker process died while holding in-flight work.
+
+    Retryable by construction: the work itself is deterministic, so
+    re-dispatching it to a healthy worker produces the bit-identical
+    result.  Carries no partial state — a crashed worker's replies are
+    discarded wholesale.
+    """
+
+
+class WorkerTimeoutError(TransientServiceError):
+    """A remote worker exceeded the supervisor's per-call time budget.
+
+    Distinct from :class:`DeadlineExceededError` (a *request's* deadline,
+    final by policy): a hung worker is infrastructure trouble, so the
+    supervisor kills it and the work is retryable on a healthy one.
+    """
+
+
+class WorkerPoolError(TransientServiceError):
+    """The whole worker fleet is unhealthy (every slot exhausted its
+    restart budget).  Raised from the pool executor's ``run`` so the
+    service's degradation path re-runs the drain inline and the circuit
+    breaker counts the fleet failure.
+    """
+
+
+class RemoteExecutionError(ServiceError):
+    """A worker-side exception that could not travel back verbatim.
+
+    Workers ship failures pickled so the client re-raises the original
+    exception; when the original does not survive pickling, this wrapper
+    carries its type name, message and traceback text instead, and
+    mirrors the original's ``retryable`` classification so the service's
+    retry budget treats it identically.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = False, remote_traceback: str = ""):
+        super().__init__(message)
+        self.retryable = bool(retryable)
+        self.remote_traceback = remote_traceback
+
+
 class RetryExhaustedError(ServiceError):
     """A retryable failure kept failing until the retry budget ran out.
 

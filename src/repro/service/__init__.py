@@ -24,8 +24,11 @@ call at a time; this subsystem redesigns execution around explicit
 
 Executors: ``"inline"`` (deterministic default — bit-for-bit the direct
 backend calls), ``"threads"`` (groups overlap; numpy releases the GIL and
-the shared denotation cache is single-flight), ``"processes"`` (pickled
-groups, uncached workers).
+the shared denotation cache is single-flight), ``"workers"`` (supervised
+worker processes behind the :mod:`repro.service.wire` protocol: liveness
+heartbeats, crash/hang detection, bounded restarts, re-dispatch of a dead
+worker's groups, degradation to inline when the fleet is unhealthy;
+``"processes"`` is its deprecated alias).
 
 Every :class:`~repro.api.Estimator` is itself a thin synchronous client of
 a per-instance service (``estimator.service`` / ``estimator.session()``),
@@ -55,9 +58,11 @@ from repro.service.executors import (
 from repro.service.resilience import (
     CircuitBreaker,
     RetryPolicy,
+    SupervisorPolicy,
     deadline_after,
     resolve_breaker,
     resolve_retry,
+    resolve_supervisor,
 )
 from repro.service.faults import (
     FaultSchedule,
@@ -66,7 +71,14 @@ from repro.service.faults import (
     InjectedCrash,
     InjectedFatalFault,
     InjectedFault,
+    WorkerFaultPlan,
 )
+from repro.service.wire import (
+    decode_request,
+    encode_request,
+    request_wire_key,
+)
+from repro.service.workers import WorkerPoolServiceExecutor, WorkerSupervisor
 from repro.service.service import EstimatorService, ServiceStats, Session
 
 __all__ = [
@@ -89,10 +101,18 @@ __all__ = [
     "ServiceExecutor",
     "ServiceStats",
     "Session",
+    "SupervisorPolicy",
     "ThreadPoolServiceExecutor",
+    "WorkerFaultPlan",
+    "WorkerPoolServiceExecutor",
+    "WorkerSupervisor",
     "deadline_after",
+    "decode_request",
+    "encode_request",
     "plan",
+    "request_wire_key",
     "resolve_breaker",
     "resolve_executor",
     "resolve_retry",
+    "resolve_supervisor",
 ]

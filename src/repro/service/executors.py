@@ -14,11 +14,15 @@ calls); the executor decides *where*:
   :mod:`repro.api.cache`) and the service's own bookkeeping are
   lock-guarded.  Workers share the service's cached ``denote`` — a
   thread, unlike a process, hits the same cache as everyone else.
-* :class:`ProcessPoolServiceExecutor` — groups are pickled to worker
-  processes (the same trade :class:`~repro.api.ParallelBackend` makes):
-  the shared cache cannot cross, so each worker simulates with the plain
-  uncached denotation.  Worth it only when groups are dominated by fresh,
-  large simulation work.
+* ``"workers"`` (:class:`~repro.service.workers.WorkerPoolServiceExecutor`,
+  lazily resolved) — groups cross a wire protocol to *supervised* worker
+  processes: heartbeats, crash/hang detection, bounded restarts and
+  re-dispatch, degrading to inline when the whole fleet is unhealthy.
+  This is the executor that treats workers as unreliable — because remote
+  ones are.
+* :class:`ProcessPoolServiceExecutor` — the retired plain process pool
+  (the ``"processes"`` spelling now resolves to the worker pool with a
+  deprecation warning; the class remains for direct construction).
 
 Every executor maps :class:`~repro.service.planner.GroupCall` payloads to
 ``(status, payload, seconds)`` triples — one group's failure fails only
@@ -31,6 +35,7 @@ from __future__ import annotations
 import abc
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
@@ -187,6 +192,16 @@ def _process_run(call: GroupCall, backend: Backend) -> GroupOutcome:
 class ProcessPoolServiceExecutor(ServiceExecutor):
     """Group execution across worker processes.
 
+    .. deprecated::
+        Superseded by the supervised worker pool
+        (:class:`~repro.service.workers.WorkerPoolServiceExecutor`), which
+        adds crash detection, restarts, re-dispatch and heartbeats on top
+        of the same process isolation; the ``"processes"`` registry
+        spelling now resolves there.  This class stays importable and
+        functional for direct construction, but a dying
+        ``ProcessPoolExecutor`` still takes the whole drain with it — the
+        failure mode the worker pool was built to survive.
+
     The service's cached ``denote`` cannot cross the process boundary, so
     workers simulate uncached (exactly the :class:`~repro.api.ParallelBackend`
     trade-off); results flow back pickled.  Prefer the thread pool unless
@@ -232,13 +247,41 @@ class ProcessPoolServiceExecutor(ServiceExecutor):
         return f"ProcessPoolServiceExecutor(max_workers={self.max_workers})"
 
 
+def _worker_pool_factory() -> ServiceExecutor:
+    """Lazy factory for the supervised worker pool (avoids the circular
+    import: :mod:`repro.service.workers` imports this module)."""
+    from repro.service.workers import WorkerPoolServiceExecutor
+
+    return WorkerPoolServiceExecutor()
+
+
+def _deprecated_processes_factory() -> ServiceExecutor:
+    """The retired ``"processes"`` spelling, redirected to the worker pool.
+
+    The supervised pool subsumes the plain process pool — same process
+    isolation, plus crash/hang detection, restarts and re-dispatch — and
+    keeps the skip-pool-on-1-core heuristic, so every reason to spell
+    ``"processes"`` is served better by ``"workers"``.
+    """
+    warnings.warn(
+        "the 'processes' executor is deprecated: it now resolves to the "
+        "supervised worker pool — spell it 'workers'",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    from repro.service.workers import WorkerPoolServiceExecutor
+
+    return WorkerPoolServiceExecutor()
+
+
 #: Canonical spelling -> (aliases, factory); resolution and the error
 #: message both read this, so neither can drift (the `_BACKEND_REGISTRY`
 #: convention of :mod:`repro.api.estimator`).
-_EXECUTOR_REGISTRY: "dict[str, tuple[tuple[str, ...], type[ServiceExecutor]]]" = {
+_EXECUTOR_REGISTRY: "dict[str, tuple[tuple[str, ...], Callable[[], ServiceExecutor]]]" = {
     "inline": ((), InlineExecutor),
     "threads": (("thread-pool", "thread"), ThreadPoolServiceExecutor),
-    "processes": (("process-pool", "process"), ProcessPoolServiceExecutor),
+    "workers": (("worker-pool", "remote"), _worker_pool_factory),
+    "processes": (("process-pool", "process"), _deprecated_processes_factory),
 }
 
 #: Canonical spelling -> aliases (the registry's public read-only view).

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
 import numpy as np
@@ -53,6 +54,7 @@ __all__ = [
     "FaultSchedule",
     "FaultyBackend",
     "FaultyExecutor",
+    "WorkerFaultPlan",
 ]
 
 #: Schedule actions: fail-retryably, fail-finally, stall, kill the executor.
@@ -240,6 +242,27 @@ class FaultSchedule:
         )
         return f"FaultSchedule({mode}, calls={self.calls}, injected={len(self.injected)})"
 
+    # -- pickling (worker-side injection) ------------------------------------
+    #
+    # A schedule shipped inside a pickled FaultyBackend to a worker process
+    # keeps its *configuration* but starts a fresh decision stream: each
+    # worker counts its own calls and records its own injections (the
+    # client-side instance never sees them), and the lock is rebuilt — so a
+    # scripted "fail call 2" schedule fails call 2 of *each* worker.
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        state["_key_index"] = {}
+        state["_key_calls"] = {}
+        state["calls"] = 0
+        state["injected"] = []
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 class FaultyBackend(Backend):
     """Wrap any backend; inject scheduled faults before each delegated call.
@@ -329,3 +352,98 @@ class FaultyExecutor(ServiceExecutor):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return f"FaultyExecutor({self.inner!r}, {self.schedule!r})"
+
+
+#: Worker protocol phases a :class:`WorkerFaultPlan` can strike at.
+#: ``receive`` — right after a frame arrives, before it is decoded (the
+#: worker dies holding nothing); ``execute`` — after decoding, before/at
+#: the backend call (mid-work); ``reply`` — after the result is computed,
+#: before the frame is sent (work done but never delivered — recovery
+#: must still re-dispatch).
+WORKER_PHASES = ("receive", "execute", "reply")
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """A picklable, worker-*side* fault script for the supervised pool.
+
+    :class:`FaultSchedule` injects at the client's seams (backend calls,
+    ``executor.run``); this plan rides *into* the worker process (it must
+    pickle, hence no locks or live generators) and strikes from inside:
+
+    * ``kill_on_call=n`` — the worker ``os._exit``\\ s on its n-th EXECUTE
+      (0-based), at ``phase``; the client sees the process sentinel fire
+      and must re-dispatch the in-flight group.
+    * ``hang_on_call=n`` — the worker sleeps ``hang_s`` seconds instead of
+      answering; the supervisor's ``call_timeout`` must detect and kill it.
+    * ``corrupt_on_call=n`` — the worker replies with a garbage frame; the
+      client must fail the group with a *non-retryable*
+      :class:`~repro.errors.WireProtocolError` and kill the worker.
+    * ``exit_on_spawn=True`` — the worker dies before the HELLO handshake;
+      enough consecutive spawn failures exhaust the slot's restart budget
+      (fleet-death → graceful degradation to inline).
+    * ``kill_rate``/``hang_rate``/``corrupt_rate`` with ``seed`` — iid
+      per-call injection from a worker-local ``numpy`` generator (the CI
+      seed matrix's shape).
+
+    ``every_generation=False`` (default) applies the plan only to the
+    slot's first process — the restart heals it; ``True`` re-applies it to
+    every respawn (crash-loop shape, bounded by the redispatch budget).
+    """
+
+    kill_on_call: "int | None" = None
+    hang_on_call: "int | None" = None
+    corrupt_on_call: "int | None" = None
+    phase: str = "execute"
+    hang_s: float = 60.0
+    exit_on_spawn: bool = False
+    every_generation: bool = False
+    seed: "int | None" = None
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self):
+        if self.phase not in WORKER_PHASES:
+            raise SemanticsError(
+                f"unknown worker fault phase {self.phase!r}; expected one of "
+                f"{WORKER_PHASES}"
+            )
+        rates = (self.kill_rate, self.hang_rate, self.corrupt_rate)
+        if any(rate < 0 for rate in rates) or sum(rates) > 1.0:
+            raise SemanticsError("fault rates must be non-negative and sum to <= 1")
+        if self.hang_s <= 0:
+            raise SemanticsError("hang_s must be positive")
+        for name in ("kill_on_call", "hang_on_call", "corrupt_on_call"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise SemanticsError(f"{name} must be a non-negative call index")
+
+    def rng(self) -> "np.random.Generator | None":
+        """The worker-local generator of the probabilistic rates."""
+        if self.kill_rate or self.hang_rate or self.corrupt_rate:
+            return np.random.default_rng(self.seed)
+        return None
+
+    def action_for(
+        self, call_index: int, phase: str, rng: "np.random.Generator | None"
+    ) -> "str | None":
+        """The injected action (``"kill"``/``"hang"``/``"corrupt"``) for
+        one EXECUTE at one protocol phase, or ``None``."""
+        if phase != self.phase:
+            return None
+        if self.kill_on_call is not None and call_index == self.kill_on_call:
+            return "kill"
+        if self.hang_on_call is not None and call_index == self.hang_on_call:
+            return "hang"
+        if self.corrupt_on_call is not None and call_index == self.corrupt_on_call:
+            return "corrupt"
+        if rng is not None:
+            draw = float(rng.random())
+            if draw < self.kill_rate:
+                return "kill"
+            if draw < self.kill_rate + self.hang_rate:
+                return "hang"
+            if draw < self.kill_rate + self.hang_rate + self.corrupt_rate:
+                return "corrupt"
+        return None

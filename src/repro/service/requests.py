@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -183,6 +184,8 @@ class ResultHandle:
         "_value",
         "_error",
         "_cancel_requested",
+        "submitted_at",
+        "done_at",
     )
 
     def __init__(self, request: ExecutionRequest, service):
@@ -192,6 +195,11 @@ class ResultHandle:
         self._value = None
         self._error: BaseException | None = None
         self._cancel_requested = False
+        #: Monotonic instants of creation and resolution — ``done_at -
+        #: submitted_at`` is the request's queue-to-result latency, the
+        #: number the service benchmarks report percentiles of.
+        self.submitted_at = time.monotonic()
+        self.done_at: float | None = None
 
     def done(self) -> bool:
         """Has the request executed (successfully or not)?"""
@@ -253,10 +261,12 @@ class ResultHandle:
 
     def _fulfill(self, value) -> None:
         self._value = value
+        self.done_at = time.monotonic()
         self._event.set()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
+        self.done_at = time.monotonic()
         self._event.set()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience

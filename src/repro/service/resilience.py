@@ -45,9 +45,11 @@ from repro.sim import rng as _rng
 __all__ = [
     "RetryPolicy",
     "CircuitBreaker",
+    "SupervisorPolicy",
     "deadline_after",
     "resolve_retry",
     "resolve_breaker",
+    "resolve_supervisor",
 ]
 
 
@@ -137,6 +139,84 @@ def resolve_retry(retry: "RetryPolicy | int | None") -> "RetryPolicy | None":
     raise SemanticsError(
         f"unknown retry spec {retry!r}; expected a RetryPolicy, an attempt "
         "count, or None"
+    )
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Every knob of the worker-pool supervisor, in one frozen value.
+
+    The supervisor (:class:`~repro.service.workers.WorkerSupervisor`) is
+    the *infrastructure* half of fault tolerance — it keeps worker
+    processes alive — while :class:`RetryPolicy` is the *work* half.
+    They compose: a crashed worker's in-flight group is re-dispatched to
+    a healthy sibling up to ``redispatch_limit`` times (bit-identical,
+    since group results are deterministic); only when that budget runs
+    out does the group fail with a :class:`~repro.errors.ServiceError`
+    that the service-level retry policy may then still absorb.
+
+    Parameters
+    ----------
+    restart:
+        The per-slot respawn budget, reusing :class:`RetryPolicy` for its
+        bounded-attempts + exponential-backoff semantics: ``attempts``
+        consecutive *failed spawns* (no handshake, immediate death) mark
+        the slot dead, and spawn ``n`` backs off ``restart.delay(n)``
+        seconds first.  When every slot is dead the pool raises
+        :class:`~repro.errors.WorkerPoolError` and the service degrades
+        the drain to the inline executor.
+    heartbeat_interval / heartbeat_timeout:
+        Idle workers older than ``heartbeat_interval`` seconds are PINGed
+        before each drain; missing the PONG for ``heartbeat_timeout``
+        seconds is a liveness failure — the worker is killed and
+        respawned.  Busy workers are covered by ``call_timeout`` instead.
+    call_timeout:
+        Seconds a dispatched group may stay in flight before the worker
+        is declared hung, killed, and the group re-dispatched
+        (``None`` disables hang detection).
+    spawn_timeout:
+        Seconds a fresh worker gets to complete the HELLO handshake.
+    redispatch_limit:
+        Extra dispatches a group may consume after its first (crash/hang
+        recovery); ``0`` fails a group on its first lost worker.
+    max_inflight:
+        Groups a single worker may hold concurrently — the per-worker
+        bound of the dispatch queue, which is what makes the submission
+        pipeline *backpressured* rather than fire-and-forget.
+    """
+
+    restart: RetryPolicy = RetryPolicy(
+        attempts=3, base_delay=0.02, max_delay=0.5, jitter=0.1
+    )
+    heartbeat_interval: float = 2.0
+    heartbeat_timeout: float = 2.0
+    call_timeout: "float | None" = 60.0
+    spawn_timeout: float = 20.0
+    redispatch_limit: int = 2
+    max_inflight: int = 2
+
+    def __post_init__(self):
+        if not isinstance(self.restart, RetryPolicy):
+            raise SemanticsError("restart= takes a RetryPolicy")
+        for name in ("heartbeat_interval", "heartbeat_timeout", "spawn_timeout"):
+            if getattr(self, name) <= 0:
+                raise SemanticsError(f"{name} must be positive")
+        if self.call_timeout is not None and self.call_timeout <= 0:
+            raise SemanticsError("call_timeout must be positive (or None)")
+        if self.redispatch_limit < 0:
+            raise SemanticsError("redispatch_limit must be non-negative")
+        if self.max_inflight < 1:
+            raise SemanticsError("max_inflight must be at least 1")
+
+
+def resolve_supervisor(policy: "SupervisorPolicy | None") -> SupervisorPolicy:
+    """Turn a supervisor spec into a policy (``None`` → defaults)."""
+    if policy is None:
+        return SupervisorPolicy()
+    if isinstance(policy, SupervisorPolicy):
+        return policy
+    raise SemanticsError(
+        f"unknown supervisor spec {policy!r}; expected a SupervisorPolicy or None"
     )
 
 

@@ -81,6 +81,13 @@ class ServiceStats:
     #: and circuit-breaker trips (the permanent swap to inline).
     degraded: int = 0
     trips: int = 0
+    #: Worker-pool recovery events (harvested from the executor's
+    #: telemetry): groups re-dispatched off a crashed/hung worker, and
+    #: worker processes respawned by the supervisor.
+    redispatches: int = 0
+    worker_restarts: int = 0
+    #: Drains forced by a full submission queue (``max_queue_depth``).
+    backpressure_flushes: int = 0
     #: Failure counts per exception type name (handle failures and
     #: drain-level executor errors alike).
     errors: dict = field(default_factory=dict)
@@ -106,6 +113,8 @@ class ServiceStats:
         self.coalesced = self.batched = self.groups = self.drains = 0
         self.retries = self.timeouts = self.cancelled = 0
         self.degraded = self.trips = 0
+        self.redispatches = self.worker_restarts = 0
+        self.backpressure_flushes = 0
         self.errors = {}
         self.executor_transitions = []
         self.timings = {}
@@ -163,7 +172,9 @@ class EstimatorService:
     executor:
         Where groups execute — an instance or any name
         :func:`repro.service.resolve_executor` accepts: ``"inline"``
-        (deterministic, default), ``"threads"``, ``"processes"``.
+        (deterministic, default), ``"threads"``, ``"workers"`` (the
+        supervised worker pool; ``"processes"`` is its deprecated
+        alias).
     cache:
         The shared :class:`~repro.api.cache.DenotationCache`.  An
         :class:`~repro.api.Estimator` hands its own cache to its
@@ -188,6 +199,13 @@ class EstimatorService:
         Takes a :class:`~repro.service.CircuitBreaker`, a threshold,
         ``None``/``True`` (default breaker), or ``False`` (disabled: a
         pool failure fails the drain's handles and re-raises).
+    max_queue_depth:
+        Bound on the submission queue (``None`` — the default — is
+        unbounded, the PR-5 behavior).  A submission that fills the queue
+        to this depth triggers a drain *from the submitting call*: the
+        storming session pays the flush itself while the planner's
+        round-robin fairness still interleaves every waiting session —
+        backpressure without starvation.
     """
 
     def __init__(
@@ -199,6 +217,7 @@ class EstimatorService:
         coalesce: bool | None = None,
         retry: "RetryPolicy | int | None" = None,
         breaker: "CircuitBreaker | int | bool | None" = None,
+        max_queue_depth: "int | None" = None,
     ):
         from repro.api.estimator import resolve_backend
 
@@ -212,10 +231,19 @@ class EstimatorService:
         )
         self.retry = resolve_retry(retry)
         self.breaker = resolve_breaker(breaker)
+        if max_queue_depth is not None and int(max_queue_depth) < 1:
+            from repro.errors import SemanticsError
+
+            raise SemanticsError("max_queue_depth must be positive (or None)")
+        self.max_queue_depth = (
+            int(max_queue_depth) if max_queue_depth is not None else None
+        )
         self.stats = ServiceStats()
         self._lock = threading.RLock()
         self._queue: list[QueueItem] = []
         self._seq = 0
+        #: Last-seen executor telemetry counters, for delta harvesting.
+        self._telemetry_marks: dict = {}
         self._default_session = Session(self, name="default")
 
     # -- submission ----------------------------------------------------------
@@ -234,6 +262,7 @@ class EstimatorService:
 
     def _enqueue(self, session: Session, requests: Sequence[ExecutionRequest]) -> list[ResultHandle]:
         handles = [ResultHandle(request, self) for request in requests]
+        over_depth = False
         with self._lock:
             for request, handle in zip(requests, handles):
                 if session.priority:
@@ -259,6 +288,18 @@ class EstimatorService:
                 session._rank += 1
                 self._seq += 1
                 self.stats.submitted += 1
+            over_depth = (
+                self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth
+            )
+        if over_depth:
+            # Backpressure: the submitter that filled the queue drains it.
+            # The plan's round-robin fairness still interleaves every
+            # session's requests, so the storming session pays the wait
+            # without starving anybody.
+            with self._lock:
+                self.stats.backpressure_flushes += 1
+            self.flush()
         return handles
 
     @property
@@ -359,6 +400,31 @@ class EstimatorService:
             pending = retry_next
             attempt += 1
 
+    def _harvest_executor_telemetry(self) -> None:
+        """Fold the executor's lifecycle counters into the service stats.
+
+        Executors with a ``telemetry`` mapping (the supervised worker
+        pool) expose monotone counters; the service records the deltas
+        since its last harvest, keyed per executor instance so a breaker
+        swap starts a fresh baseline.
+        """
+        telemetry = getattr(self.executor, "telemetry", None)
+        if not isinstance(telemetry, dict):
+            return
+        with self._lock:
+            marks = self._telemetry_marks.setdefault(id(self.executor), {})
+            for source, target in (
+                ("redispatches", "redispatches"),
+                ("restarts", "worker_restarts"),
+            ):
+                current = int(telemetry.get(source, 0))
+                seen = marks.get(source, 0)
+                if current > seen:
+                    setattr(
+                        self.stats, target, getattr(self.stats, target) + current - seen
+                    )
+                marks[source] = current
+
     def _run_groups(self, groups: "list[RequestGroup]") -> list:
         """One execution round; per-group outcomes, or degrade on pool death."""
         calls = [group.call() for group in groups]
@@ -378,9 +444,11 @@ class EstimatorService:
                 for group in groups:
                     self._fail_group(group, error)
                 raise
+            self._harvest_executor_telemetry()
             return self._degrade(groups, calls, error)
         if self.breaker is not None:
             self.breaker.record_success()
+        self._harvest_executor_telemetry()
         return outcomes
 
     def _degrade(self, groups, calls, error: BaseException) -> list:

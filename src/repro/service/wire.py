@@ -1,0 +1,368 @@
+"""The worker wire protocol: length-prefixed frames + content-addressed keys.
+
+A remote worker and its client share no memory, so everything the planner
+keys by *identity* (programs, multiset tuples, observable matrices — the
+:func:`repro.service.planner.group_key` convention) must cross the wire
+keyed by *content*.  This module defines both halves:
+
+* **framing** — every message is ``!IBI`` header (payload length, message
+  type, CRC32 of the payload) followed by the payload bytes.  Frames are
+  transport-independent byte strings; the worker pool ships them over
+  ``multiprocessing`` pipes (``send_bytes``/``recv_bytes``), a future
+  socket daemon would ship the identical bytes.  Anything malformed — a
+  truncated header, a CRC mismatch, an unknown message type — raises
+  :class:`~repro.errors.WireProtocolError`, which is deliberately *not*
+  retryable: a channel that corrupts data must be killed, not retried
+  into a silently wrong number.
+* **content digests** — :func:`content_digest` (sha256 over canonical
+  pickle bytes, memoized by object identity with the object pinned — the
+  cache-key convention) and :func:`call_digest` (one digest per group's
+  compiled work + observable).  A worker installs each artifact once per
+  digest; subsequent ``EXECUTE`` messages reference the digest and ship
+  only the per-row ``(state, binding)`` payloads.
+* **wire keys** — :func:`request_wire_key` mirrors the
+  :class:`~repro.api.cache.DenotationCache` key family exactly: the work
+  by content digest, the evaluation point by
+  :func:`~repro.api.cache.binding_key` and state bytes.  Two requests
+  share a wire key iff they share a cache point (same work content, same
+  binding values, same state bytes) — the invariant the content-addressed
+  result store and the coalescing planner both rely on, proven by the
+  hypothesis suite in ``tests/service/test_wire.py``.
+* **request round-trips** — :func:`encode_request`/:func:`decode_request`
+  serialize a full :class:`~repro.service.ExecutionRequest` (any kind,
+  qubit or qutrit states, derivative multisets).  Deadlines are dropped
+  on purpose: they are absolute ``time.monotonic`` instants, meaningless
+  in another process — the client enforces them at dispatch boundaries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import struct
+import threading
+import traceback
+import zlib
+from typing import Hashable
+
+from repro.errors import RemoteExecutionError, SemanticsError, WireProtocolError
+
+__all__ = [
+    "WIRE_VERSION",
+    "HELLO",
+    "PING",
+    "PONG",
+    "INSTALL",
+    "EXECUTE",
+    "RESULT",
+    "ERROR",
+    "SHUTDOWN",
+    "encode_frame",
+    "decode_frame",
+    "send_frame",
+    "recv_frame",
+    "dumps",
+    "loads",
+    "encode_error",
+    "decode_error",
+    "content_digest",
+    "call_digest",
+    "request_wire_key",
+    "request_cache_key",
+    "encode_request",
+    "decode_request",
+]
+
+#: Protocol version, exchanged in the HELLO handshake.
+WIRE_VERSION = 1
+
+#: Message types.  HELLO flows worker→client once per process; PING/PONG
+#: are the liveness heartbeat; INSTALL ships one content-addressed work
+#: artifact; EXECUTE/RESULT/ERROR carry one batched group call and its
+#: outcome; SHUTDOWN asks the worker to exit cleanly.
+HELLO = 1
+PING = 2
+PONG = 3
+INSTALL = 4
+EXECUTE = 5
+RESULT = 6
+ERROR = 7
+SHUTDOWN = 8
+
+_MESSAGE_TYPES = frozenset(
+    (HELLO, PING, PONG, INSTALL, EXECUTE, RESULT, ERROR, SHUTDOWN)
+)
+
+#: ``!IBI``: payload length, message type, CRC32 of the payload.
+_HEADER = struct.Struct("!IBI")
+
+#: Refuse absurd frames before allocating for them (a corrupted length
+#: field must not become a multi-gigabyte read).
+MAX_FRAME_BYTES = 1 << 30
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(message_type: int, payload: bytes = b"") -> bytes:
+    """One wire frame: header (length, type, CRC32) + payload bytes."""
+    if message_type not in _MESSAGE_TYPES:
+        raise SemanticsError(f"unknown wire message type {message_type!r}")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise SemanticsError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte wire limit"
+        )
+    return _HEADER.pack(len(payload), message_type, zlib.crc32(payload)) + payload
+
+
+def decode_frame(data: bytes) -> "tuple[int, bytes]":
+    """Validate and split one frame into ``(message_type, payload)``.
+
+    Every malformation — short header, truncated or oversized payload,
+    unknown type, CRC mismatch — raises
+    :class:`~repro.errors.WireProtocolError`.
+    """
+    if len(data) < _HEADER.size:
+        raise WireProtocolError(
+            f"short frame: {len(data)} bytes is smaller than the "
+            f"{_HEADER.size}-byte header"
+        )
+    length, message_type, crc = _HEADER.unpack_from(data)
+    payload = data[_HEADER.size :]
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame claims a {length}-byte payload, over the "
+            f"{MAX_FRAME_BYTES}-byte wire limit"
+        )
+    if len(payload) != length:
+        raise WireProtocolError(
+            f"frame length mismatch: header says {length} payload bytes, "
+            f"got {len(payload)}"
+        )
+    if message_type not in _MESSAGE_TYPES:
+        raise WireProtocolError(f"unknown wire message type {message_type}")
+    if zlib.crc32(payload) != crc:
+        raise WireProtocolError("frame CRC mismatch: the payload is corrupted")
+    return message_type, payload
+
+
+def send_frame(connection, message_type: int, payload: bytes = b"") -> None:
+    """Encode and ship one frame over a ``multiprocessing`` connection."""
+    connection.send_bytes(encode_frame(message_type, payload))
+
+
+def recv_frame(connection) -> "tuple[int, bytes]":
+    """Receive and validate one frame; blocks until a frame arrives.
+
+    Raises ``EOFError`` when the peer is gone (the caller maps that onto
+    :class:`~repro.errors.WorkerCrashError`) and
+    :class:`~repro.errors.WireProtocolError` on malformed bytes.
+    """
+    return decode_frame(connection.recv_bytes())
+
+
+def dumps(obj) -> bytes:
+    """Canonical payload serialization (highest pickle protocol)."""
+    return pickle.dumps(obj, protocol=_PICKLE_PROTOCOL)
+
+
+def loads(data: bytes):
+    """Deserialize a payload; undecodable bytes are a protocol violation."""
+    try:
+        return pickle.loads(data)
+    except Exception as error:
+        raise WireProtocolError(f"undecodable frame payload: {error}") from error
+
+
+# -- error transport ---------------------------------------------------------
+
+
+def encode_error(error: BaseException) -> bytes:
+    """Serialize a worker-side failure for the ERROR frame.
+
+    The original exception travels verbatim when it pickles (so the
+    client re-raises exactly what the backend raised, retry
+    classification included); otherwise a
+    :class:`~repro.errors.RemoteExecutionError` summary travels instead,
+    mirroring the original's ``retryable`` flag.
+    """
+    try:
+        payload = dumps(("exception", error))
+        pickle.loads(payload)  # round-trip check: unpicklable state fails here
+        return payload
+    except Exception:
+        return dumps(
+            (
+                "summary",
+                type(error).__name__,
+                str(error),
+                bool(getattr(error, "retryable", False)),
+                "".join(
+                    traceback.format_exception(type(error), error, error.__traceback__)
+                ),
+            )
+        )
+
+
+def decode_error(data: bytes) -> BaseException:
+    """Reconstruct a worker-side failure from an ERROR frame payload."""
+    decoded = loads(data)
+    if decoded[0] == "exception":
+        return decoded[1]
+    _, type_name, message, retryable, remote_traceback = decoded
+    return RemoteExecutionError(
+        f"worker-side {type_name}: {message}",
+        retryable=retryable,
+        remote_traceback=remote_traceback,
+    )
+
+
+# -- content digests ---------------------------------------------------------
+
+#: id -> (pinned object, digest).  Pinning keeps the id stable for the
+#: object's lifetime — the identity-memo convention of the denotation
+#: cache and the planner's group keys.
+_DIGESTS: "dict[int, tuple[object, str]]" = {}
+_DIGEST_LOCK = threading.Lock()
+
+
+def content_digest(obj) -> str:
+    """The sha256 hex digest of an object's canonical pickle bytes.
+
+    Memoized by object identity (with the object pinned), so the planner's
+    id-keyed groups pay one serialization per distinct work object, not
+    one per drain.
+    """
+    key = id(obj)
+    with _DIGEST_LOCK:
+        hit = _DIGESTS.get(key)
+        if hit is not None and hit[0] is obj:
+            return hit[1]
+    digest = hashlib.sha256(dumps(obj)).hexdigest()
+    with _DIGEST_LOCK:
+        _DIGESTS[key] = (obj, digest)
+    return digest
+
+
+def _observable_fingerprint(observable) -> "tuple":
+    """Value identity of an :class:`~repro.api.ObservableSpec`."""
+    matrix = observable.matrix
+    return (matrix.shape, matrix.tobytes(), observable.targets)
+
+
+def call_digest(kind: str, program, program_sets, observable) -> str:
+    """One digest per group's compiled work + observable — the wire-side
+    mirror of :func:`repro.service.planner.group_key`, by content."""
+    if kind == "value":
+        work = ("value", content_digest(program))
+    else:
+        work = (
+            "derivative",
+            tuple(content_digest(program_set) for program_set in program_sets or ()),
+        )
+    hasher = hashlib.sha256(dumps((work, _observable_fingerprint(observable))))
+    return hasher.hexdigest()
+
+
+# -- wire keys ---------------------------------------------------------------
+
+
+def _state_bytes_key(state) -> Hashable:
+    """Value key of an input state (mirrors the planner's point key)."""
+    from repro.service.planner import _state_point_key
+
+    return _state_point_key(state)
+
+
+def request_wire_key(request) -> Hashable:
+    """The content-addressed identity of one request's computation.
+
+    ``(kind family, work digest, binding values, state bytes)`` — exactly
+    the :class:`~repro.api.cache.DenotationCache` key family with the
+    id-keyed work replaced by its content digest.  DERIVATIVE and
+    GRADIENT requests over the same multiset tuple share a key, as they
+    share a batch row.
+    """
+    from repro.api.cache import binding_key
+
+    if request.program is not None:
+        family, digest = "value", call_digest(
+            "value", request.program, None, request.observable
+        )
+    else:
+        family, digest = "derivative", call_digest(
+            "derivative", None, request.program_sets, request.observable
+        )
+    return (
+        family,
+        digest,
+        binding_key(request.binding),
+        _state_bytes_key(request.state),
+    )
+
+
+def request_cache_key(request) -> Hashable:
+    """The identity-keyed counterpart: the planner's ``(group, point)``.
+
+    This is what "two requests share a :class:`DenotationCache` key"
+    means at the service seam — same group (work by object identity +
+    observable) and same coalesce point (binding values + state bytes).
+    The wire key must induce the same partition over any request pool
+    whose distinct work objects have distinct content.
+    """
+    from repro.service.planner import coalesce_key, group_key
+
+    return (group_key(request), coalesce_key(request))
+
+
+# -- request round-trips -----------------------------------------------------
+
+
+def encode_request(request) -> bytes:
+    """Serialize one :class:`~repro.service.ExecutionRequest` for the wire.
+
+    Everything that affects the result travels: kind, program or multiset
+    tuple, observable, state, binding, priority.  The ``deadline`` is
+    dropped by design — it is an absolute :func:`time.monotonic` instant
+    of the *client's* clock; the supervisor enforces deadlines at
+    dispatch boundaries, the wire never carries them.
+    """
+    return dumps(
+        (
+            "request",
+            WIRE_VERSION,
+            request.kind.value,
+            request.program,
+            request.program_sets,
+            request.observable,
+            request.state,
+            request.binding,
+            request.priority,
+        )
+    )
+
+
+def decode_request(data: bytes):
+    """Rebuild an :class:`~repro.service.ExecutionRequest` from the wire."""
+    from repro.service.requests import ExecutionRequest, RequestKind
+
+    decoded = loads(data)
+    if not isinstance(decoded, tuple) or len(decoded) != 9 or decoded[0] != "request":
+        raise WireProtocolError("frame payload is not an encoded request")
+    _, version, kind, program, program_sets, observable, state, binding, priority = decoded
+    if version != WIRE_VERSION:
+        raise WireProtocolError(
+            f"wire version mismatch: got {version}, speaking {WIRE_VERSION}"
+        )
+    return ExecutionRequest(
+        RequestKind(kind),
+        observable,
+        state,
+        binding,
+        program=program,
+        program_sets=program_sets,
+        priority=priority,
+    )

@@ -1,0 +1,838 @@
+"""Supervised remote workers: the crash-tolerant distributed executor.
+
+The thread/process pools of :mod:`repro.service.executors` assume their
+workers are *reliable*; this module assumes they are not.  Each worker is
+a separate process speaking the length-prefixed wire protocol of
+:mod:`repro.service.wire` over a ``multiprocessing`` pipe, and a
+:class:`WorkerSupervisor` owns the fleet:
+
+* **liveness** — idle workers are heartbeated (PING/PONG) at a
+  configurable interval; busy workers are covered by a per-call time
+  budget.  A worker that crashes (its process sentinel fires), hangs
+  (call timeout) or violates the protocol (bad frame, unknown request)
+  is killed and its slot respawned with bounded exponential backoff —
+  the :class:`~repro.service.RetryPolicy` machinery, reused.
+* **recovery** — a lost worker's in-flight groups re-dispatch to healthy
+  siblings.  Group results are deterministic, so a recovered handle is
+  *bit-identical* to the fault-free run — the same invariant the
+  service-level retry budget upholds.  Protocol violations are the
+  exception: they mean data corruption, so the affected group fails with
+  a non-retryable :class:`~repro.errors.WireProtocolError` instead of
+  being retried into a silently wrong number.
+* **backpressure** — each worker holds at most ``policy.max_inflight``
+  groups; the rest wait in plan order, so the planner's round-robin
+  session fairness survives the dispatch queue and one storming session
+  cannot starve the others.
+* **degradation** — when every slot exhausts its restart budget the pool
+  raises :class:`~repro.errors.WorkerPoolError` from ``run()``; the
+  service's existing degradation path re-runs the drain on the inline
+  executor and the :class:`~repro.service.CircuitBreaker` counts the
+  fleet failure.
+
+Workers execute with a worker-local :class:`~repro.api.cache.DenotationCache`
+(the client's cache cannot cross the process boundary); the client side
+compensates with a content-addressed **result store** keyed by
+:func:`~repro.service.wire.request_wire_key` rows, so repeated points are
+answered without a round trip.  Sampling backends skip the pool entirely
+(duplicates must draw independent samples, and pickled generator
+snapshots would replay correlated streams) — the same rule every pooled
+executor follows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict, deque
+from multiprocessing.connection import wait as _wait_for
+from typing import Mapping
+
+from repro.errors import (
+    SemanticsError,
+    WireProtocolError,
+    WorkerCrashError,
+    WorkerPoolError,
+    WorkerTimeoutError,
+)
+from repro.semantics import denotational
+from repro.api.cache import DenotationCache, binding_key
+from repro.service import wire
+from repro.service.executors import ServiceExecutor, _draws_samples, _guarded_run
+from repro.service.planner import GroupCall, _state_point_key
+from repro.service.resilience import SupervisorPolicy, resolve_supervisor
+
+__all__ = ["WorkerSupervisor", "WorkerPoolServiceExecutor"]
+
+
+# -- the worker process ------------------------------------------------------
+
+
+def _apply_fault(plan, rng, call_index: int, phase: str, connection) -> bool:
+    """Act on the worker-side fault plan; ``True`` means "reply corrupted"."""
+    if plan is None:
+        return False
+    action = plan.action_for(call_index, phase, rng)
+    if action is None:
+        return False
+    if action == "kill":
+        os._exit(9)
+    if action == "hang":
+        time.sleep(plan.hang_s)
+        return False
+    # "corrupt": ship a frame that cannot decode.  The client must fail
+    # the group with a typed WireProtocolError and kill this worker.
+    connection.send_bytes(b"\xde\xad\xbe\xef")
+    return True
+
+
+def _worker_main(connection, backend_bytes: bytes, fault_plan=None) -> None:
+    """One worker process: HELLO, then serve frames until SHUTDOWN/EOF.
+
+    The worker owns a private backend (unpickled once) and a private
+    :class:`~repro.api.cache.DenotationCache`; artifacts (a group's
+    compiled work + observable) are installed once per content digest and
+    referenced by EXECUTE frames.  Failures of the *work* travel back as
+    ERROR frames (the client re-raises them through the service's retry
+    classification); failures of the *worker* are exactly what the
+    supervisor exists to detect.
+    """
+    try:
+        backend = pickle.loads(backend_bytes)
+        cache = DenotationCache()
+
+        def denote(program, state, binding):
+            return cache.get_or_compute(
+                program,
+                state,
+                binding,
+                lambda: denotational.denote(program, state, binding),
+            )
+
+        rng = fault_plan.rng() if fault_plan is not None else None
+        artifacts: dict = {}
+        executed = 0
+        if fault_plan is not None and fault_plan.exit_on_spawn:
+            # Die *before* the HELLO: the supervisor must see this as a
+            # spawn failure (restart budget, then a dead slot), not as a
+            # healthy worker that crashed on its first dispatch.
+            os._exit(3)
+        wire.send_frame(
+            connection,
+            wire.HELLO,
+            wire.dumps({"version": wire.WIRE_VERSION, "pid": os.getpid()}),
+        )
+        while True:
+            try:
+                message_type, payload = wire.recv_frame(connection)
+            except EOFError:
+                return  # the client is gone; nothing to answer
+            if message_type == wire.SHUTDOWN:
+                return
+            if message_type == wire.PING:
+                wire.send_frame(connection, wire.PONG)
+                continue
+            if message_type == wire.INSTALL:
+                digest, kind, program, program_sets, observable = wire.loads(payload)
+                artifacts[digest] = (kind, program, program_sets, observable)
+                continue
+            if message_type != wire.EXECUTE:
+                # A frame the worker cannot serve: die loudly rather than
+                # answer wrongly; the supervisor respawns the slot.
+                os._exit(4)
+            call_index = executed
+            executed += 1
+            if _apply_fault(fault_plan, rng, call_index, "receive", connection):
+                continue
+            request_id, digest, inputs = wire.loads(payload)
+            start = time.perf_counter()
+            artifact = artifacts.get(digest)
+            if artifact is None:
+                error = WireProtocolError(
+                    f"EXECUTE references uninstalled artifact {digest[:12]}…"
+                )
+                wire.send_frame(
+                    connection,
+                    wire.ERROR,
+                    wire.dumps((request_id, wire.encode_error(error), 0.0)),
+                )
+                continue
+            if _apply_fault(fault_plan, rng, call_index, "execute", connection):
+                continue
+            kind, program, program_sets, observable = artifact
+            call = GroupCall(
+                kind=kind,
+                program=program,
+                program_sets=program_sets,
+                observable=observable,
+                inputs=inputs,
+            )
+            status, result, _ = _guarded_run(call, backend, denote)
+            seconds = time.perf_counter() - start
+            if _apply_fault(fault_plan, rng, call_index, "reply", connection):
+                continue
+            if status == "ok":
+                wire.send_frame(
+                    connection, wire.RESULT, wire.dumps((request_id, result, seconds))
+                )
+            else:
+                wire.send_frame(
+                    connection,
+                    wire.ERROR,
+                    wire.dumps((request_id, wire.encode_error(result), seconds)),
+                )
+    except (KeyboardInterrupt, SystemExit):
+        os._exit(5)
+    except BaseException:
+        # A worker that cannot even report must not linger half-alive.
+        os._exit(6)
+
+
+# -- client-side bookkeeping -------------------------------------------------
+
+
+class _Worker:
+    """One live worker process and the client's view of it."""
+
+    __slots__ = ("slot", "generation", "process", "conn", "installed", "inflight", "last_seen")
+
+    def __init__(self, slot: int, generation: int, process, conn):
+        self.slot = slot
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        #: Content digests this worker has been sent an INSTALL for.
+        self.installed: set[str] = set()
+        #: request_id -> _Dispatch, in dispatch order (dict preserves it).
+        self.inflight: dict[int, _Dispatch] = {}
+        self.last_seen = time.monotonic()
+
+
+class _Dispatch:
+    """One EXECUTE in flight on one worker."""
+
+    __slots__ = ("unit", "sent_at")
+
+    def __init__(self, unit: "_Unit", sent_at: float):
+        self.unit = unit
+        self.sent_at = sent_at
+
+
+class _Unit:
+    """One group call moving through the dispatch loop."""
+
+    __slots__ = ("index", "call", "digest", "artifact", "attempts", "results", "pending_rows", "row_keys")
+
+    def __init__(self, index: int, call: GroupCall, digest: str, artifact: bytes):
+        self.index = index
+        self.call = call
+        self.digest = digest
+        self.artifact = artifact
+        #: EXECUTE dispatches consumed so far (1 + redispatches).
+        self.attempts = 0
+        #: Per-row results; store-served rows are prefilled.
+        self.results: list = [None] * len(call.inputs)
+        #: Row indices still needing a worker.
+        self.pending_rows: list[int] = list(range(len(call.inputs)))
+        #: Content-addressed row keys (``None`` when the store is off).
+        self.row_keys: "list | None" = None
+
+
+class WorkerSupervisor:
+    """Fleet lifecycle: spawn, handshake, heartbeat, kill, respawn.
+
+    The supervisor never touches group dispatch — that is the executor's
+    loop — it owns *processes*: each slot is (re)spawned through the
+    policy's restart budget (bounded attempts with exponential backoff;
+    a slot whose spawns keep failing is marked dead), idle workers are
+    heartbeated, and retired workers are killed hard and reaped.
+    ``telemetry`` counts every lifecycle event for the service's stats.
+    """
+
+    def __init__(
+        self,
+        backend_bytes: bytes,
+        *,
+        slots: int,
+        policy: SupervisorPolicy,
+        fault_plans: "Mapping[int, object] | None" = None,
+        context=None,
+    ):
+        if slots < 1:
+            raise SemanticsError("a worker supervisor needs at least one slot")
+        self._ctx = context if context is not None else multiprocessing.get_context()
+        self._backend_bytes = backend_bytes
+        self._slots = int(slots)
+        self.policy = policy
+        self._fault_plans = dict(fault_plans or {})
+        self._fleet: dict[int, _Worker] = {}
+        self._dead: set[int] = set()
+        self._generations: dict[int, int] = {}
+        self._spawn_failures: dict[int, int] = {}
+        self.telemetry = {
+            "spawns": 0,
+            "restarts": 0,
+            "spawn_failures": 0,
+            "crashes": 0,
+            "hangs": 0,
+            "protocol_errors": 0,
+            "heartbeats": 0,
+            "dead_slots": 0,
+        }
+
+    # -- fleet views ---------------------------------------------------------
+
+    def workers(self) -> "list[_Worker]":
+        return list(self._fleet.values())
+
+    def least_loaded(self, capacity: int) -> "_Worker | None":
+        """The emptiest worker with spare capacity, lowest slot first."""
+        candidates = [
+            worker
+            for worker in self._fleet.values()
+            if len(worker.inflight) < capacity
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda worker: (len(worker.inflight), worker.slot))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def ensure_fleet(self) -> "dict[int, _Worker]":
+        """Respawn empty slots; raise when the whole fleet is unhealthy.
+
+        A worker found dead while *idle* (no in-flight work) is retired
+        silently here; one that dies holding work is the dispatch loop's
+        business (it must re-dispatch before respawning).
+        """
+        for worker in list(self._fleet.values()):
+            if not worker.process.is_alive() and not worker.inflight:
+                self.retire(worker, "crash")
+        for slot in range(self._slots):
+            if slot in self._dead or slot in self._fleet:
+                continue
+            self._spawn(slot)
+        if not self._fleet:
+            raise WorkerPoolError(
+                f"the worker fleet is unhealthy: all {self._slots} slots "
+                "exhausted their restart budgets"
+            )
+        return self._fleet
+
+    def check_liveness(self) -> None:
+        """PING idle workers past the heartbeat interval; kill the silent."""
+        now = time.monotonic()
+        for worker in list(self._fleet.values()):
+            if worker.inflight:
+                continue  # covered by the per-call timeout
+            if now - worker.last_seen < self.policy.heartbeat_interval:
+                continue
+            self.telemetry["heartbeats"] += 1
+            alive = False
+            try:
+                wire.send_frame(worker.conn, wire.PING)
+                if worker.conn.poll(self.policy.heartbeat_timeout):
+                    message_type, _ = wire.recv_frame(worker.conn)
+                    alive = message_type == wire.PONG
+            except (EOFError, OSError, WireProtocolError):
+                alive = False
+            if alive:
+                worker.last_seen = time.monotonic()
+            else:
+                self.retire(worker, "hang")
+
+    def retire(self, worker: _Worker, reason: str) -> None:
+        """Remove a worker from the fleet and kill its process."""
+        self._fleet.pop(worker.slot, None)
+        if reason in ("crash", "hang", "protocol"):
+            counter = {"crash": "crashes", "hang": "hangs", "protocol": "protocol_errors"}
+            self.telemetry[counter[reason]] += 1
+        self._destroy(worker.process, worker.conn)
+
+    def close(self) -> None:
+        """SHUTDOWN the fleet cleanly; terminate whatever lingers."""
+        for worker in self._fleet.values():
+            try:
+                wire.send_frame(worker.conn, wire.SHUTDOWN)
+            except Exception:
+                pass
+        deadline = time.monotonic() + 1.0
+        for worker in list(self._fleet.values()):
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            self._destroy(worker.process, worker.conn)
+        self._fleet.clear()
+
+    # -- spawning ------------------------------------------------------------
+
+    def _spawn(self, slot: int) -> "_Worker | None":
+        """Spawn one slot under the restart budget; mark it dead on exhaustion."""
+        restart = self.policy.restart
+        while self._spawn_failures.get(slot, 0) < restart.attempts:
+            failures = self._spawn_failures.get(slot, 0)
+            if failures:
+                time.sleep(restart.delay(failures))
+            worker = self._try_launch(slot)
+            if worker is not None:
+                self._spawn_failures[slot] = 0
+                self._fleet[slot] = worker
+                return worker
+            self._spawn_failures[slot] = failures + 1
+        self._dead.add(slot)
+        self.telemetry["dead_slots"] += 1
+        return None
+
+    def _try_launch(self, slot: int) -> "_Worker | None":
+        generation = self._generations.get(slot, 0)
+        self._generations[slot] = generation + 1
+        plan = self._fault_plans.get(slot)
+        if plan is not None and generation > 0 and not plan.every_generation:
+            plan = None
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._backend_bytes, plan),
+            daemon=True,
+            name=f"repro-worker-{slot}",
+        )
+        self.telemetry["spawns"] += 1
+        if generation:
+            self.telemetry["restarts"] += 1
+        try:
+            process.start()
+        except Exception:
+            self.telemetry["spawn_failures"] += 1
+            parent_conn.close()
+            child_conn.close()
+            return None
+        child_conn.close()
+        try:
+            if not parent_conn.poll(self.policy.spawn_timeout):
+                raise WireProtocolError("no HELLO within the spawn timeout")
+            message_type, payload = wire.recv_frame(parent_conn)
+            hello = wire.loads(payload)
+            if message_type != wire.HELLO or hello.get("version") != wire.WIRE_VERSION:
+                raise WireProtocolError("malformed HELLO handshake")
+        except (EOFError, OSError, WireProtocolError):
+            self.telemetry["spawn_failures"] += 1
+            self._destroy(process, parent_conn)
+            return None
+        return _Worker(slot=slot, generation=generation, process=process, conn=parent_conn)
+
+    @staticmethod
+    def _destroy(process, conn) -> None:
+        try:
+            conn.close()
+        except Exception:
+            pass
+        if process.is_alive():
+            process.terminate()
+            process.join(1.0)
+            if process.is_alive():  # pragma: no cover - stuck in a signal shadow
+                process.kill()
+                process.join(1.0)
+        else:
+            process.join(0.1)  # reap the zombie
+
+
+# -- the executor ------------------------------------------------------------
+
+
+class WorkerPoolServiceExecutor(ServiceExecutor):
+    """Group execution across supervised worker processes (``"workers"``).
+
+    The drain's plan-ordered group calls are dispatched round-robin to
+    the least-loaded worker, bounded at ``policy.max_inflight`` per
+    worker (backpressure); replies multiplex back through
+    ``multiprocessing.connection.wait`` alongside each worker's process
+    sentinel, so a crash wakes the loop immediately.  Worker failures map
+    onto the :class:`~repro.errors.ServiceError` taxonomy —
+    :class:`~repro.errors.WorkerCrashError` /
+    :class:`~repro.errors.WorkerTimeoutError` (transient, re-dispatched
+    up to ``policy.redispatch_limit`` times, recovered results
+    bit-identical) and :class:`~repro.errors.WireProtocolError`
+    (non-retryable, the worker is killed) — while fleet-wide death raises
+    :class:`~repro.errors.WorkerPoolError`, which the service's breaker
+    path degrades to inline.
+
+    ``max_workers=None`` keeps the process pool's skip-pool-on-1-core
+    heuristic (a single-core host runs groups inline, cached); an
+    explicit count always spawns real processes.  Sampling backends are
+    executed inline regardless — duplicates must draw independent
+    samples, and a pickled generator snapshot per worker would replay
+    correlated streams.
+    """
+
+    name = "workers"
+
+    def __init__(
+        self,
+        max_workers: "int | None" = None,
+        *,
+        policy: "SupervisorPolicy | None" = None,
+        fault_plans: "Mapping[int, object] | None" = None,
+        result_store_entries: int = 256,
+        context=None,
+    ):
+        cores = os.cpu_count() or 1
+        if max_workers is None:
+            self.max_workers = max(1, cores)
+            #: The skip-pool heuristic: one core means the fork + pickle
+            #: round trip only loses (and loses the shared cache too).
+            self._inline = cores <= 1
+        else:
+            self.max_workers = int(max_workers)
+            if self.max_workers < 1:
+                raise SemanticsError("the worker pool needs at least one worker")
+            self._inline = False
+        self.policy = resolve_supervisor(policy)
+        self._fault_plans = dict(fault_plans or {})
+        if result_store_entries < 0:
+            raise SemanticsError("result_store_entries must be non-negative")
+        self._store_max = int(result_store_entries)
+        self._store: "OrderedDict" = OrderedDict()
+        self._ctx = context
+        self._supervisor: "WorkerSupervisor | None" = None
+        self._backend_id: "int | None" = None
+        self._artifact_memo: dict = {}
+        self._next_request_id = 0
+        self._telemetry = {
+            "redispatches": 0,
+            "store_hits": 0,
+            "inline_fallbacks": 0,
+        }
+        #: Lifecycle counters of supervisors already shut down — kept so
+        #: ``telemetry`` survives ``shutdown()`` (zeroed keys before any
+        #: fleet ever spawns).
+        self._lifecycle_totals = {
+            "spawns": 0,
+            "restarts": 0,
+            "spawn_failures": 0,
+            "crashes": 0,
+            "hangs": 0,
+            "protocol_errors": 0,
+            "heartbeats": 0,
+            "dead_slots": 0,
+        }
+        # Concurrent flushes serialize here: the fleet, the in-flight maps
+        # and the result store are single-owner state.
+        self._run_lock = threading.Lock()
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def telemetry(self) -> dict:
+        """Executor + supervisor lifecycle counters, merged.
+
+        Lifecycle keys are present (zeroed) even before the first pooled
+        run, so consumers never need to special-case a fleet that was
+        never spawned (inline fallback, 1-core heuristic).
+        """
+        merged = dict(self._telemetry)
+        merged.update(self._lifecycle_totals)
+        if self._supervisor is not None:
+            for key, count in self._supervisor.telemetry.items():
+                merged[key] = merged.get(key, 0) + count
+        return merged
+
+    @property
+    def supervisor(self) -> "WorkerSupervisor | None":
+        """The live fleet supervisor (``None`` until the first pooled run)."""
+        return self._supervisor
+
+    # -- the ServiceExecutor seam --------------------------------------------
+
+    def run(self, calls, backend, denote):
+        if not calls:
+            return []
+        if self._inline or _draws_samples(backend):
+            self._telemetry["inline_fallbacks"] += 1
+            return [_guarded_run(call, backend, denote) for call in calls]
+        with self._run_lock:
+            supervisor = self._ensure_supervisor(backend)
+            return self._drain(supervisor, calls, backend)
+
+    def shutdown(self) -> None:
+        if self._supervisor is not None:
+            for key, count in self._supervisor.telemetry.items():
+                self._lifecycle_totals[key] = (
+                    self._lifecycle_totals.get(key, 0) + count
+                )
+            self._supervisor.close()
+            self._supervisor = None
+            self._backend_id = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"WorkerPoolServiceExecutor(max_workers={self.max_workers})"
+
+    # -- supervisor plumbing -------------------------------------------------
+
+    def _ensure_supervisor(self, backend) -> WorkerSupervisor:
+        if self._supervisor is None or self._backend_id != id(backend):
+            if self._supervisor is not None:
+                self.shutdown()  # folds the fleet's counters into totals
+            try:
+                backend_bytes = wire.dumps(backend)
+            except Exception as error:
+                # An unshippable backend is a fleet-level failure: the
+                # service degrades this drain to inline and the breaker
+                # counts it — graceful, not fatal.
+                raise WorkerPoolError(
+                    f"backend {getattr(backend, 'name', backend)!r} cannot be "
+                    f"shipped to workers: {error}"
+                ) from error
+            self._supervisor = WorkerSupervisor(
+                backend_bytes,
+                slots=self.max_workers,
+                policy=self.policy,
+                fault_plans=self._fault_plans,
+                context=self._ctx,
+            )
+            self._backend_id = id(backend)
+        return self._supervisor
+
+    # -- artifacts and the result store --------------------------------------
+
+    def _prepare_unit(self, index: int, call: GroupCall, store_on: bool) -> "_Unit":
+        digest, artifact = self._artifact(call)
+        unit = _Unit(index, call, digest, artifact)
+        if store_on and self._store_max:
+            unit.row_keys = [
+                (call.kind, digest, binding_key(binding), _state_point_key(state))
+                for state, binding in call.inputs
+            ]
+            still_pending = []
+            for row in unit.pending_rows:
+                hit = self._store.get(unit.row_keys[row], _MISS)
+                if hit is _MISS:
+                    still_pending.append(row)
+                else:
+                    self._store.move_to_end(unit.row_keys[row])
+                    unit.results[row] = hit
+                    self._telemetry["store_hits"] += 1
+            unit.pending_rows = still_pending
+        return unit
+
+    def _artifact(self, call: GroupCall) -> "tuple[str, bytes]":
+        """Digest + INSTALL payload of a group's work, memoized by identity."""
+        observable = call.observable
+        if call.kind == "value":
+            key = ("value", id(call.program), id(observable.matrix), observable.targets)
+        else:
+            key = (
+                "derivative",
+                tuple(id(program_set) for program_set in call.program_sets),
+                id(observable.matrix),
+                observable.targets,
+            )
+        hit = self._artifact_memo.get(key)
+        if hit is not None:
+            return hit[1], hit[2]
+        digest = wire.call_digest(
+            call.kind, call.program, call.program_sets, observable
+        )
+        artifact = wire.dumps(
+            (digest, call.kind, call.program, call.program_sets, observable)
+        )
+        # Pin the keyed objects so the id-based key stays valid.
+        self._artifact_memo[key] = (
+            (call.program, call.program_sets, observable),
+            digest,
+            artifact,
+        )
+        return digest, artifact
+
+    def _store_put(self, unit: _Unit, rows: "list[int]") -> None:
+        if unit.row_keys is None:
+            return
+        for row in rows:
+            self._store[unit.row_keys[row]] = unit.results[row]
+            self._store.move_to_end(unit.row_keys[row])
+        while len(self._store) > self._store_max:
+            self._store.popitem(last=False)
+
+    # -- the dispatch loop ---------------------------------------------------
+
+    def _drain(self, supervisor: WorkerSupervisor, calls, backend) -> list:
+        policy = self.policy
+        outcomes: list = [None] * len(calls)
+        supervisor.check_liveness()
+        pending: "deque[_Unit]" = deque()
+        for index, call in enumerate(calls):
+            unit = self._prepare_unit(index, call, store_on=True)
+            if not unit.pending_rows:
+                outcomes[index] = ("ok", unit.results, 0.0)
+            else:
+                pending.append(unit)
+        while pending or any(worker.inflight for worker in supervisor.workers()):
+            supervisor.ensure_fleet()
+            while pending:
+                worker = supervisor.least_loaded(policy.max_inflight)
+                if worker is None:
+                    break
+                self._dispatch(supervisor, worker, pending.popleft(), outcomes, pending)
+            busy = [worker for worker in supervisor.workers() if worker.inflight]
+            if not busy:
+                continue
+            waitables = []
+            for worker in busy:
+                waitables.append(worker.conn)
+                waitables.append(worker.process.sentinel)
+            ready = _wait_for(waitables, self._wait_timeout(busy))
+            for worker in busy:
+                if worker.slot not in supervisor._fleet:
+                    continue  # already retired this round
+                if worker.conn in ready:
+                    self._pump(supervisor, worker, outcomes, pending)
+                elif worker.process.sentinel in ready:
+                    self._worker_lost(supervisor, worker, outcomes, pending, "crash")
+            self._check_hangs(supervisor, outcomes, pending)
+        return outcomes
+
+    def _wait_timeout(self, busy: "list[_Worker]") -> float:
+        call_timeout = self.policy.call_timeout
+        if call_timeout is None:
+            return 0.2
+        now = time.monotonic()
+        nearest = min(
+            dispatch.sent_at + call_timeout
+            for worker in busy
+            for dispatch in worker.inflight.values()
+        )
+        return max(0.0, min(0.2, nearest - now))
+
+    def _dispatch(self, supervisor, worker, unit, outcomes, pending) -> None:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        unit.attempts += 1
+        if unit.attempts > 1:
+            self._telemetry["redispatches"] += 1
+        worker.inflight[request_id] = _Dispatch(unit, time.monotonic())
+        inputs = [unit.call.inputs[row] for row in unit.pending_rows]
+        try:
+            if unit.digest not in worker.installed:
+                wire.send_frame(worker.conn, wire.INSTALL, unit.artifact)
+                worker.installed.add(unit.digest)
+            wire.send_frame(
+                worker.conn,
+                wire.EXECUTE,
+                wire.dumps((request_id, unit.digest, inputs)),
+            )
+        except (OSError, ValueError, EOFError):
+            # Dead pipe at dispatch: the in-flight map already holds the
+            # unit, so the crash path re-dispatches or fails it uniformly.
+            self._worker_lost(supervisor, worker, outcomes, pending, "crash")
+            return
+        worker.last_seen = time.monotonic()
+
+    def _pump(self, supervisor, worker, outcomes, pending) -> None:
+        """Drain every reply a worker has queued up."""
+        try:
+            while worker.conn.poll(0):
+                message_type, payload = wire.recv_frame(worker.conn)
+                now = time.monotonic()
+                if message_type == wire.PONG:
+                    worker.last_seen = now
+                    continue
+                if message_type == wire.RESULT:
+                    request_id, results, seconds = wire.loads(payload)
+                    dispatch = worker.inflight.pop(request_id, None)
+                    if dispatch is None:
+                        raise WireProtocolError(
+                            f"worker answered unknown request {request_id}"
+                        )
+                    unit = dispatch.unit
+                    if len(results) != len(unit.pending_rows):
+                        worker.inflight[request_id] = dispatch
+                        raise WireProtocolError(
+                            f"worker answered {len(results)} rows for a "
+                            f"{len(unit.pending_rows)}-row request"
+                        )
+                    for row, value in zip(unit.pending_rows, results):
+                        unit.results[row] = value
+                    self._store_put(unit, unit.pending_rows)
+                    outcomes[unit.index] = ("ok", unit.results, seconds)
+                    worker.last_seen = now
+                    continue
+                if message_type == wire.ERROR:
+                    request_id, error_bytes, seconds = wire.loads(payload)
+                    dispatch = worker.inflight.pop(request_id, None)
+                    if dispatch is None:
+                        raise WireProtocolError(
+                            f"worker answered unknown request {request_id}"
+                        )
+                    error = wire.decode_error(error_bytes)
+                    outcomes[dispatch.unit.index] = ("error", error, seconds)
+                    worker.last_seen = now
+                    continue
+                raise WireProtocolError(
+                    f"unexpected frame type {message_type} from a worker"
+                )
+        except (EOFError, OSError):
+            self._worker_lost(supervisor, worker, outcomes, pending, "crash")
+        except WireProtocolError as error:
+            self._protocol_violation(supervisor, worker, error, outcomes, pending)
+
+    def _protocol_violation(self, supervisor, worker, error, outcomes, pending) -> None:
+        """A corrupting worker: kill it; its oldest in-flight group fails
+        non-retryably (the garbage is most plausibly its reply), the rest
+        re-dispatch as crash casualties."""
+        dispatches = sorted(worker.inflight.values(), key=lambda d: d.sent_at)
+        worker.inflight.clear()
+        supervisor.retire(worker, "protocol")
+        if dispatches:
+            victim = dispatches[0]
+            outcomes[victim.unit.index] = (
+                "error",
+                WireProtocolError(
+                    f"worker {worker.slot} violated the wire protocol: {error}"
+                ),
+                time.monotonic() - victim.sent_at,
+            )
+            self._recover(supervisor, dispatches[1:], outcomes, pending, "crash")
+
+    def _worker_lost(self, supervisor, worker, outcomes, pending, reason) -> None:
+        """A crashed or hung worker: kill, then re-dispatch its work."""
+        dispatches = sorted(worker.inflight.values(), key=lambda d: d.sent_at)
+        worker.inflight.clear()
+        supervisor.retire(worker, reason)
+        self._recover(supervisor, dispatches, outcomes, pending, reason)
+
+    def _recover(self, supervisor, dispatches, outcomes, pending, reason) -> None:
+        requeue = []
+        for dispatch in dispatches:
+            unit = dispatch.unit
+            if unit.attempts > self.policy.redispatch_limit:
+                if reason == "hang":
+                    error = WorkerTimeoutError(
+                        f"the group exceeded the {self.policy.call_timeout}s "
+                        f"call timeout on {unit.attempts} worker(s)"
+                    )
+                else:
+                    error = WorkerCrashError(
+                        f"{unit.attempts} worker(s) died executing the group"
+                    )
+                outcomes[unit.index] = (
+                    "error",
+                    error,
+                    time.monotonic() - dispatch.sent_at,
+                )
+            else:
+                requeue.append(unit)
+        pending.extendleft(reversed(requeue))
+
+    def _check_hangs(self, supervisor, outcomes, pending) -> None:
+        call_timeout = self.policy.call_timeout
+        if call_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in supervisor.workers():
+            if any(
+                now - dispatch.sent_at > call_timeout
+                for dispatch in worker.inflight.values()
+            ):
+                self._worker_lost(supervisor, worker, outcomes, pending, "hang")
+
+
+_MISS = object()

@@ -221,12 +221,41 @@ class TestFailureIsolation:
         assert service.cache_stats.hits == hits_before + 1
 
 
+def _matrix_executors() -> tuple[str, ...]:
+    """The seeded matrix's executor axis.
+
+    CI's fault-injection job pins one tier per matrix cell through
+    ``REPRO_FAULT_EXECUTOR``; an unset (or unknown) value runs all three.
+    """
+    chosen = os.environ.get("REPRO_FAULT_EXECUTOR")
+    tiers = ("inline", "threads", "workers")
+    return (chosen,) if chosen in tiers else tiers
+
+
+def _matrix_executor(name: str):
+    from repro.service import SupervisorPolicy, WorkerPoolServiceExecutor
+
+    if name == "workers":
+        # Explicit max_workers: the 1-core CI host must still spawn real
+        # processes, and worker-side faults must survive the wire.
+        return WorkerPoolServiceExecutor(
+            max_workers=2, policy=SupervisorPolicy(call_timeout=30.0)
+        )
+    from repro.service import resolve_executor
+
+    return resolve_executor(name)
+
+
 class TestSeededScheduleMatrix:
-    def test_probabilistic_faults_resolve_or_fail_typed(self, estimator, clean):
+    @pytest.mark.parametrize("executor_name", _matrix_executors())
+    def test_probabilistic_faults_resolve_or_fail_typed(
+        self, estimator, clean, executor_name
+    ):
         seed = int(os.environ.get("REPRO_FAULT_SEED", "0"))
         schedule = FaultSchedule.probabilistic(seed, transient=0.15, fatal=0.05)
         service = EstimatorService(
             FaultyBackend(ExactDensityBackend(), schedule),
+            executor=_matrix_executor(executor_name),
             retry=RetryPolicy(attempts=2, base_delay=0.0),
         )
         theta = estimator.parameters[0]
@@ -249,14 +278,17 @@ class TestSeededScheduleMatrix:
                 )
             )
         resolved = failed = 0
-        for handle, expected in expectations:
-            try:
-                observed = handle.result()
-            except ServiceError:
-                failed += 1
-            else:
-                resolved += 1
-                assert abs(observed - expected) <= 1e-10
+        try:
+            for handle, expected in expectations:
+                try:
+                    observed = handle.result(timeout=120)
+                except ServiceError:
+                    failed += 1
+                else:
+                    resolved += 1
+                    assert abs(observed - expected) <= 1e-10
+        finally:
+            service.close()
         assert resolved + failed == len(expectations)
         assert service.stats.completed == resolved
         assert service.stats.failed == failed

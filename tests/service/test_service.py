@@ -31,6 +31,7 @@ from repro.service import (
     ProcessPoolServiceExecutor,
     RequestKind,
     ThreadPoolServiceExecutor,
+    WorkerPoolServiceExecutor,
     resolve_executor,
 )
 
@@ -249,9 +250,15 @@ class TestExecutors:
         assert isinstance(resolve_executor("inline"), InlineExecutor)
         assert isinstance(resolve_executor("threads"), ThreadPoolServiceExecutor)
         assert isinstance(resolve_executor("thread-pool"), ThreadPoolServiceExecutor)
-        assert isinstance(resolve_executor("processes"), ProcessPoolServiceExecutor)
+        assert isinstance(resolve_executor("workers"), WorkerPoolServiceExecutor)
+        assert isinstance(resolve_executor("worker-pool"), WorkerPoolServiceExecutor)
         instance = InlineExecutor()
         assert resolve_executor(instance) is instance
+
+    def test_processes_spelling_is_a_deprecated_worker_pool_alias(self):
+        with pytest.warns(DeprecationWarning, match="spell it 'workers'"):
+            executor = resolve_executor("processes")
+        assert isinstance(executor, WorkerPoolServiceExecutor)
 
     def test_resolve_executor_unknown_name_lists_spellings(self):
         with pytest.raises(SemanticsError, match="inline.*threads.*processes"):

@@ -1,0 +1,357 @@
+"""The worker wire protocol (`repro.service.wire`).
+
+Two properties carry the whole distributed design:
+
+* **Round-trip identity** — every :class:`ExecutionRequest` kind (value,
+  derivative, gradient; qubit and qutrit states; compiled derivative
+  multisets) survives ``encode_request`` → ``decode_request`` with its
+  computation unchanged.  The worker executes the decoded request; if the
+  round trip lost anything, "bit-identical recovery" would be a lie.
+* **Key agreement** — two requests share a wire key
+  (:func:`request_wire_key`, content-addressed) **iff** they share a
+  :class:`~repro.api.cache.DenotationCache` key (identity-addressed, via
+  the planner's group + coalesce keys).  The client's result store and the
+  worker-side install cache both dedupe on the wire key, so disagreement
+  in either direction means wrong reuse or lost reuse.  The equivalence
+  holds over any request pool whose distinct work objects have distinct
+  content — the situation every real submitter is in.
+
+Framing malformations (short frame, truncation, unknown type, CRC
+corruption, oversize claims) must each be a typed
+:class:`~repro.errors.WireProtocolError` — never a wrong value.
+"""
+
+import pickle
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    RemoteExecutionError,
+    SemanticsError,
+    TransientServiceError,
+    WireProtocolError,
+)
+from repro.api import Estimator
+from repro.lang.builder import rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.linalg.observables import pauli_observable
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.sim.statevector import StateVector
+from repro.service import (
+    EstimatorService,
+    ExecutionRequest,
+    decode_request,
+    encode_request,
+    request_wire_key,
+)
+from repro.service import wire
+from repro.service.planner import _state_point_key
+from repro.service.wire import request_cache_key
+
+from tests.conftest import (
+    PARAMETERS,
+    QUBITS,
+    binding_strategy,
+    input_state_strategy,
+    observable_strategy,
+    program_strategy,
+)
+
+THETA, PHI = PARAMETERS
+LAYOUT = RegisterLayout(QUBITS)
+BINDING = ParameterBinding({THETA: 0.37, PHI: -1.1})
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+class TestFraming:
+    @pytest.mark.parametrize("message_type", sorted(wire._MESSAGE_TYPES))
+    def test_round_trip_every_message_type(self, message_type):
+        for payload in (b"", b"x", b"a" * 1000):
+            frame = wire.encode_frame(message_type, payload)
+            assert wire.decode_frame(frame) == (message_type, payload)
+
+    def test_encode_rejects_unknown_type(self):
+        with pytest.raises(SemanticsError):
+            wire.encode_frame(99, b"")
+
+    def test_short_frame_is_a_protocol_violation(self):
+        with pytest.raises(WireProtocolError, match="short frame"):
+            wire.decode_frame(b"\xde\xad\xbe\xef")
+
+    def test_truncated_payload_is_a_protocol_violation(self):
+        frame = wire.encode_frame(wire.RESULT, b"hello world")
+        with pytest.raises(WireProtocolError, match="length mismatch"):
+            wire.decode_frame(frame[:-3])
+
+    def test_unknown_message_type_is_a_protocol_violation(self):
+        frame = bytearray(wire.encode_frame(wire.PING, b""))
+        frame[4] = 200  # the type byte, after the 4-byte length
+        with pytest.raises(WireProtocolError, match="unknown wire message type"):
+            wire.decode_frame(bytes(frame))
+
+    def test_flipped_payload_byte_fails_the_crc(self):
+        frame = bytearray(wire.encode_frame(wire.RESULT, b"hello world"))
+        frame[-1] ^= 0xFF
+        with pytest.raises(WireProtocolError, match="CRC"):
+            wire.decode_frame(bytes(frame))
+
+    def test_oversize_length_claim_is_rejected_before_reading(self):
+        header = struct.pack("!IBI", wire.MAX_FRAME_BYTES + 1, wire.PING, 0)
+        with pytest.raises(WireProtocolError, match="wire limit"):
+            wire.decode_frame(header)
+
+    def test_undecodable_payload_is_a_protocol_violation(self):
+        with pytest.raises(WireProtocolError, match="undecodable"):
+            wire.loads(b"\x00not a pickle")
+
+
+# ---------------------------------------------------------------------------
+# Error transport
+# ---------------------------------------------------------------------------
+
+
+class TestErrorTransport:
+    def test_picklable_error_travels_verbatim(self):
+        original = TransientServiceError("backend hiccup")
+        decoded = wire.decode_error(wire.encode_error(original))
+        assert type(decoded) is TransientServiceError
+        assert str(decoded) == "backend hiccup"
+        assert decoded.retryable is True
+
+    def test_unpicklable_error_degrades_to_a_summary(self):
+        class LocalFailure(Exception):  # class unreachable by pickle
+            retryable = True
+
+        try:
+            raise LocalFailure("cannot cross the wire whole")
+        except LocalFailure as error:
+            decoded = wire.decode_error(wire.encode_error(error))
+        assert isinstance(decoded, RemoteExecutionError)
+        assert "LocalFailure" in str(decoded)
+        assert decoded.retryable is True  # the original's flag is mirrored
+        assert "cannot cross the wire whole" in decoded.remote_traceback
+
+
+# ---------------------------------------------------------------------------
+# Request round-trips
+# ---------------------------------------------------------------------------
+
+
+def _assert_same_computation(decoded, request):
+    """The decoded request denotes the same computation as the original.
+
+    Field-for-field equality plus *execution identity*: both requests run
+    through the deterministic inline service and must produce the same
+    bits.  (Wire-key equality across a round trip is deliberately NOT
+    asserted here: pickle bytes are identity-sensitive — the unpickler
+    interns short strings the source graph held as equal-but-distinct
+    objects — so content digests are only canonical within one process,
+    which is the only place the executor ever compares them.)
+    """
+    assert decoded.kind is request.kind
+    assert decoded.priority == request.priority
+    assert decoded.observable == request.observable
+    assert _state_point_key(decoded.state) == _state_point_key(request.state)
+    if request.binding is None:
+        assert decoded.binding is None
+    else:
+        assert decoded.binding.to_dict() == request.binding.to_dict()
+    service = EstimatorService(backend="exact")
+    handles = [service.submit(r) for r in (request, decoded)]
+    original, round_tripped = [h.result() for h in handles]
+    assert np.array_equal(np.asarray(original), np.asarray(round_tripped))
+
+
+class TestRequestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        program=program_strategy(max_depth=2),
+        observable=observable_strategy(),
+        state=input_state_strategy(),
+        binding=binding_strategy(),
+        priority=st.integers(min_value=-5, max_value=5),
+    )
+    def test_value_requests(self, program, observable, state, binding, priority):
+        request = ExecutionRequest.value(
+            program, observable, state, binding, priority=priority
+        )
+        decoded = decode_request(encode_request(request))
+        assert decoded.program_sets is None
+        _assert_same_computation(decoded, request)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        program=program_strategy(max_depth=2),
+        observable=observable_strategy(),
+        state=input_state_strategy(),
+        binding=binding_strategy(),
+    )
+    def test_derivative_and_gradient_requests(
+        self, program, observable, state, binding
+    ):
+        estimator = Estimator(program, observable)
+        sets = tuple(estimator.program_set(p) for p in estimator.parameters)
+        requests = [ExecutionRequest.gradient(sets, observable, state, binding)]
+        if sets:  # an unparameterized draw still exercises the empty row
+            requests.append(
+                ExecutionRequest.derivative(sets[0], observable, state, binding)
+            )
+        for request in requests:
+            decoded = decode_request(encode_request(request))
+            assert decoded.program is None
+            assert len(decoded.program_sets) == len(request.program_sets)
+            _assert_same_computation(decoded, request)
+
+    def test_qutrit_state_round_trips(self):
+        layout = RegisterLayout(("q1", "t1"), {"q1": 2, "t1": 3})
+        state = DensityState.basis_state(layout, {"q1": 0, "t1": 2})
+        observable = np.diag([1.0, 0.5, -1.0, -0.5, 0.0, 1.0]).astype(complex)
+        request = ExecutionRequest.value(
+            seq([rx(THETA, "q1")]), observable, state, ParameterBinding({THETA: 0.3})
+        )
+        decoded = decode_request(encode_request(request))
+        _assert_same_computation(decoded, request)
+        assert decoded.state.layout.dims == (2, 3)
+
+    def test_statevector_state_round_trips(self):
+        state = StateVector.basis_state(LAYOUT, {"q1": 1, "q2": 0})
+        request = ExecutionRequest.value(
+            seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2")]), ZZ, state, BINDING
+        )
+        decoded = decode_request(encode_request(request))
+        _assert_same_computation(decoded, request)
+        assert isinstance(decoded.state, StateVector)
+
+    def test_deadline_is_dropped_by_design(self):
+        request = ExecutionRequest.value(
+            seq([rx(THETA, "q1")]), ZZ, DensityState.basis_state(LAYOUT, {}),
+            BINDING, timeout=30.0,
+        )
+        assert request.deadline is not None
+        decoded = decode_request(encode_request(request))
+        assert decoded.deadline is None  # client clock never crosses the wire
+
+    def test_garbage_payload_is_a_protocol_violation(self):
+        with pytest.raises(WireProtocolError):
+            decode_request(wire.dumps(("not", "a", "request")))
+
+    def test_version_mismatch_is_a_protocol_violation(self):
+        request = ExecutionRequest.value(
+            seq([rx(THETA, "q1")]), ZZ, DensityState.basis_state(LAYOUT, {}), BINDING
+        )
+        payload = list(pickle.loads(encode_request(request)))
+        payload[1] = wire.WIRE_VERSION + 1
+        with pytest.raises(WireProtocolError, match="version"):
+            decode_request(wire.dumps(tuple(payload)))
+
+
+# ---------------------------------------------------------------------------
+# Wire key <=> cache key agreement
+# ---------------------------------------------------------------------------
+
+# A fixed pool whose distinct work objects have distinct *content* (three
+# structurally different programs, two observables), shared across draws so
+# that repeats reuse the same object — the regime where identity keys and
+# content keys must induce the same partition.
+_POOL_PROGRAMS = (
+    seq([rx(THETA, "q1")]),
+    seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2")]),
+    seq([ry(0.25, "q2"), rx(THETA, "q1")]),
+)
+_POOL_OBSERVABLES = (pauli_observable("ZZ"), pauli_observable("XX"))
+_POOL_STATES = tuple(
+    DensityState.basis_state(LAYOUT, {"q1": i % 2, "q2": (i // 2) % 2})
+    for i in range(3)
+)
+_POOL_BINDINGS = (
+    ParameterBinding({THETA: 0.1, PHI: 0.2}),
+    ParameterBinding({THETA: 0.1, PHI: 0.3}),
+)
+_POOL_ESTIMATORS = tuple(
+    Estimator(program, observable)
+    for program in _POOL_PROGRAMS[:2]
+    for observable in _POOL_OBSERVABLES
+)
+
+
+def _pool_request(kind, work_index, observable_index, state_index, binding_index):
+    state = _POOL_STATES[state_index]
+    binding = _POOL_BINDINGS[binding_index]
+    if kind == "value":
+        return ExecutionRequest.value(
+            _POOL_PROGRAMS[work_index % len(_POOL_PROGRAMS)],
+            _POOL_OBSERVABLES[observable_index],
+            state,
+            binding,
+        )
+    estimator = _POOL_ESTIMATORS[work_index % len(_POOL_ESTIMATORS)]
+    sets = tuple(estimator.program_set(p) for p in estimator.parameters)
+    if kind == "derivative":
+        return ExecutionRequest.derivative(
+            sets[0], estimator._spec(), state, binding
+        )
+    return ExecutionRequest.gradient(sets, estimator._spec(), state, binding)
+
+
+_REQUEST_DRAW = st.tuples(
+    st.sampled_from(("value", "derivative", "gradient")),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=1),
+)
+
+
+class TestKeyAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(left=_REQUEST_DRAW, right=_REQUEST_DRAW)
+    def test_wire_key_iff_denotation_cache_key(self, left, right):
+        a, b = _pool_request(*left), _pool_request(*right)
+        assert (request_wire_key(a) == request_wire_key(b)) == (
+            request_cache_key(a) == request_cache_key(b)
+        )
+
+    def test_same_request_twice_shares_both_keys(self):
+        a = _pool_request("value", 0, 0, 0, 0)
+        b = _pool_request("value", 0, 0, 0, 0)
+        assert request_wire_key(a) == request_wire_key(b)
+        assert request_cache_key(a) == request_cache_key(b)
+
+    def test_binding_values_split_the_key(self):
+        a = _pool_request("value", 0, 0, 0, 0)
+        b = _pool_request("value", 0, 0, 0, 1)
+        assert request_wire_key(a) != request_wire_key(b)
+        assert request_cache_key(a) != request_cache_key(b)
+
+    def test_derivative_and_single_set_gradient_share_a_row(self):
+        # A DERIVATIVE over one multiset and a GRADIENT whose axis is that
+        # same one-set tuple denote the same batch row: one wire key.
+        estimator = Estimator(seq([rx(THETA, "q1")]), pauli_observable("ZZ"))
+        (program_set,) = (estimator.program_set(THETA),)
+        state, binding = _POOL_STATES[0], _POOL_BINDINGS[0]
+        derivative = ExecutionRequest.derivative(
+            program_set, estimator._spec(), state, binding
+        )
+        gradient = ExecutionRequest.gradient(
+            (program_set,), estimator._spec(), state, binding
+        )
+        assert request_wire_key(derivative) == request_wire_key(gradient)
+
+    def test_wire_key_is_content_addressed_across_processes(self):
+        # The same request rebuilt from its wire bytes — new object
+        # identities everywhere — keeps its wire key: that is what lets a
+        # respawned worker's install cache and the client's result store
+        # recognize work they have seen before.
+        request = _pool_request("value", 1, 1, 2, 0)
+        decoded = decode_request(encode_request(request))
+        assert request_wire_key(decoded) == request_wire_key(request)

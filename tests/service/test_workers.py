@@ -1,0 +1,426 @@
+"""The supervised worker pool (`repro.service.workers`).
+
+The fault matrix this file proves: a worker killed, hung, or replying
+garbage at *any* protocol phase (receive / execute / reply) yields either
+bit-identical recovery (the group re-dispatched to a healthy worker
+produces exactly the fault-free bits) or a typed
+:class:`~repro.errors.ServiceError` — never a wrong value, never a stuck
+handle, never a poisoned cache.  Sibling groups of the same drain are
+unaffected; a fleet that cannot spawn at all degrades the service to the
+inline executor and the run still completes.
+
+Everything here uses an explicit ``max_workers=2`` — on the 1-core CI
+host the default worker pool (correctly) skips process spawning, and
+these tests exist to exercise real processes, real pipes, real deaths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    SemanticsError,
+    ServiceError,
+    WireProtocolError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.lang.builder import rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import Estimator, ExactDensityBackend, ShotSamplingBackend
+from repro.service import (
+    EstimatorService,
+    RetryPolicy,
+    SupervisorPolicy,
+    WorkerFaultPlan,
+    WorkerPoolServiceExecutor,
+    resolve_supervisor,
+)
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.37, PHI: -1.1})
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+#: Supervisor tuned for tests: fast restarts, a short call timeout so
+#: hung workers are detected in test time, frequent heartbeats.
+FAST = SupervisorPolicy(
+    restart=RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0),
+    heartbeat_interval=0.2,
+    heartbeat_timeout=2.0,
+    call_timeout=3.0,
+    spawn_timeout=20.0,
+)
+
+
+def _program():
+    return seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(0.4, "q2")])
+
+
+def _other_program():
+    return seq([ry(PHI, "q2"), rx(THETA, "q1")])
+
+
+def _state(index: int = 0) -> DensityState:
+    return DensityState.basis_state(LAYOUT, {"q1": index % 2, "q2": (index // 2) % 2})
+
+
+@pytest.fixture(scope="module")
+def estimator() -> Estimator:
+    return Estimator(_program(), ZZ)
+
+
+@pytest.fixture(scope="module")
+def sibling() -> Estimator:
+    return Estimator(_other_program(), ZZ)
+
+
+@pytest.fixture(scope="module")
+def clean(estimator, sibling):
+    """Fault-free bits, straight off the inline executor."""
+    service = EstimatorService(backend="exact")
+    values = [
+        service.submit(estimator.request_value(_state(i), BINDING))
+        for i in range(4)
+    ]
+    other = service.submit(sibling.request_value(_state(), BINDING))
+    gradient = service.submit(estimator.request_gradient(_state(), BINDING))
+    return {
+        "values": [handle.result() for handle in values],
+        "sibling": other.result(),
+        "gradient": gradient.result(),
+    }
+
+
+def _pool(fault_plans=None, policy=FAST, **kwargs):
+    return WorkerPoolServiceExecutor(
+        max_workers=2, policy=policy, fault_plans=fault_plans, **kwargs
+    )
+
+
+class TestWorkerFaultPlan:
+    def test_phase_is_validated(self):
+        with pytest.raises(SemanticsError):
+            WorkerFaultPlan(kill_on_call=0, phase="teleport")
+
+    def test_rates_are_validated(self):
+        with pytest.raises(SemanticsError):
+            WorkerFaultPlan(kill_rate=1.5)
+        with pytest.raises(SemanticsError):
+            WorkerFaultPlan(kill_rate=0.7, hang_rate=0.7)
+
+    def test_scripted_indices_are_validated(self):
+        with pytest.raises(SemanticsError):
+            WorkerFaultPlan(kill_on_call=-1)
+
+    def test_rng_exists_only_for_probabilistic_plans(self):
+        assert WorkerFaultPlan(kill_on_call=0).rng() is None
+        assert WorkerFaultPlan(kill_rate=0.1, seed=7).rng() is not None
+
+    def test_scripted_action_fires_on_its_call_and_phase(self):
+        plan = WorkerFaultPlan(kill_on_call=1, phase="reply")
+        assert plan.action_for(0, "reply", None) is None
+        assert plan.action_for(1, "execute", None) is None
+        assert plan.action_for(1, "reply", None) == "kill"
+
+    def test_probabilistic_draws_are_seed_reproducible(self):
+        plans = [WorkerFaultPlan(kill_rate=0.4, seed=3) for _ in range(2)]
+        draws = [
+            [plan.action_for(i, "execute", plan.rng()) for i in range(30)]
+            for plan in plans
+        ]
+        # Same seed, same stream; and at 0.4 over 30 calls some draw fired.
+        assert draws[0] == draws[1]
+        assert "kill" in draws[0]
+
+
+class TestSupervisorPolicy:
+    def test_defaults_resolve(self):
+        policy = resolve_supervisor(None)
+        assert policy.redispatch_limit >= 1
+        assert resolve_supervisor(policy) is policy
+
+    def test_bad_spec_is_rejected(self):
+        with pytest.raises(SemanticsError):
+            resolve_supervisor("aggressive")
+        with pytest.raises(SemanticsError):
+            SupervisorPolicy(max_inflight=0)
+        with pytest.raises(SemanticsError):
+            SupervisorPolicy(heartbeat_interval=-1.0)
+
+
+class TestBitIdenticalBaseline:
+    def test_matches_inline_bitwise_without_faults(self, estimator, clean):
+        executor = _pool()
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handles = [
+                service.submit(estimator.request_value(_state(i), BINDING))
+                for i in range(4)
+            ]
+            gradient = service.submit(estimator.request_gradient(_state(), BINDING))
+            assert [h.result(timeout=60) for h in handles] == clean["values"]
+            assert np.array_equal(gradient.result(timeout=60), clean["gradient"])
+        finally:
+            service.close()
+
+    def test_result_store_serves_repeat_requests_without_dispatch(
+        self, estimator, clean
+    ):
+        executor = _pool()
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            first = service.submit(estimator.request_value(_state(), BINDING))
+            assert first.result(timeout=60) == clean["values"][0]
+            # A later drain of the same point is served from the client-side
+            # content-addressed store — same bits, no wire round trip.
+            again = service.submit(estimator.request_value(_state(), BINDING))
+            assert again.result(timeout=60) == clean["values"][0]
+            assert executor.telemetry["store_hits"] >= 1
+        finally:
+            service.close()
+
+    def test_sampling_backends_stay_inline(self):
+        # Shipping a pickled RNG snapshot to two workers would replay
+        # correlated sample streams; the pool must refuse to try.
+        executor = _pool()
+        service = EstimatorService(
+            ShotSamplingBackend(precision=0.5, rng=np.random.default_rng(11)),
+            executor=executor,
+        )
+        try:
+            estimator = Estimator(_program(), ZZ)
+            handle = service.submit(estimator.request_value(_state(), BINDING))
+            assert np.isfinite(handle.result(timeout=60))
+            assert executor.telemetry["inline_fallbacks"] >= 1
+            assert executor.telemetry["spawns"] == 0
+        finally:
+            service.close()
+
+
+#: The tentpole matrix: (fault kind, protocol phase) -> recovery shape.
+#: Kills and hangs are transient (the group re-dispatches, bits must
+#: match); a corrupt frame is a protocol violation (typed, non-retryable).
+_TRANSIENT_MATRIX = [
+    ("kill", "receive"),
+    ("kill", "execute"),
+    ("kill", "reply"),
+    ("hang", "receive"),
+    ("hang", "execute"),
+    ("hang", "reply"),
+]
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("fault,phase", _TRANSIENT_MATRIX)
+    def test_transient_faults_recover_bit_identically(
+        self, fault, phase, estimator, sibling, clean
+    ):
+        kwargs = {f"{fault}_on_call": 0, "phase": phase}
+        if fault == "hang":
+            kwargs["hang_s"] = 30.0  # far beyond call_timeout; SIGTERM ends it
+        plans = {0: WorkerFaultPlan(**kwargs), 1: WorkerFaultPlan(**kwargs)}
+        executor = _pool(fault_plans=plans)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handles = [
+                service.submit(estimator.request_value(_state(i), BINDING))
+                for i in range(4)
+            ]
+            other = service.submit(sibling.request_value(_state(), BINDING))
+            assert [h.result(timeout=120) for h in handles] == clean["values"]
+            assert other.result(timeout=120) == clean["sibling"]
+            telemetry = executor.telemetry
+            assert telemetry["redispatches"] >= 1
+            assert telemetry[{"kill": "crashes", "hang": "hangs"}[fault]] >= 1
+            assert telemetry["restarts"] >= 1
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("phase", ["receive", "execute", "reply"])
+    def test_corrupt_frames_fail_typed_and_siblings_complete(
+        self, phase, estimator, sibling, clean
+    ):
+        # Only slot 0 replies garbage (once); slot 1 is healthy, so the
+        # drain's other group must complete with clean bits.
+        plans = {0: WorkerFaultPlan(corrupt_on_call=0, phase=phase)}
+        executor = _pool(fault_plans=plans)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handles = [
+                service.submit(estimator.request_value(_state(i), BINDING))
+                for i in range(4)
+            ]
+            other = service.submit(sibling.request_value(_state(), BINDING))
+            resolved, failed = [], []
+            for handle in handles + [other]:
+                error = handle.exception(timeout=120)
+                (failed if error is not None else resolved).append(
+                    error if error is not None else handle.result()
+                )
+            # Exactly one group hit the corrupted frame: its handles fail
+            # with the typed protocol error, everything else matches the
+            # fault-free bits exactly.
+            assert failed and all(
+                isinstance(error, WireProtocolError) for error in failed
+            )
+            reference = clean["values"] + [clean["sibling"]]
+            assert resolved and all(value in reference for value in resolved)
+            assert executor.telemetry["protocol_errors"] >= 1
+            # The service's denotation cache holds no stuck single-flight
+            # markers — re-requesting on the same service cannot deadlock.
+            assert service.cache._in_flight == {}
+        finally:
+            service.close()
+
+    def test_persistent_crasher_exhausts_redispatch_typed(self, estimator):
+        # Every generation of both slots dies on its first EXECUTE: the
+        # group can never complete, so after `redispatch_limit` recoveries
+        # it must fail with the typed transient error — not loop forever.
+        plan = WorkerFaultPlan(kill_on_call=0, phase="execute", every_generation=True)
+        policy = SupervisorPolicy(
+            restart=RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0),
+            call_timeout=5.0,
+            redispatch_limit=2,
+        )
+        executor = _pool(fault_plans={0: plan, 1: plan}, policy=policy)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handle = service.submit(estimator.request_value(_state(), BINDING))
+            with pytest.raises(WorkerCrashError):
+                handle.result(timeout=120)
+            assert executor.telemetry["redispatches"] >= policy.redispatch_limit
+        finally:
+            service.close()
+
+    def test_persistent_hang_exhausts_redispatch_typed(self, estimator):
+        plan = WorkerFaultPlan(
+            hang_on_call=0, phase="execute", hang_s=30.0, every_generation=True
+        )
+        policy = SupervisorPolicy(
+            restart=RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0),
+            call_timeout=0.5,
+            redispatch_limit=1,
+        )
+        executor = _pool(fault_plans={0: plan, 1: plan}, policy=policy)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handle = service.submit(estimator.request_value(_state(), BINDING))
+            with pytest.raises(WorkerTimeoutError):
+                handle.result(timeout=120)
+            assert executor.telemetry["hangs"] >= 1
+        finally:
+            service.close()
+
+    def test_idle_crash_is_detected_and_the_next_drain_recovers(
+        self, estimator, clean
+    ):
+        executor = _pool()
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            first = service.submit(estimator.request_value(_state(), BINDING))
+            assert first.result(timeout=60) == clean["values"][0]
+            # Kill a worker *between* drains — the next drain's liveness
+            # sweep retires the corpse and respawns before dispatching.
+            victim = executor.supervisor.workers()[0]
+            victim.process.terminate()
+            victim.process.join(timeout=10)
+            again = service.submit(estimator.request_value(_state(1), BINDING))
+            assert again.result(timeout=60) == clean["values"][1]
+            assert executor.telemetry["restarts"] >= 1
+        finally:
+            service.close()
+
+
+class TestFleetDeathDegradation:
+    def test_unspawnable_fleet_degrades_to_inline_and_completes(
+        self, estimator, clean
+    ):
+        plan = WorkerFaultPlan(exit_on_spawn=True, every_generation=True)
+        policy = SupervisorPolicy(
+            restart=RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02, jitter=0.0),
+            spawn_timeout=10.0,
+        )
+        executor = _pool(fault_plans={0: plan, 1: plan}, policy=policy)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handles = [
+                service.submit(estimator.request_value(_state(i), BINDING))
+                for i in range(4)
+            ]
+            # Degraded, not dead: every handle resolves to the clean bits.
+            assert [h.result(timeout=120) for h in handles] == clean["values"]
+            assert service.stats.degraded >= 1
+            assert executor.telemetry["spawn_failures"] >= 2
+            assert executor.telemetry["dead_slots"] == 2
+        finally:
+            service.close()
+
+    def test_unpicklable_backend_degrades_instead_of_crashing(self, clean):
+        backend = ExactDensityBackend()
+        backend.probe = lambda: None  # closures cannot cross the wire
+        executor = _pool()
+        service = EstimatorService(backend, executor=executor)
+        try:
+            estimator = Estimator(_program(), ZZ)
+            handle = service.submit(estimator.request_value(_state(), BINDING))
+            assert handle.result(timeout=60) == clean["values"][0]
+            assert service.stats.degraded >= 1
+            assert executor.telemetry["spawns"] == 0
+        finally:
+            service.close()
+
+
+class TestServiceTelemetryHarvest:
+    def test_stats_absorb_redispatches_and_restarts(self, estimator, clean):
+        plans = {0: WorkerFaultPlan(kill_on_call=0, phase="execute")}
+        executor = _pool(fault_plans=plans)
+        service = EstimatorService(ExactDensityBackend(), executor=executor)
+        try:
+            handles = [
+                service.submit(estimator.request_value(_state(i), BINDING))
+                for i in range(4)
+            ]
+            assert [h.result(timeout=120) for h in handles] == clean["values"]
+            assert service.stats.redispatches >= 1
+            assert service.stats.worker_restarts >= 1
+        finally:
+            service.close()
+
+
+class TestWorkerStorm:
+    def test_many_sessions_bounded_queue_no_starvation(self, clean):
+        # The storm smoke: several sessions racing submissions through a
+        # bounded queue.  Backpressure must flush (never reject, never
+        # deadlock) and every handle must resolve to the clean bits.
+        executor = _pool()
+        service = EstimatorService(
+            ExactDensityBackend(), executor=executor, max_queue_depth=3
+        )
+        estimators = [Estimator(_program(), ZZ), Estimator(_other_program(), ZZ)]
+        reference_service = EstimatorService(backend="exact")
+        references = {
+            (e, i): reference_service.submit(
+                estimators[e].request_value(_state(i), BINDING)
+            ).result()
+            for e in range(2)
+            for i in range(4)
+        }
+        try:
+            handles = []
+            for round_index in range(3):
+                for session_index, estimator in enumerate(estimators):
+                    with service.session(name=f"s{session_index}") as session:
+                        handles.extend(
+                            (session.submit(estimator.request_value(_state(i), BINDING)),
+                             (session_index, i))
+                            for i in range(4)
+                        )
+            for handle, key in handles:
+                assert handle.result(timeout=120) == references[key]
+            assert service.stats.backpressure_flushes >= 1
+            assert service.stats.failed == 0
+        finally:
+            service.close()

@@ -23,24 +23,24 @@ def test_bound_on_every_table3_instance(benchmark):
     def compute():
         rows = {}
         for instance in table3_suite():
-            oc = occurrence_count(instance.program, instance.shared_parameter)
-            count = derivative_program_count(instance.program, instance.shared_parameter)
-            rows[instance.label] = (oc, count, instance.variant)
+            check = check_resource_bound(instance.program, instance.shared_parameter)
+            rows[instance.label] = (check, instance.variant)
         return rows
 
     rows = benchmark.pedantic(compute, rounds=1, iterations=1)
     lines = [f"{'instance':10s} {'OC':>6s} {'|#∂θ1|':>8s} {'slack':>7s}"]
-    for label, (oc, count, variant) in rows.items():
-        assert count <= oc, f"{label} violates Proposition 7.2"
+    for label, (check, variant) in rows.items():
+        oc, count, slack = check
+        assert check, f"{label} violates Proposition 7.2"
         if variant in ("b", "s", "i"):
-            assert count == oc, f"{label}: bound should be tight for the {variant} variant"
+            assert slack == 0, f"{label}: bound should be tight for the {variant} variant"
         else:
-            assert count < oc, f"{label}: while variants prune aborting unrollings"
-        lines.append(f"{label:10s} {oc:6d} {count:8d} {oc - count:7d}")
+            assert slack > 0, f"{label}: while variants prune aborting unrollings"
+        lines.append(f"{label:10s} {oc:6d} {count:8d} {slack:7d}")
         record_result(
             "resource_bound",
             label,
-            {"OC": oc, "derivative_programs": count, "slack": oc - count},
+            {"OC": oc, "derivative_programs": count, "slack": slack},
         )
     register_report(
         "Proposition 7.2 — occurrence count vs non-aborting derivative programs",

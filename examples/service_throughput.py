@@ -109,6 +109,44 @@ def main() -> None:
     print(f"  cache-hot repeat        : {repeat_s * 1000:8.1f} ms "
           f"({per_call_s / repeat_s:.0f}x vs the per-call loop)")
 
+    # The cost model's predicted flops per tier, next to the measured wall
+    # time: the numbers admission control and group ordering decide on.
+    print("  predicted cost per tier :")
+    for tier, flops in sorted(stats.predicted.items()):
+        print(f"    {tier:24s} {flops:12.3g} model flops")
+
+    # ---- admission control: a budgeted service rejects the long pole -----
+    # A max_cost between a value's and a gradient's predicted cost admits
+    # the cheap requests and refuses the expensive one *before* it is
+    # queued — the handle fails with a typed, non-retryable
+    # ResourceLimitError and the siblings' bits are untouched.
+    from repro.errors import ResourceLimitError
+    from repro.service import request_cost
+
+    classifier = classifiers[0]
+    estimator = estimators[classifier.name]
+    binding = bindings[classifier.name]
+    state = classifier.input_statevector(workload[0][0])
+    value_cost = request_cost(estimator.request_value(state, binding))
+    gradient_cost = request_cost(estimator.request_gradient(state, binding))
+    budgeted = EstimatorService(
+        backend="auto", max_cost=(value_cost + gradient_cost) / 2.0
+    )
+    admitted = budgeted.submit(estimator.request_value(state, binding))
+    refused = budgeted.submit(estimator.request_gradient(state, binding))
+    admitted.result()
+    try:
+        refused.result()
+    except ResourceLimitError as error:
+        verdict = f"rejected ({error.predicted_cost:.3g} > {error.max_cost:.3g})"
+    else:  # pragma: no cover - the budget above guarantees rejection
+        verdict = "unexpectedly admitted"
+    print(f"  budgeted service        : max_cost={budgeted.max_cost:.3g} model flops")
+    print(f"    value request         : admitted ({value_cost:.3g})")
+    print(f"    gradient request      : {verdict}")
+    print(f"    rejected counter      : {budgeted.stats.rejected} of "
+          f"{budgeted.stats.submitted} submissions")
+
 
 if __name__ == "__main__":
     main()

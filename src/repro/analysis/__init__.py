@@ -13,9 +13,35 @@
   branching / density-only) with a static branch-count bound, consulted by
   :class:`repro.api.StatevectorBackend` to pick the ``O(2^n)`` pure-state
   tier or the ``O(B · 2^n)`` branch-splitting trajectory tier over the
-  ``O(4^n)`` density simulator.
+  ``O(4^n)`` density simulator;
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` /
+  :class:`DiagnosticBag` vocabulary every analysis reports findings in;
+* :mod:`repro.analysis.lint` — the registered static checks (``RPR001`` …)
+  behind :func:`lint_program` and the ``python -m repro.analysis`` CLI;
+* :mod:`repro.analysis.cost` — the per-tier abstract-interpretation cost
+  model (:func:`cost_report`) whose upper bounds drive
+  ``StatevectorBackend.explain_tier``, cost-ordered service planning, and
+  ``EstimatorService(max_cost=...)`` admission control.
 """
 
+from repro.analysis.cost import (
+    CostInterval,
+    CostReport,
+    TierCost,
+    cost_report,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+)
+from repro.analysis.lint import (
+    LintContext,
+    LintRule,
+    all_rules,
+    lint_program,
+    rule,
+)
 from repro.analysis.resources import (
     occurrence_count,
     derivative_program_count,
@@ -26,6 +52,7 @@ from repro.analysis.resources import (
     analyze_program,
 )
 from repro.analysis.verification import (
+    ResourceBoundCheck,
     check_resource_bound,
     check_operational_denotational_agreement,
 )
@@ -39,6 +66,19 @@ from repro.analysis.purity import (
 )
 
 __all__ = [
+    "CostInterval",
+    "CostReport",
+    "Diagnostic",
+    "DiagnosticBag",
+    "LintContext",
+    "LintRule",
+    "ResourceBoundCheck",
+    "Severity",
+    "TierCost",
+    "all_rules",
+    "cost_report",
+    "lint_program",
+    "rule",
     "PurityReport",
     "SimulationClass",
     "SimulationReport",

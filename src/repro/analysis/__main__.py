@@ -1,0 +1,112 @@
+"""``python -m repro.analysis`` — lint program files from the command line.
+
+Parses each argument (a ``.qw`` program file, or a directory searched
+recursively for ``*.qw``) via :mod:`repro.lang.parser`, runs every
+registered lint rule, prints the findings one per line, and exits nonzero
+when any error-severity finding is present (``--strict`` escalates *any*
+finding to a failure).  Parse failures are reported as ``RPR000`` errors
+rather than tracebacks, so a corpus sweep reports every broken file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticBag, Severity
+from repro.analysis.lint import all_rules, lint_program
+from repro.errors import ReproError
+from repro.lang.parser import parse_program
+
+__all__ = ["main"]
+
+
+def _collect_files(arguments: Iterable[str]) -> list[Path]:
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.qw")))
+        else:
+            files.append(path)
+    return files
+
+
+def _lint_file(path: Path) -> DiagnosticBag:
+    source = str(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        bag = DiagnosticBag()
+        bag.report(
+            Severity.ERROR, "RPR000", f"cannot read file: {error}", source=source
+        )
+        return bag
+    try:
+        program = parse_program(text)
+    except ReproError as error:
+        bag = DiagnosticBag()
+        bag.report(
+            Severity.ERROR, "RPR000", f"parse error: {error}", source=source
+        )
+        return bag
+    return lint_program(program, source=source)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint quantum while-programs (see repro.analysis.lint for the rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="FILE|DIR",
+        help="program files (.qw) or directories searched recursively",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero on any finding, not only errors",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule table and exit",
+    )
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for registered in all_rules():
+            print(f"{registered.code}  {registered.severity.label:7s}  {registered.name}")
+        return 0
+    if not options.paths:
+        parser.error("no input files (pass program files or directories)")
+
+    files = _collect_files(options.paths)
+    if not files:
+        print("no .qw program files found", file=sys.stderr)
+        return 1
+
+    findings: list[Diagnostic] = []
+    for path in files:
+        bag = _lint_file(path)
+        for diagnostic in bag:
+            findings.append(diagnostic)
+            print(diagnostic.format())
+
+    errors = sum(1 for d in findings if d.severity >= Severity.ERROR)
+    warnings = sum(1 for d in findings if d.severity == Severity.WARNING)
+    print(
+        f"checked {len(files)} file(s): {errors} error(s), {warnings} warning(s)",
+        file=sys.stderr,
+    )
+    if errors or (options.strict and findings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

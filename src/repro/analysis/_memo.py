@@ -1,0 +1,100 @@
+"""Identity-keyed memoization that survives ``id`` reuse.
+
+Several analyses memoize per-program verdicts keyed by ``id(program)``:
+ASTs are immutable, backends consult the analyses on every execution, and
+hashing a deep tree on the hot path would cost more than the analysis
+itself.  The historical implementation *pinned* the program object inside
+the memo entry so a live key could never alias a recycled ``id`` — at the
+price of keeping dead programs (and everything they reference) alive until
+FIFO eviction.
+
+:class:`IdentityMemo` keeps the O(1) ``id`` key but holds the program via a
+weak reference instead of pinning it:
+
+* ``get`` validates that the stored referent is *the same object* as the
+  probe, so a recycled ``id`` (a new program allocated at a dead program's
+  address) can never be served a stale verdict;
+* when a key object is collected, a weakref callback eagerly drops its
+  entry, so the memo's footprint tracks the set of *live* programs;
+* a FIFO bound still caps the table for workloads that churn through
+  many long-lived programs.
+
+Program nodes are frozen dataclasses without ``__slots__``, so they are
+weak-referenceable; anything that is not silently bypasses the memo.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Any, Generic, Iterator, TypeVar
+
+__all__ = ["IdentityMemo"]
+
+_V = TypeVar("_V")
+
+
+class IdentityMemo(Generic[_V]):
+    """A bounded ``id``-keyed memo with weakref-validated entries."""
+
+    __slots__ = ("_entries", "_limit", "__weakref__")
+
+    def __init__(self, limit: int = 8192) -> None:
+        if limit < 1:
+            raise ValueError(f"memo limit must be positive, got {limit}")
+        self._entries: OrderedDict[int, tuple[weakref.ref, _V]] = OrderedDict()
+        self._limit = limit
+
+    def get(self, obj: Any) -> _V | None:
+        """The memoized value for *this exact object*, else ``None``."""
+        entry = self._entries.get(id(obj))
+        if entry is None:
+            return None
+        if entry[0]() is not obj:
+            # The id was recycled by a different (or dead) object: the
+            # stored verdict belongs to someone else.  Drop it.
+            self._entries.pop(id(obj), None)
+            return None
+        return entry[1]
+
+    def put(self, obj: Any, value: _V) -> _V:
+        """Store ``value`` for ``obj``; returns ``value`` for chaining."""
+        key = id(obj)
+        try:
+            ref = weakref.ref(obj, self._make_callback(key))
+        except TypeError:
+            # Not weak-referenceable — caching would risk serving a stale
+            # entry after id reuse, so skip the memo entirely.
+            return value
+        while len(self._entries) >= self._limit:
+            self._entries.popitem(last=False)
+        self._entries[key] = (ref, value)
+        return value
+
+    def _make_callback(self, key: int):
+        selfref = weakref.ref(self)
+
+        def _on_collect(dead: weakref.ref) -> None:
+            memo = selfref()
+            if memo is None:
+                return
+            entry = memo._entries.get(key)
+            # Only drop the entry if it still belongs to the dying object —
+            # the slot may have been overwritten by a newer program that
+            # reused the address.
+            if entry is not None and entry[0] is dead:
+                memo._entries.pop(key, None)
+
+        return _on_collect
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, obj: Any) -> bool:
+        return self.get(obj) is not None
+
+    def keys(self) -> Iterator[int]:  # pragma: no cover - debugging aid
+        return iter(self._entries.keys())

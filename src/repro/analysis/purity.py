@@ -44,8 +44,9 @@ backends consult the analysis on every call of the execution hot path.
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict
 from dataclasses import dataclass
+
+from repro.analysis._memo import IdentityMemo
 
 from repro.lang.ast import (
     Abort,
@@ -199,19 +200,20 @@ class _Survey:
         return BRANCH_BOUND_CAP
 
 
-#: FIFO-bounded memo of simulation reports; entries pin their program object
-#: so an ``id`` can never be recycled while its key is live (same convention
-#: as the denotation cache).  The third slot lazily holds the derived
-#: :class:`PurityReport`, so both report spellings are identity-stable.
-_REPORT_MEMO: "OrderedDict[int, list]" = OrderedDict()
-_REPORT_MEMO_LIMIT = 8192
+#: Weakref-validated identity memo of simulation reports: keys are
+#: ``id(program)`` but entries never pin the program, and a recycled ``id``
+#: can never be served a stale verdict (see :mod:`repro.analysis._memo`).
+#: Each value is a mutable pair ``[SimulationReport, PurityReport | None]``
+#: whose second slot lazily holds the derived purity verdict, so both
+#: report spellings are identity-stable.
+_REPORT_MEMO: IdentityMemo[list] = IdentityMemo(8192)
 
 
 def simulation_report(program: Program) -> SimulationReport:
     """Classify one program into an execution tier; memoized by identity."""
-    entry = _REPORT_MEMO.get(id(program))
-    if entry is not None and entry[0] is program:
-        return entry[1]
+    entry = _REPORT_MEMO.get(program)
+    if entry is not None:
+        return entry[0]
     survey = _Survey()
     bound = survey.walk(program, set())
     if survey.unknown:
@@ -226,24 +228,22 @@ def simulation_report(program: Program) -> SimulationReport:
         additive=survey.additive,
         reason=survey.reason,
     )
-    while len(_REPORT_MEMO) >= _REPORT_MEMO_LIMIT:
-        _REPORT_MEMO.popitem(last=False)
-    _REPORT_MEMO[id(program)] = [program, report, None]
+    _REPORT_MEMO.put(program, [report, None])
     return report
 
 
 def purity_report(program: Program) -> PurityReport:
     """The boolean pure-tier verdict (see :func:`simulation_report` for tiers)."""
     report = simulation_report(program)
-    entry = _REPORT_MEMO.get(id(program))
-    if entry is not None and entry[0] is program and entry[2] is not None:
-        return entry[2]
+    entry = _REPORT_MEMO.get(program)
+    if entry is not None and entry[1] is not None:
+        return entry[1]
     purity = PurityReport(
         statevector_simulable=report.simulation_class is SimulationClass.PURE,
         reason=report.reason,
     )
-    if entry is not None and entry[0] is program:
-        entry[2] = purity
+    if entry is not None:
+        entry[1] = purity
     return purity
 
 

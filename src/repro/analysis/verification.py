@@ -9,6 +9,9 @@ evaluation instance.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Iterator
+
 import numpy as np
 
 from repro.lang.ast import Program
@@ -19,9 +22,46 @@ from repro.semantics.operational import operational_denotation
 from repro.analysis.resources import derivative_program_count, occurrence_count
 
 
-def check_resource_bound(program: Program, parameter: Parameter) -> bool:
-    """Proposition 7.2: ``|#∂P/∂θ_j| ≤ OC_j(P(θ))``."""
-    return derivative_program_count(program, parameter) <= occurrence_count(program, parameter)
+@dataclass(frozen=True)
+class ResourceBoundCheck:
+    """The Proposition 7.2 instance ``|#∂P/∂θ_j| ≤ OC_j(P(θ))``, with slack.
+
+    Truth-tests as the proposition's verdict (so ``assert
+    check_resource_bound(...)`` keeps working) and unpacks as the
+    ``(occurrence_count, derivative_programs, slack)`` triple the
+    resource-bound benchmark records.
+    """
+
+    occurrence_count: int
+    derivative_programs: int
+
+    @property
+    def slack(self) -> int:
+        return self.occurrence_count - self.derivative_programs
+
+    @property
+    def holds(self) -> bool:
+        return self.derivative_programs <= self.occurrence_count
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.occurrence_count
+        yield self.derivative_programs
+        yield self.slack
+
+
+def check_resource_bound(program: Program, parameter: Parameter) -> ResourceBoundCheck:
+    """Proposition 7.2: ``|#∂P/∂θ_j| ≤ OC_j(P(θ))``.
+
+    Returns the full :class:`ResourceBoundCheck` instance (truthy exactly
+    when the bound holds) so callers and the benchmark share one code path.
+    """
+    return ResourceBoundCheck(
+        occurrence_count=occurrence_count(program, parameter),
+        derivative_programs=derivative_program_count(program, parameter),
+    )
 
 
 def check_operational_denotational_agreement(

@@ -59,6 +59,7 @@ from repro.sim.trajectories import (
     TrajectoryResult,
     denote_trajectory_batch,
 )
+from repro.analysis.cost import CostReport, cost_report
 from repro.analysis.purity import SimulationClass, simulation_report
 from repro.autodiff.gadgets import ANCILLA_OBSERVABLE
 from repro.api.cache import DenotationCache, binding_key
@@ -745,6 +746,33 @@ class StatevectorBackend(Backend):
         if klass is SimulationClass.BRANCHING:
             return "trajectory"
         return "density"
+
+    def explain_tier(
+        self,
+        program: Program,
+        *,
+        layout=None,
+        dims=None,
+        observable_dim: float | None = None,
+    ) -> "CostReport":
+        """The cost analysis justifying :meth:`tier_for`'s routing decision.
+
+        Returns the :class:`~repro.analysis.cost.CostReport` whose ``tier``
+        is this backend's routing for ``program`` and whose per-tier flop /
+        peak-byte intervals say *why*: the routed tier's upper bound is the
+        cost the service's planner orders by and admission control budgets
+        against, and ``report.worst_case`` additionally absorbs a runtime
+        demotion to the density fallback.  ``layout`` (or ``dims``) pins the
+        register the kernels contract over; ``print(report.describe())``
+        renders the routing justification.
+        """
+        return cost_report(
+            program,
+            layout=layout,
+            dims=dims,
+            observable_dim=observable_dim,
+            tier=self.tier_for(program),
+        )
 
     # -- pure-path helpers -------------------------------------------------
 

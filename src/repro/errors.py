@@ -203,6 +203,23 @@ class RemoteExecutionError(ServiceError):
         self.remote_traceback = remote_traceback
 
 
+class ResourceLimitError(ServiceError):
+    """A request's predicted cost exceeds the service's admission budget.
+
+    Raised by ``EstimatorService(max_cost=...)`` *before* the request is
+    queued: the cost model's upper bound says executing it would exceed the
+    configured budget, so the work never runs.  Final by construction — the
+    prediction is static, so re-running admission yields the same verdict.
+    ``predicted_cost`` and ``max_cost`` carry the comparison for callers
+    that size budgets from rejections.
+    """
+
+    def __init__(self, message: str, *, predicted_cost: float = 0.0, max_cost: float = 0.0):
+        super().__init__(message)
+        self.predicted_cost = float(predicted_cost)
+        self.max_cost = float(max_cost)
+
+
 class RetryExhaustedError(ServiceError):
     """A retryable failure kept failing until the retry budget ran out.
 

@@ -36,6 +36,38 @@ def iter_subprograms(program: Program) -> Iterator[Program]:
         yield from iter_subprograms(child)
 
 
+def child_labels(program: Program) -> tuple[str, ...]:
+    """Human-readable labels of a node's children, aligned with ``children()``.
+
+    Used by diagnostics to address a sub-program from the root as a *path*
+    of labels (``("first", "branch[1]", "body")``) instead of a raw index.
+    """
+    if isinstance(program, Seq):
+        return ("first", "second")
+    if isinstance(program, Sum):
+        return ("left", "right")
+    if isinstance(program, Case):
+        return tuple(f"branch[{outcome}]" for outcome, _ in program.branches)
+    if isinstance(program, While):
+        return ("body",)
+    return ()
+
+
+def iter_with_paths(program: Program) -> Iterator[tuple[tuple[str, ...], Program]]:
+    """Yield ``(path, node)`` for the program and every sub-program, pre-order.
+
+    ``path`` is the tuple of :func:`child_labels` entries leading from the
+    root to the node; the root itself has the empty path.
+    """
+
+    def walk(node: Program, path: tuple[str, ...]) -> Iterator[tuple[tuple[str, ...], Program]]:
+        yield path, node
+        for label, child in zip(child_labels(node), node.children()):
+            yield from walk(child, path + (label,))
+
+    return walk(program, ())
+
+
 def iter_gate_applications(program: Program) -> Iterator[UnitaryApp]:
     """Yield every unitary statement in the program, in pre-order.
 

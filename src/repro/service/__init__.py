@@ -47,7 +47,7 @@ to the fault-free number; inject beyond it and the failure is a typed
 """
 
 from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
-from repro.service.planner import ExecutionPlan, RequestGroup, plan
+from repro.service.planner import ExecutionPlan, RequestGroup, plan, request_cost
 from repro.service.executors import (
     InlineExecutor,
     ProcessPoolServiceExecutor,
@@ -110,6 +110,7 @@ __all__ = [
     "decode_request",
     "encode_request",
     "plan",
+    "request_cost",
     "request_wire_key",
     "resolve_breaker",
     "resolve_executor",

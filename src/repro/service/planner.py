@@ -17,10 +17,15 @@ could not:
   samples — and is bit-for-bit invisible there: a duplicate batch row would
   have produced the identical number.
 
-Group order is the scheduling policy: higher priority first, then
-round-robin fairness across sessions (the first request of every session
-outranks the second of any), then submission order.  Everything is
-deterministic — the inline executor replays exactly this order.
+Request order within a group is the fairness policy: higher priority
+first, then round-robin across sessions (the first request of every
+session outranks the second of any), then submission order.  *Group* order
+is the throughput policy: groups are scheduled largest-predicted-cost
+first (:func:`repro.analysis.cost.cost_report`), so the expensive batched
+calls start before the cheap ones and a pool executor's slots stay busy —
+per-group results are deterministic, so reordering groups never changes
+any handle's bits.  Everything remains deterministic: the inline executor
+replays exactly this order.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Hashable, Sequence
 
+from repro.analysis._memo import IdentityMemo
+from repro.analysis.cost import cost_report
 from repro.sim.density import DensityState
 from repro.sim.statevector import StateVector
 from repro.api.backends import Backend, ObservableSpec, _plain_denote
@@ -37,7 +44,56 @@ from repro.service.requests import ExecutionRequest, RequestKind, ResultHandle
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lang.parameters import ParameterBinding
 
-__all__ = ["QueueItem", "PlannedRequest", "RequestGroup", "GroupCall", "ExecutionPlan", "plan"]
+__all__ = [
+    "QueueItem",
+    "PlannedRequest",
+    "RequestGroup",
+    "GroupCall",
+    "ExecutionPlan",
+    "plan",
+    "request_cost",
+]
+
+
+#: Per-request cost memo.  ``request_cost`` runs at least twice per request
+#: object on a budgeted service — once at admission, once when ``plan``
+#: prices the row — and derivative requests walk whole multisets, so the
+#: repeat must be a single dict probe.  Keyed on request identity (requests
+#: are frozen) and weakref-validated, dropping entries with their requests.
+_REQUEST_COST_MEMO: IdentityMemo[float] = IdentityMemo(limit=4096)
+
+
+def request_cost(request: ExecutionRequest) -> float:
+    """The cost model's flop upper bound for serving one request.
+
+    VALUE requests cost one routed-tier pass of their program on the
+    request's own register; DERIVATIVE/GRADIENT requests sum the members of
+    their multisets on the ancilla-extended register.  Memoized per request
+    identity (and per program identity underneath), so the scheduling hot
+    path pays a dict probe.  A program the model cannot analyze costs
+    ``0.0`` — scheduling must never fail on an exotic request, it just
+    stops prioritizing it.
+    """
+    cached = _REQUEST_COST_MEMO.get(request)
+    if cached is not None:
+        return cached
+    return _REQUEST_COST_MEMO.put(request, _compute_request_cost(request))
+
+
+def _compute_request_cost(request: ExecutionRequest) -> float:
+    try:
+        layout = request.state.layout
+        if request.kind is RequestKind.VALUE:
+            return cost_report(request.program, layout=layout).predicted_cost
+        total = 0.0
+        for program_set in request.program_sets:
+            dims = {name: int(dim) for name, dim in zip(layout.names, layout.dims)}
+            dims.setdefault(program_set.ancilla, 2)
+            for member in program_set.nonaborting_programs():
+                total += cost_report(member, dims=dims).predicted_cost
+        return total
+    except Exception:  # pragma: no cover - analysis must never break planning
+        return 0.0
 
 
 def _state_point_key(state: "DensityState | StateVector") -> Hashable:
@@ -96,6 +152,8 @@ class PlannedRequest:
 
     request: ExecutionRequest
     handles: list[ResultHandle] = field(default_factory=list)
+    #: The cost model's flop upper bound for this row (set by ``plan``).
+    cost: float = 0.0
 
 
 @dataclass
@@ -115,6 +173,11 @@ class RequestGroup:
         """Requests served, coalesced duplicates included."""
         return sum(len(row.handles) for row in self.rows)
 
+    @property
+    def predicted_cost(self) -> float:
+        """The summed row costs: what executing this batched call may charge."""
+        return sum(row.cost for row in self.rows)
+
     def subset(self, rows: "list[PlannedRequest]") -> "RequestGroup":
         """This group restricted to ``rows`` (deadline/cancellation pruning
         drops batch rows without disturbing the surviving ones' order)."""
@@ -129,6 +192,7 @@ class RequestGroup:
             program_sets=template.program_sets,
             observable=template.observable,
             inputs=[(row.request.state, row.request.binding) for row in self.rows],
+            cost=self.predicted_cost,
         )
 
 
@@ -146,6 +210,9 @@ class GroupCall:
     program_sets: "tuple | None"
     observable: ObservableSpec
     inputs: "list[tuple[DensityState | StateVector, ParameterBinding | None]]"
+    #: The group's predicted flop cost (scheduling metadata: worker dispatch
+    #: balances by it; not part of the wire artifact's content key).
+    cost: float = 0.0
 
     def run(self, backend: Backend, denote: Callable = _plain_denote):
         """Execute the batched call; returns the raw per-row results."""
@@ -178,13 +245,19 @@ class ExecutionPlan:
         )
 
 
-def plan(items: Sequence[QueueItem], *, coalesce: bool = True) -> ExecutionPlan:
+def plan(
+    items: Sequence[QueueItem], *, coalesce: bool = True, order_by_cost: bool = True
+) -> ExecutionPlan:
     """Order, group and coalesce a queue snapshot into an execution plan.
 
     ``coalesce=False`` (stochastic backends) keeps every request as its own
     batch row — duplicates must draw independent samples — while grouping
     still applies: a sampling backend's ``*_batch`` default runs its rows
     sequentially through the same readout code a per-call loop would.
+
+    ``order_by_cost=True`` schedules groups largest-predicted-cost first
+    (ties keep fairness order); per-group results are deterministic, so the
+    reordering is invisible in every handle's bits.
     """
     ordered = sorted(items, key=lambda item: item.sort_key)
     groups: dict[Hashable, RequestGroup] = {}
@@ -204,14 +277,19 @@ def plan(items: Sequence[QueueItem], *, coalesce: bool = True) -> ExecutionPlan:
             # VALUE (the group key already separates the two families).
             if row is None:
                 points[point] = row = PlannedRequest(item.request)
+                row.cost = request_cost(item.request)
                 group.rows.append(row)
             else:
                 coalesced += 1
         else:
             row = PlannedRequest(item.request)
+            row.cost = request_cost(item.request)
             group.rows.append(row)
         row.handles.append(item.handle)
     ordered_groups = list(groups.values())
+    if order_by_cost:
+        # Stable sort: equal-cost groups keep the fairness order above.
+        ordered_groups.sort(key=lambda group: -group.predicted_cost)
     return ExecutionPlan(
         groups=ordered_groups, coalesced=coalesced, requests=len(ordered)
     )

@@ -29,7 +29,12 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import CancelledError, DeadlineExceededError, RetryExhaustedError
+from repro.errors import (
+    CancelledError,
+    DeadlineExceededError,
+    ResourceLimitError,
+    RetryExhaustedError,
+)
 from repro.semantics import denotational
 from repro.api.cache import CacheStats, DenotationCache
 from repro.api.backends import Backend
@@ -40,6 +45,7 @@ from repro.service.planner import (
     QueueItem,
     RequestGroup,
     plan,
+    request_cost,
 )
 from repro.service.executors import (
     InlineExecutor,
@@ -88,6 +94,10 @@ class ServiceStats:
     worker_restarts: int = 0
     #: Drains forced by a full submission queue (``max_queue_depth``).
     backpressure_flushes: int = 0
+    #: Requests refused at admission because the cost model's upper bound
+    #: exceeded ``max_cost`` (they fail with ``ResourceLimitError`` and
+    #: never reach the queue).
+    rejected: int = 0
     #: Failure counts per exception type name (handle failures and
     #: drain-level executor errors alike).
     errors: dict = field(default_factory=dict)
@@ -96,6 +106,10 @@ class ServiceStats:
     #: Execution seconds per tier: ``"value/pure"``, ``"value/trajectory"``,
     #: ``"value/<backend name>"``, ``"derivative/<backend name>"``, …
     timings: dict = field(default_factory=dict)
+    #: Predicted model flops per tier (the cost model's upper bounds summed
+    #: over executed groups) — read next to ``timings`` for a
+    #: predicted-vs-actual view of where the service spent its budget.
+    predicted: dict = field(default_factory=dict)
 
     @property
     def coalesce_rate(self) -> float:
@@ -115,9 +129,11 @@ class ServiceStats:
         self.degraded = self.trips = 0
         self.redispatches = self.worker_restarts = 0
         self.backpressure_flushes = 0
+        self.rejected = 0
         self.errors = {}
         self.executor_transitions = []
         self.timings = {}
+        self.predicted = {}
 
 
 class Session:
@@ -206,6 +222,15 @@ class EstimatorService:
         storming session pays the flush itself while the planner's
         round-robin fairness still interleaves every waiting session —
         backpressure without starvation.
+    max_cost:
+        Admission budget in model flops (``None`` — the default — admits
+        everything).  A request whose predicted cost
+        (:func:`repro.service.planner.request_cost`, the abstract
+        interpreter's upper bound) exceeds the budget is *rejected before
+        it is queued*: its handle fails with
+        :class:`~repro.errors.ResourceLimitError` (final, non-retryable)
+        and ``stats.rejected`` counts it.  Admission is per request, so an
+        over-budget submission never perturbs its siblings' results.
     """
 
     def __init__(
@@ -218,6 +243,7 @@ class EstimatorService:
         retry: "RetryPolicy | int | None" = None,
         breaker: "CircuitBreaker | int | bool | None" = None,
         max_queue_depth: "int | None" = None,
+        max_cost: "float | None" = None,
     ):
         from repro.api.estimator import resolve_backend
 
@@ -238,6 +264,11 @@ class EstimatorService:
         self.max_queue_depth = (
             int(max_queue_depth) if max_queue_depth is not None else None
         )
+        if max_cost is not None and float(max_cost) <= 0.0:
+            from repro.errors import SemanticsError
+
+            raise SemanticsError("max_cost must be positive (or None)")
+        self.max_cost = float(max_cost) if max_cost is not None else None
         self.stats = ServiceStats()
         self._lock = threading.RLock()
         self._queue: list[QueueItem] = []
@@ -277,6 +308,27 @@ class EstimatorService:
                         deadline=request.deadline,
                     )
                     handle.request = request
+                if self.max_cost is not None:
+                    predicted = request_cost(request)
+                    if predicted > self.max_cost:
+                        # Admission control: the cost model's upper bound
+                        # says this request would blow the budget, so it
+                        # never reaches the queue — its siblings' plan (and
+                        # therefore their bits) is exactly what it would
+                        # have been had this request never been submitted.
+                        self.stats.submitted += 1
+                        self.stats.rejected += 1
+                        self._fail_handle(
+                            handle,
+                            ResourceLimitError(
+                                f"the {request.kind.value} request's predicted "
+                                f"cost ({predicted:.3g} model flops) exceeds "
+                                f"the service budget max_cost={self.max_cost:.3g}",
+                                predicted_cost=predicted,
+                                max_cost=self.max_cost,
+                            ),
+                        )
+                        continue
                 self._queue.append(
                     QueueItem(
                         request=request,
@@ -384,6 +436,14 @@ class EstimatorService:
                     self.stats.timings[tier] = (
                         self.stats.timings.get(tier, 0.0) + seconds
                     )
+                    if attempt == 1:
+                        # Predicted-vs-actual telemetry: the model's flop
+                        # bound, counted once per group (retries re-spend
+                        # time, not prediction).
+                        self.stats.predicted[tier] = (
+                            self.stats.predicted.get(tier, 0.0)
+                            + group.predicted_cost
+                        )
                 if status == "ok":
                     self._fulfill_group(group, payload)
                 elif self._should_retry(payload, attempt):

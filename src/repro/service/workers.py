@@ -288,7 +288,15 @@ class WorkerSupervisor:
         return list(self._fleet.values())
 
     def least_loaded(self, capacity: int) -> "_Worker | None":
-        """The emptiest worker with spare capacity, lowest slot first."""
+        """The least-burdened worker with spare capacity, lowest slot first.
+
+        Load is the summed predicted cost of a worker's in-flight groups
+        (:attr:`~repro.service.planner.GroupCall.cost`, the planner's
+        model-flop bound), so one giant group does not look as cheap as
+        one tiny group; in-flight count then slot break ties, which also
+        preserves the historical round-robin order when the cost model
+        abstains (every cost ``0.0``).
+        """
         candidates = [
             worker
             for worker in self._fleet.values()
@@ -296,7 +304,15 @@ class WorkerSupervisor:
         ]
         if not candidates:
             return None
-        return min(candidates, key=lambda worker: (len(worker.inflight), worker.slot))
+
+        def load(worker: "_Worker"):
+            predicted = sum(
+                getattr(dispatch.unit.call, "cost", 0.0)
+                for dispatch in worker.inflight.values()
+            )
+            return (predicted, len(worker.inflight), worker.slot)
+
+        return min(candidates, key=load)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Sequence
 
 import numpy as np
@@ -48,10 +49,12 @@ import numpy as np
 from repro.errors import DimensionMismatchError, LinalgError, PurityError
 
 __all__ = [
+    "KernelCounters",
     "apply_operator_vector",
     "apply_operator_vector_batch",
     "conjugate_operator_density",
     "apply_kraus_density",
+    "count_kernel_ops",
     "reduced_density",
     "expectation_density",
     "expectation_vector",
@@ -62,6 +65,73 @@ __all__ = [
     "two_factor_expectation_density",
     "two_factor_expectation_vector_batch",
 ]
+
+
+# -- instrumentation ----------------------------------------------------------
+#
+# The static cost model (:mod:`repro.analysis.cost`) predicts upper bounds on
+# the work these kernels perform.  To make that claim *testable*, every kernel
+# can charge an active :class:`KernelCounters` with the same per-primitive
+# cost formula the model uses — ``B · e · d^n`` model flops for a batched
+# k-local apply with target dimension ``e``, ``2 · e · (d^n)²`` for a density
+# conjugation, and so on — plus the peak single-kernel working set in bytes
+# (``2 · B · d^n · 16``: input and output stacks of complex128 amplitudes).
+# The soundness suite then asserts measured ≤ predicted on random programs.
+#
+# Counting is off by default and costs one ``None`` check per kernel call.
+
+
+class KernelCounters:
+    """Model-unit operation counters charged by the kernels while active.
+
+    ``flops`` accumulates the model cost units of every kernel invocation;
+    ``peak_bytes`` tracks the largest single-invocation working set
+    (input + output buffers); ``calls`` counts kernel invocations.
+    """
+
+    __slots__ = ("flops", "peak_bytes", "calls")
+
+    def __init__(self) -> None:
+        self.flops = 0.0
+        self.peak_bytes = 0.0
+        self.calls = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"KernelCounters(flops={self.flops:.3g}, "
+            f"peak_bytes={self.peak_bytes:.3g}, calls={self.calls})"
+        )
+
+
+_COUNTERS: "KernelCounters | None" = None
+
+
+def _charge(flops: float, working_elements: float) -> None:
+    counters = _COUNTERS
+    if counters is None:
+        return
+    counters.flops += flops
+    counters.calls += 1
+    working = 2.0 * working_elements * 16.0
+    if working > counters.peak_bytes:
+        counters.peak_bytes = working
+
+
+@contextmanager
+def count_kernel_ops():
+    """Activate kernel op-counting for the dynamic extent of the block.
+
+    Yields the :class:`KernelCounters` the kernels charge.  Not reentrant
+    across threads (a single module-global slot): the soundness tests that
+    use it run their backend calls single-threaded.
+    """
+    global _COUNTERS
+    previous = _COUNTERS
+    _COUNTERS = counters = KernelCounters()
+    try:
+        yield counters
+    finally:
+        _COUNTERS = previous
 
 
 class _Plan:
@@ -199,6 +269,7 @@ def apply_operator_vector(
     plan = _plan(dims, axes)
     operator = plan.prepare_operator(operator)
     psi = np.asarray(amplitudes, dtype=complex)
+    _charge(plan.expected * plan.total, plan.total)
     if plan.blocks is not None:
         left, target, right = plan.blocks
         return np.matmul(operator, psi.reshape(left, target, right)).reshape(-1)
@@ -220,6 +291,7 @@ def expectation_vector(
 ) -> float:
     """Return ``⟨ψ|(O ⊗ I)|ψ⟩`` for a k-local observable without embedding."""
     applied = apply_operator_vector(amplitudes, dims, axes, observable)
+    _charge(math.prod(dims), math.prod(dims))
     return float(np.real(np.vdot(np.asarray(amplitudes, dtype=complex).reshape(-1), applied)))
 
 
@@ -256,6 +328,7 @@ def apply_operator_vector_batch(
     operator = plan.prepare_operator(operator)
     psi = _as_batch(amplitudes, plan.total)
     batch = psi.shape[0]
+    _charge(batch * plan.expected * plan.total, batch * plan.total)
     if plan.blocks is not None:
         left, target, right = plan.blocks
         return np.matmul(operator, psi.reshape(batch, left, target, right)).reshape(
@@ -281,6 +354,7 @@ def expectation_vector_batch(
     """Return ``⟨ψ_b|(O ⊗ I)|ψ_b⟩`` for every row of a ``(B, d^n)`` stack."""
     psi = _as_batch(amplitudes, math.prod(dims))
     applied = apply_operator_vector_batch(psi, dims, axes, observable)
+    _charge(psi.shape[0] * psi.shape[1], psi.shape[0] * psi.shape[1])
     return np.real(np.einsum("bi,bi->b", np.conj(psi), applied))
 
 
@@ -302,6 +376,10 @@ def two_factor_expectation_vector_batch(
         raise DimensionMismatchError("leading operator does not match the leading dimension")
     rest_dim = rest_operator.shape[0]
     psi = _as_batch(amplitudes, lead_dim * rest_dim).reshape(-1, lead_dim, rest_dim)
+    _charge(
+        psi.shape[0] * lead_dim * rest_dim * (lead_dim + rest_dim),
+        psi.shape[0] * lead_dim * rest_dim,
+    )
     applied = np.einsum("rj,bcj->bcr", rest_operator, psi)
     return np.real(np.einsum("ac,bar,bcr->b", lead_operator, np.conj(psi), applied))
 
@@ -356,6 +434,7 @@ def reset_vector_batch(
     psi = _as_batch(amplitudes, plan.total)
     batch = psi.shape[0]
     dim = dims[axis]
+    _charge(batch * dim * plan.total, batch * plan.total)
     # View each row as (d_q, rest) with the reset variable's axis leading.
     tensor = np.moveaxis(psi.reshape((batch,) + plan.dims), axis + 1, 1)
     rest_shape = tensor.shape[2:]
@@ -407,6 +486,7 @@ def conjugate_operator_density(
     operator = plan.prepare_operator(operator)
     total = plan.total
     rho = np.asarray(matrix, dtype=complex)
+    _charge(2.0 * plan.expected * total * total, total * total)
     if plan.blocks is not None:
         # Fast path: both conjugations are broadcasted matmuls on reshaped
         # views — (A ⊗ I)ρ groups the row index as (left, target, right·D),
@@ -447,6 +527,7 @@ def reduced_density(matrix: np.ndarray, dims: Sequence[int], axes: Sequence[int]
     density matrix on which k-local readouts become ``O(4^k)``.
     """
     plan = _plan(dims, axes)
+    _charge(plan.total * plan.total, plan.total * plan.total)
     rho = np.asarray(matrix, dtype=complex).reshape(plan.dims + plan.dims)
     rho = rho.transpose(plan.reduce_permutation)
     rho = rho.reshape(plan.expected, plan.other_dim, plan.expected, plan.other_dim)
@@ -460,8 +541,10 @@ def expectation_density(
     observable: np.ndarray,
 ) -> float:
     """Return ``tr((O ⊗ I) ρ)`` for a k-local observable without forming ``Oρ``."""
-    observable = _plan(dims, axes).validate_operator(observable)
+    plan = _plan(dims, axes)
+    observable = plan.validate_operator(observable)
     reduced = reduced_density(matrix, dims, axes)
+    _charge(plan.expected * plan.expected, plan.expected * plan.expected)
     return float(np.real(np.einsum("ij,ji->", observable, reduced)))
 
 
@@ -482,6 +565,9 @@ def branch_probabilities_density(
     probabilities = []
     for operator in operators:
         operator = plan.validate_operator(operator)
+        _charge(
+            plan.expected**3 + plan.expected**2, plan.expected * plan.expected
+        )
         effect = operator.conj().T @ operator
         probabilities.append(float(np.real(np.einsum("ij,ji->", effect, reduced))))
     return probabilities
@@ -509,6 +595,8 @@ def two_factor_expectation_density(
     rest_dim = rest_operator.shape[0]
     if matrix.shape != (lead_dim * rest_dim, lead_dim * rest_dim):
         raise DimensionMismatchError("state dimension does not match the operator factors")
+    total = lead_dim * rest_dim
+    _charge(float(total) * total, float(total) * total)
     blocks = matrix.reshape(lead_dim, rest_dim, lead_dim, rest_dim)
     value = np.einsum("ab,ij,bjai->", lead_operator, rest_operator, blocks)
     return float(np.real(value))

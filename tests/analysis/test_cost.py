@@ -1,0 +1,269 @@
+"""The abstract-interpretation cost model and its identity memo.
+
+Directed structural checks: interval arithmetic, the tier transfer
+functions' shapes (closed-form ``while`` series, additive scaling, unknown
+nodes going to ``inf``), report memoization — including the id-reuse
+regression the weakref-validated memo exists for — and the wiring surface
+(``StatevectorBackend.explain_tier``, ``request_cost``).  Soundness of the
+upper bounds against instrumented kernels lives in
+``test_cost_soundness.py``.
+"""
+
+import gc
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis._memo import IdentityMemo
+from repro.analysis.cost import CostInterval, CostReport, TierCost, cost_report
+from repro.lang.ast import Abort, Init, Skip, Sum
+from repro.lang.builder import (
+    bounded_while_on_qubit,
+    case_on_qubit,
+    rx,
+    rxx,
+    ry,
+    seq,
+)
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.hilbert import RegisterLayout
+from repro.api import Estimator, StatevectorBackend
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+
+class TestCostInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostInterval(2.0, 1.0)
+        with pytest.raises(ValueError):
+            CostInterval(-1.0, 1.0)
+
+    def test_arithmetic(self):
+        a = CostInterval(1.0, 2.0)
+        b = CostInterval(3.0, 5.0)
+        assert (a + b) == CostInterval(4.0, 7.0)
+        assert a.times(b) == CostInterval(3.0, 10.0)
+        assert a.scaled(4.0) == CostInterval(4.0, 8.0)
+        assert a.hull(b) == CostInterval(1.0, 5.0)
+
+    def test_zero_times_infinity_is_zero(self):
+        assert CostInterval.zero().times(
+            CostInterval(0.0, math.inf)
+        ) == CostInterval.zero()
+
+    def test_contains_with_relative_slack(self):
+        interval = CostInterval(10.0, 20.0)
+        assert interval.contains(20.0)
+        assert interval.contains(20.0 + 1e-9)
+        assert not interval.contains(21.0)
+        assert not interval.contains(9.0)
+
+
+class TestIdentityMemo:
+    def test_round_trip_and_contains(self):
+        memo: IdentityMemo[str] = IdentityMemo()
+        program = rx(0.5, "q1")
+        assert memo.get(program) is None
+        assert memo.put(program, "verdict") == "verdict"
+        assert memo.get(program) == "verdict"
+        assert program in memo
+        assert len(memo) == 1
+
+    def test_entry_dropped_when_key_is_collected(self):
+        memo: IdentityMemo[str] = IdentityMemo()
+        program = rx(0.5, "q1")
+        memo.put(program, "verdict")
+        del program
+        gc.collect()
+        assert len(memo) == 0
+
+    def test_id_reuse_never_serves_a_stale_verdict(self):
+        # The regression the weakref validation exists for: allocate a
+        # program, memoize, drop it, and keep allocating until some new
+        # program lands on a recycled address.  However the addresses fall,
+        # the memo must never return the dead program's verdict.
+        memo: IdentityMemo[str] = IdentityMemo()
+        dead_ids = set()
+        for round_index in range(512):
+            program = rx(float(round_index), "q1")
+            if memo.get(program) is not None:
+                pytest.fail("memo served a verdict for a never-stored program")
+            memo.put(program, f"verdict-{round_index}")
+            dead_ids.add(id(program))
+            del program
+        gc.collect()
+        reused = [
+            rx(-float(index), "q2") for index in range(512)
+        ]
+        hits = [p for p in reused if id(p) in dead_ids]
+        for program in reused:
+            assert memo.get(program) is None
+        # The loop is only meaningful if some address was actually recycled;
+        # CPython reuses freed object slots eagerly, so this never flakes.
+        assert hits, "no id reuse provoked — the regression test lost its teeth"
+
+    def test_fifo_bound(self):
+        memo: IdentityMemo[int] = IdentityMemo(limit=4)
+        keep = [rx(float(i), "q1") for i in range(8)]
+        for index, program in enumerate(keep):
+            memo.put(program, index)
+        assert len(memo) == 4
+        assert memo.get(keep[0]) is None
+        assert memo.get(keep[-1]) == 7
+
+    def test_non_weakrefable_objects_bypass(self):
+        memo: IdentityMemo[str] = IdentityMemo()
+        assert memo.put(42, "verdict") == "verdict"
+        assert memo.get(42) is None
+        assert len(memo) == 0
+
+    def test_limit_validated(self):
+        with pytest.raises(ValueError):
+            IdentityMemo(limit=0)
+
+
+class TestCostReport:
+    def test_pure_program_routes_pure(self):
+        program = seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2")])
+        report = cost_report(program, layout=LAYOUT)
+        assert report.tier == "pure"
+        assert report.total_dim == 4.0
+        # One 2-dim gate + one 4-dim gate on a dim-4 register, plus readout.
+        assert report.pure.flops.lo >= 2 * 4 + 4 * 4
+        assert report.routed is report.pure
+        assert report.predicted_cost == report.pure.flops.hi
+
+    def test_branching_program_routes_trajectory(self):
+        program = case_on_qubit("q1", {0: rx(0.1, "q2"), 1: ry(0.2, "q2")})
+        report = cost_report(program, layout=LAYOUT)
+        assert report.tier == "trajectory"
+        assert report.routed is report.trajectory
+        # Both branches may survive: width interval spans pruning to fan-out.
+        assert report.trajectory.stack_width.hi >= 2.0
+
+    def test_density_flops_dominate_vector_flops(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2"), rxx(0.3, "q1", "q2")])
+        report = cost_report(program, layout=LAYOUT)
+        assert report.density.flops.hi > report.pure.flops.hi
+
+    def test_while_series_is_closed_form_even_for_huge_bounds(self):
+        body = case_on_qubit("q1", {0: Skip(("q1",)), 1: rx(0.5, "q2")})
+        program = bounded_while_on_qubit("q2", body, 10_000_000)
+        report = cost_report(program, layout=LAYOUT)  # must return instantly
+        assert math.isinf(report.trajectory.flops.hi)
+        assert report.trajectory.flops.lo > 0.0
+
+    def test_additive_density_bound_scales_with_members(self):
+        member = rx(THETA, "q1")
+        additive = Sum(member, ry(PHI, "q1"))
+        single = cost_report(member, layout=LAYOUT)
+        summed = cost_report(additive, layout=LAYOUT)
+        assert summed.additive
+        assert summed.density.flops.hi >= 2.0 * single.density.flops.hi
+
+    def test_worst_case_absorbs_a_density_demotion(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        report = cost_report(program, layout=LAYOUT)
+        assert report.tier == "pure"
+        worst = report.worst_case
+        assert worst.flops.hi >= report.pure.flops.hi + report.density.flops.hi
+        assert worst.peak_bytes.hi >= report.density.peak_bytes.hi
+
+    def test_peak_bytes_formula(self):
+        program = rx(THETA, "q1")
+        report = cost_report(program, dims={"q1": 2})
+        # 2 copies · width 1 · dim 2 · 16 bytes/amplitude.
+        assert report.pure.peak_bytes.hi == 2 * 1 * 2 * 16
+
+    def test_qutrit_dims_raise_the_totals(self):
+        program = rx(THETA, "q1")
+        qubit = cost_report(program, dims={"q1": 2})
+        with_qutrit = cost_report(program, dims={"q1": 2, "ride": 3})
+        assert with_qutrit.total_dim == 6.0
+        assert with_qutrit.pure.flops.hi > qubit.pure.flops.hi
+
+    def test_abort_and_skip_cost_nothing_to_run(self):
+        for program in (Abort(("q1",)), Skip(("q1",))):
+            report = cost_report(program, dims={"q1": 2})
+            assert report.routed.flops.lo >= 0.0
+            assert report.density.flops.lo <= report.density.flops.hi
+
+    def test_describe_mentions_the_routed_tier(self):
+        report = cost_report(rx(THETA, "q1"), dims={"q1": 2})
+        text = report.describe()
+        assert "tier: pure" in text
+        assert "<- routed" in text
+        assert "predicted cost" in text
+
+
+class TestMemoization:
+    def test_same_program_same_shape_is_cached(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        first = cost_report(program, layout=LAYOUT)
+        second = cost_report(program, layout=LAYOUT)
+        assert first is second
+
+    def test_different_shapes_get_distinct_reports(self):
+        program = rx(THETA, "q1")
+        small = cost_report(program, dims={"q1": 2})
+        large = cost_report(program, dims={"q1": 2, "ride": 2})
+        assert small is not large
+        assert small.total_dim != large.total_dim
+
+    def test_tier_override_does_not_corrupt_the_cache(self):
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        cached = cost_report(program, layout=LAYOUT)
+        overridden = cost_report(program, layout=LAYOUT, tier="density")
+        assert overridden.tier == "density"
+        assert overridden.predicted_cost == cached.density.flops.hi
+        assert cost_report(program, layout=LAYOUT) is cached
+
+    def test_structurally_equal_programs_do_not_alias(self):
+        a = rx(0.5, "q1")
+        b = rx(0.5, "q1")
+        report_a = cost_report(a, dims={"q1": 2})
+        report_b = cost_report(b, dims={"q1": 2})
+        # Identity keying: equal structure, distinct cache entries.
+        assert report_a == report_b
+        assert report_a is not report_b
+
+
+class TestWiring:
+    def test_explain_tier_matches_routing(self):
+        backend = StatevectorBackend()
+        pure = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        branching = case_on_qubit("q1", {0: rx(0.1, "q2"), 1: ry(0.2, "q2")})
+        for program in (pure, branching):
+            report = backend.explain_tier(program, layout=LAYOUT)
+            assert isinstance(report, CostReport)
+            assert report.tier == backend.tier_for(program)
+
+    def test_request_cost_value_uses_the_request_layout(self):
+        from repro.service.planner import request_cost
+        from repro.sim.density import DensityState
+
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        estimator = Estimator(program, ZZ)
+        state = DensityState.basis_state(LAYOUT, {"q1": 0, "q2": 0})
+        binding = ParameterBinding({THETA: 0.3, PHI: 0.7})
+        request = estimator.request_value(state, binding)
+        expected = cost_report(program, layout=LAYOUT).predicted_cost
+        assert request_cost(request) == expected
+
+    def test_request_cost_derivative_sums_members_on_extended_register(self):
+        from repro.service.planner import request_cost
+        from repro.sim.density import DensityState
+
+        program = seq([rx(THETA, "q1"), ry(PHI, "q2")])
+        estimator = Estimator(program, ZZ)
+        state = DensityState.basis_state(LAYOUT, {"q1": 0, "q2": 0})
+        binding = ParameterBinding({THETA: 0.3, PHI: 0.7})
+        value_cost = request_cost(estimator.request_value(state, binding))
+        gradient_cost = request_cost(estimator.request_gradient(state, binding))
+        # Two multisets, each with members on the ancilla-extended register.
+        assert gradient_cost > value_cost

@@ -28,6 +28,19 @@ class TestResourceBound:
         program = seq([rx(0.1, "q1"), ry(0.2, "q2")])
         assert check_resource_bound(program, THETA)
 
+    def test_unpacks_as_the_occurrence_derivative_slack_triple(self):
+        program = seq([rx(THETA, "q1"), ry(THETA, "q2"), rx(0.3, "q1")])
+        check = check_resource_bound(program, THETA)
+        oc, derivatives, slack = check
+        assert (oc, derivatives, slack) == (
+            check.occurrence_count,
+            check.derivative_programs,
+            check.slack,
+        )
+        assert oc == 2
+        assert slack == oc - derivatives >= 0
+        assert bool(check) is check.holds is True
+
 
 class TestOperationalDenotationalAgreement:
     def test_agreement_on_branching_program(self):

@@ -1,0 +1,268 @@
+"""Cost-model wiring into the service: admission control, cost-ordered
+planning, predicted-vs-actual telemetry, and cost-balanced worker dispatch.
+
+The admission contract: ``EstimatorService(max_cost=...)`` rejects a
+request whose predicted cost exceeds the budget *before it is queued* —
+the handle fails with the typed, non-retryable
+:class:`~repro.errors.ResourceLimitError`, the backend never sees the
+work, and sibling requests of the same drain produce bit-for-bit the
+results they would have produced had the rejected request never existed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ResourceLimitError, SemanticsError, is_retryable
+from repro.lang.builder import case_on_qubit, rx, rxx, ry, seq
+from repro.lang.parameters import Parameter, ParameterBinding
+from repro.sim.density import DensityState
+from repro.sim.hilbert import RegisterLayout
+from repro.api import Estimator, ExactDensityBackend
+from repro.service import EstimatorService, request_cost
+from repro.service.planner import GroupCall, plan, QueueItem
+from repro.service.workers import _Dispatch, _Unit, _Worker, WorkerSupervisor
+from repro.service.resilience import SupervisorPolicy
+
+THETA = Parameter("theta")
+PHI = Parameter("phi")
+BINDING = ParameterBinding({THETA: 0.37, PHI: -1.1})
+LAYOUT = RegisterLayout(("q1", "q2"))
+ZZ = np.diag([1.0, -1.0, -1.0, 1.0]).astype(complex)
+
+
+def _program():
+    return seq([rx(THETA, "q1"), rxx(PHI, "q1", "q2"), ry(0.4, "q2")])
+
+
+def _state(index: int = 0) -> DensityState:
+    return DensityState.basis_state(LAYOUT, {"q1": index % 2, "q2": (index // 2) % 2})
+
+
+class _CountingBackend(ExactDensityBackend):
+    """Counts batched calls: proof the rejected work never executed."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def value_batch(self, *args, **kwargs):
+        self.calls += 1
+        return super().value_batch(*args, **kwargs)
+
+    def derivative_batch(self, *args, **kwargs):
+        self.calls += 1
+        return super().derivative_batch(*args, **kwargs)
+
+
+class TestMaxCostValidation:
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(SemanticsError):
+            EstimatorService(ExactDensityBackend(), max_cost=0.0)
+        with pytest.raises(SemanticsError):
+            EstimatorService(ExactDensityBackend(), max_cost=-1.0)
+
+    def test_none_admits_everything(self):
+        service = EstimatorService(ExactDensityBackend())
+        assert service.max_cost is None
+        estimator = Estimator(_program(), ZZ)
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        handle.result()
+        assert service.stats.rejected == 0
+
+
+class TestRejection:
+    def test_over_budget_request_fails_typed_before_execution(self):
+        backend = _CountingBackend()
+        service = EstimatorService(backend, max_cost=1.0)
+        estimator = Estimator(_program(), ZZ)
+        request = estimator.request_value(_state(), BINDING)
+        predicted = request_cost(request)
+        assert predicted > 1.0
+
+        handle = service.submit(request)
+        # Rejection is synchronous: no flush has happened, yet the handle
+        # is already resolved and the queue is empty.
+        assert handle.done()
+        assert service.queue_depth == 0
+        with pytest.raises(ResourceLimitError) as excinfo:
+            handle.result()
+        assert excinfo.value.predicted_cost == predicted
+        assert excinfo.value.max_cost == 1.0
+        assert not is_retryable(excinfo.value)
+        assert backend.calls == 0
+
+    def test_rejection_stats_and_error_taxonomy(self):
+        service = EstimatorService(ExactDensityBackend(), max_cost=1.0)
+        estimator = Estimator(_program(), ZZ)
+        for index in range(3):
+            service.submit(estimator.request_value(_state(index), BINDING))
+        assert service.stats.submitted == 3
+        assert service.stats.rejected == 3
+        assert service.stats.failed == 3
+        assert service.stats.errors.get("ResourceLimitError") == 3
+        service.stats.reset()
+        assert service.stats.rejected == 0
+        assert service.stats.predicted == {}
+
+    def test_under_budget_requests_pass(self):
+        estimator = Estimator(_program(), ZZ)
+        request = estimator.request_value(_state(), BINDING)
+        budget = request_cost(request) + 1.0
+        service = EstimatorService(ExactDensityBackend(), max_cost=budget)
+        handle = service.submit(estimator.request_value(_state(), BINDING))
+        handle.result()
+        assert service.stats.rejected == 0
+        assert service.stats.completed == 1
+
+    def test_siblings_are_bit_identical_with_and_without_the_rejection(self):
+        estimator = Estimator(_program(), ZZ)
+        value_request = estimator.request_value(_state(), BINDING)
+        budget = request_cost(value_request) + 1.0
+
+        # Baseline: no admission control, no doomed request.
+        baseline = EstimatorService(ExactDensityBackend())
+        baseline_handles = [
+            baseline.submit(estimator.request_value(_state(i), BINDING))
+            for i in range(3)
+        ]
+        expected = [handle.result() for handle in baseline_handles]
+
+        # Same siblings, plus a gradient request the budget rejects.
+        service = EstimatorService(ExactDensityBackend(), max_cost=budget)
+        doomed = service.submit(estimator.request_gradient(_state(), BINDING))
+        handles = [
+            service.submit(estimator.request_value(_state(i), BINDING))
+            for i in range(3)
+        ]
+        with pytest.raises(ResourceLimitError):
+            doomed.result()
+        assert [handle.result() for handle in handles] == expected
+        assert service.stats.rejected == 1
+        assert service.stats.completed == 3
+
+    def test_gradient_requests_cost_more_than_values(self):
+        estimator = Estimator(_program(), ZZ)
+        value_cost = request_cost(estimator.request_value(_state(), BINDING))
+        gradient_cost = request_cost(estimator.request_gradient(_state(), BINDING))
+        assert gradient_cost > value_cost
+        # A budget between the two admits values and rejects gradients.
+        service = EstimatorService(
+            ExactDensityBackend(), max_cost=(value_cost + gradient_cost) / 2.0
+        )
+        ok = service.submit(estimator.request_value(_state(), BINDING))
+        rejected = service.submit(estimator.request_gradient(_state(), BINDING))
+        ok.result()
+        with pytest.raises(ResourceLimitError):
+            rejected.result()
+
+
+class TestCostOrderedPlanning:
+    def _items(self, requests):
+        return [
+            QueueItem(request=request, handle=None, session_rank=rank, seq=rank)
+            for rank, request in enumerate(requests)
+        ]
+
+    def test_groups_ordered_largest_cost_first(self):
+        estimator = Estimator(_program(), ZZ)
+        requests = [
+            estimator.request_value(_state(), BINDING),
+            estimator.request_gradient(_state(), BINDING),
+        ]
+        execution_plan = plan(self._items(requests))
+        costs = [group.predicted_cost for group in execution_plan.groups]
+        assert costs == sorted(costs, reverse=True)
+        assert execution_plan.groups[0].kind.value == "gradient" or (
+            execution_plan.groups[0].rows[0].request.kind.value in ("gradient", "derivative")
+        )
+
+    def test_order_by_cost_false_keeps_fairness_order(self):
+        estimator = Estimator(_program(), ZZ)
+        requests = [
+            estimator.request_value(_state(), BINDING),
+            estimator.request_gradient(_state(), BINDING),
+        ]
+        execution_plan = plan(self._items(requests), order_by_cost=False)
+        assert execution_plan.groups[0].rows[0].request is requests[0]
+
+    def test_group_call_carries_the_predicted_cost(self):
+        estimator = Estimator(_program(), ZZ)
+        execution_plan = plan(
+            self._items([estimator.request_value(_state(), BINDING)])
+        )
+        group = execution_plan.groups[0]
+        call = group.call()
+        assert isinstance(call, GroupCall)
+        assert call.cost == group.predicted_cost > 0.0
+
+    def test_subset_preserves_row_costs(self):
+        estimator = Estimator(_program(), ZZ)
+        execution_plan = plan(
+            self._items(
+                [estimator.request_value(_state(i), BINDING) for i in range(2)]
+            )
+        )
+        group = execution_plan.groups[0]
+        survivor = group.subset(group.rows[:1])
+        assert survivor.predicted_cost == group.rows[0].cost > 0.0
+
+
+class TestPredictedTelemetry:
+    def test_flush_accumulates_predicted_next_to_timings(self):
+        service = EstimatorService(ExactDensityBackend())
+        estimator = Estimator(_program(), ZZ)
+        handles = [
+            service.submit(estimator.request_value(_state(i), BINDING))
+            for i in range(2)
+        ]
+        service.flush()
+        for handle in handles:
+            handle.result()
+        assert set(service.stats.predicted) == set(service.stats.timings)
+        total_predicted = sum(service.stats.predicted.values())
+        assert total_predicted > 0.0
+
+
+class TestCostBalancedDispatch:
+    def _worker(self, slot: int, costs) -> _Worker:
+        worker = _Worker(slot, 0, process=object(), conn=None)
+        for index, cost in enumerate(costs):
+            call = GroupCall(
+                kind="value",
+                program=None,
+                program_sets=None,
+                observable=None,
+                inputs=[(None, None)],
+                cost=cost,
+            )
+            unit = _Unit(index, call, digest=f"d{slot}-{index}", artifact=b"")
+            worker.inflight[index] = _Dispatch(unit, sent_at=0.0)
+        return worker
+
+    def _supervisor(self, workers) -> WorkerSupervisor:
+        supervisor = WorkerSupervisor(
+            b"", slots=len(workers), policy=SupervisorPolicy()
+        )
+        supervisor._fleet = {worker.slot: worker for worker in workers}
+        return supervisor
+
+    def test_dispatch_prefers_the_cheapest_backlog(self):
+        # Worker 0 holds one giant group, worker 1 two tiny ones: count-based
+        # balancing would pick worker 0; cost-based balancing must pick 1.
+        supervisor = self._supervisor(
+            [self._worker(0, [1000.0]), self._worker(1, [1.0, 1.0])]
+        )
+        chosen = supervisor.least_loaded(capacity=8)
+        assert chosen.slot == 1
+
+    def test_zero_costs_fall_back_to_count_then_slot(self):
+        supervisor = self._supervisor(
+            [self._worker(0, [0.0, 0.0]), self._worker(1, [0.0])]
+        )
+        assert supervisor.least_loaded(capacity=8).slot == 1
+        tied = self._supervisor([self._worker(0, [0.0]), self._worker(1, [0.0])])
+        assert tied.least_loaded(capacity=8).slot == 0
+
+    def test_capacity_still_bounds_inflight(self):
+        supervisor = self._supervisor([self._worker(0, [1.0, 1.0])])
+        assert supervisor.least_loaded(capacity=2) is None

@@ -266,8 +266,10 @@ class TestRetries:
             FaultyBackend(ExactDensityBackend(), schedule),
             retry=RetryPolicy(attempts=3, base_delay=0.0),
         )
-        doomed = service.submit(estimator.request_value(_state(), BINDING))
-        sibling = service.submit(estimator.request_gradient(_state(), BINDING))
+        # The burst dooms the first group to execute — the gradient group,
+        # under the planner's largest-cost-first order.
+        sibling = service.submit(estimator.request_value(_state(), BINDING))
+        doomed = service.submit(estimator.request_gradient(_state(), BINDING))
         with pytest.raises(RetryExhaustedError) as excinfo:
             doomed.result()
         assert excinfo.value.attempts == 3
@@ -275,13 +277,14 @@ class TestRetries:
         assert excinfo.value.__cause__ is excinfo.value.last_error
         assert isinstance(excinfo.value, ServiceError)
         # The sibling group of the same drain completed untouched.
-        assert sibling.result().shape == (2,)
+        assert sibling.result() == clean_value
         assert service.stats.retries == 2
         assert service.stats.errors.get("RetryExhaustedError") == 1
 
     def test_only_the_failed_group_reruns(self, estimator, clean_value):
-        # Two groups; the value group fails twice, the gradient group is
-        # clean and must execute exactly once.
+        # Two groups; the gradient group (first to execute under
+        # largest-cost-first order) fails twice, the value group is clean
+        # and must execute exactly once.
         schedule = FaultSchedule.transient_burst({0: 2})
         service = EstimatorService(
             FaultyBackend(ExactDensityBackend(), schedule),
@@ -291,9 +294,9 @@ class TestRetries:
         gradient = service.submit(estimator.request_gradient(_state(), BINDING))
         assert value.result() == clean_value
         gradient.result()
-        value_calls = [key for _, key, _ in schedule.injected]
-        assert schedule.calls == 4  # value×3 (2 faults + success) + gradient×1
-        assert all(key[0] == "value" for key in value_calls)
+        faulted_calls = [key for _, key, _ in schedule.injected]
+        assert schedule.calls == 4  # gradient×3 (2 faults + success) + value×1
+        assert all(key[0] == "derivative" for key in faulted_calls)
 
 
 class TestDegradation:
